@@ -1,0 +1,38 @@
+# firestarter-go — common tasks
+
+GO ?= go
+
+.PHONY: all build test vet bench eval examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Regenerate every table and figure of the paper (plus extensions).
+eval:
+	$(GO) run ./cmd/firebench
+
+# The same experiments as Go benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/webserver
+	$(GO) run ./examples/kvstore
+	$(GO) run ./examples/adaptive
+	$(GO) run ./examples/customapp
+
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
+clean:
+	rm -f coverage.out test_output.txt bench_output.txt

@@ -1,0 +1,166 @@
+// Command firebench regenerates the paper's evaluation: every table and
+// figure of §VI, printed in the paper's layout.
+//
+// Usage:
+//
+//	firebench [-experiment all|table2|table3|table4|fig3|fig5|fig6|fig7|fig8|fig9|realworld]
+//	          [-requests N] [-faults N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/firestarter-go/firestarter/internal/bench"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		experiment = flag.String("experiment", "all", "experiment to run (all, table2, table3, table4, fig3, fig5, fig6, fig7, fig8, fig9, realworld, windows, ablation)")
+		requests   = flag.Int("requests", 300, "requests per measurement run")
+		faults     = flag.Int("faults", 12, "fault-injection experiments per server")
+		seed       = flag.Int64("seed", 1, "seed for workloads, fault plans and the interrupt process")
+		conc       = flag.Int("concurrency", 4, "simulated clients")
+	)
+	flag.Parse()
+
+	r := bench.Runner{
+		Requests:        *requests,
+		Concurrency:     *conc,
+		Seed:            *seed,
+		FaultsPerServer: *faults,
+	}
+
+	want := func(name string) bool {
+		return *experiment == "all" || *experiment == name
+	}
+	ran := false
+	fail := func(name string, err error) int {
+		fmt.Fprintf(os.Stderr, "firebench: %s: %v\n", name, err)
+		return 1
+	}
+
+	if want("table2") {
+		ran = true
+		fmt.Println(bench.TableII().Render())
+	}
+	if want("table3") {
+		ran = true
+		res, err := r.TableIII()
+		if err != nil {
+			return fail("table3", err)
+		}
+		fmt.Println(res.Render())
+	}
+	if want("table4") {
+		ran = true
+		res, err := r.TableIV()
+		if err != nil {
+			return fail("table4", err)
+		}
+		fmt.Println(res.Render())
+	}
+	if want("fig3") {
+		ran = true
+		res, err := r.Figure3()
+		if err != nil {
+			return fail("fig3", err)
+		}
+		fmt.Println(res.Render())
+	}
+	if want("fig5") {
+		ran = true
+		res, err := r.Figure5()
+		if err != nil {
+			return fail("fig5", err)
+		}
+		fmt.Println(res.Render())
+	}
+	if want("fig6") {
+		ran = true
+		res, err := r.Figure6()
+		if err != nil {
+			return fail("fig6", err)
+		}
+		fmt.Println(res.Render())
+	}
+	if want("fig7") || want("fig8") {
+		ran = true
+		res, err := r.Figure7()
+		if err != nil {
+			return fail("fig7", err)
+		}
+		if want("fig7") {
+			fmt.Println(res.Render())
+		}
+		if want("fig8") {
+			fmt.Println(res.RenderFigure8())
+		}
+	}
+	if want("fig9") {
+		ran = true
+		res, err := r.Figure9()
+		if err != nil {
+			return fail("fig9", err)
+		}
+		fmt.Println(res.Render())
+	}
+	if want("realworld") {
+		ran = true
+		res, err := r.RealWorld()
+		if err != nil {
+			return fail("realworld", err)
+		}
+		fmt.Println(res.Render())
+	}
+	if want("windows") {
+		ran = true
+		res, err := r.TxWindows()
+		if err != nil {
+			return fail("windows", err)
+		}
+		fmt.Println(res.Render())
+	}
+	if want("ablation") {
+		ran = true
+		d, err := r.AblationDivert()
+		if err != nil {
+			return fail("ablation", err)
+		}
+		fmt.Println(d.Render())
+		rt, err := r.AblationRetry()
+		if err != nil {
+			return fail("ablation", err)
+		}
+		fmt.Println(rt.Render())
+		g, err := r.AblationGeometry()
+		if err != nil {
+			return fail("ablation", err)
+		}
+		fmt.Println(g.Render())
+		mw, err := r.AblationMaskedWrites()
+		if err != nil {
+			return fail("ablation", err)
+		}
+		fmt.Println(mw.Render())
+		rb, err := r.AblationRestartBaseline()
+		if err != nil {
+			return fail("ablation", err)
+		}
+		fmt.Println(rb.Render())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "firebench: unknown experiment %q\n", *experiment)
+		fmt.Fprintln(os.Stderr, "available: all, "+strings.Join([]string{
+			"table2", "table3", "table4", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "realworld", "windows", "ablation",
+		}, ", "))
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,123 @@
+// Command firerun executes a mini-C program or a built-in server under a
+// chosen protection scheme, optionally driving it with a client workload
+// and printing the recovery statistics.
+//
+// Usage:
+//
+//	firerun file.c                         # harden and run a program
+//	firerun -mode vanilla file.c           # uninstrumented baseline
+//	firerun -app nginx -requests 200       # drive a built-in server
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	firestarter "github.com/firestarter-go/firestarter"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		appName  = flag.String("app", "", "run a built-in server (nginx, apache, lighttpd, redis, postgres)")
+		mode     = flag.String("mode", "hybrid", "protection: hybrid, htm, stm, vanilla")
+		requests = flag.Int("requests", 100, "workload requests (built-in servers)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		stats    = flag.Bool("stats", true, "print recovery statistics")
+		trace    = flag.Bool("trace", false, "print the recovery event trace")
+	)
+	flag.Parse()
+
+	var opts []firestarter.Option
+	switch *mode {
+	case "hybrid":
+	case "htm":
+		opts = append(opts, firestarter.WithMode(firestarter.ModeHTMOnly))
+	case "stm":
+		opts = append(opts, firestarter.WithMode(firestarter.ModeSTMOnly))
+	case "vanilla":
+		opts = append(opts, firestarter.WithoutProtection())
+	default:
+		fmt.Fprintf(os.Stderr, "firerun: unknown mode %q\n", *mode)
+		return 2
+	}
+
+	if *appName != "" {
+		app, err := firestarter.Builtin(*appName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "firerun: %v\n", err)
+			return 2
+		}
+		srv, err := firestarter.NewAppServer(app, opts...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "firerun: %v\n", err)
+			return 1
+		}
+		res := srv.DriveWorkload(app.Protocol, app.Port, *requests, 4, *seed)
+		fmt.Printf("%s: completed %d requests (%d bad), %.0f cycles/request\n",
+			app.Name, res.Completed, res.BadResp, res.CyclesPerRequest())
+		if res.ServerDied {
+			fmt.Printf("server DIED (trap %d)\n", res.TrapCode)
+		}
+		if *stats && srv.Protected() {
+			printStats(srv.Stats())
+		}
+		if res.ServerDied {
+			return 1
+		}
+		return 0
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: firerun [flags] file.c | -app name")
+		return 2
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "firerun: %v\n", err)
+		return 1
+	}
+	prog, err := firestarter.Compile(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "firerun: %v\n", err)
+		return 1
+	}
+	srv, err := firestarter.NewServer(prog, opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "firerun: %v\n", err)
+		return 1
+	}
+	if *trace && srv.Protected() {
+		srv.Runtime().EnableTrace()
+	}
+	out := srv.Run(0)
+	fmt.Print(srv.Stdout())
+	switch out.Kind {
+	case firestarter.OutExited:
+		fmt.Printf("exited with code %d after %d cycles\n", srv.ExitCode(), srv.Cycles())
+	case firestarter.OutTrapped:
+		fmt.Printf("CRASHED: %v\n", out.Trap)
+	case firestarter.OutBlocked:
+		fmt.Println("blocked waiting for input (no workload attached)")
+	}
+	if *stats && srv.Protected() {
+		printStats(srv.Stats())
+	}
+	if *trace && srv.Protected() {
+		fmt.Print(srv.Runtime().RenderTrace())
+	}
+	if out.Kind == firestarter.OutTrapped {
+		return 1
+	}
+	return 0
+}
+
+func printStats(st firestarter.Stats) {
+	fmt.Printf("recovery stats: gates=%d htm=%d/%d stm=%d aborts=%d crashes=%d retries=%d injections=%d unrecovered=%d\n",
+		st.GateExecs, st.HTMCommits, st.HTMBegins, st.STMBegins,
+		st.HTMAborts, st.Crashes, st.Retries, st.Injections, st.Unrecovered)
+}

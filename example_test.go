@@ -1,0 +1,87 @@
+package firestarter_test
+
+import (
+	"fmt"
+
+	firestarter "github.com/firestarter-go/firestarter"
+)
+
+// Hardening a program with a persistent crash: the recovery runtime rolls
+// the crash back and injects ENOMEM into the preceding malloc, so the
+// program's own error handling produces the outcome.
+func ExampleNewServer() {
+	prog := firestarter.MustCompile(`
+int main() {
+	char *p = malloc(64);
+	if (!p) {
+		puts("allocation failed, degrading gracefully");
+		return 1;
+	}
+	int *q = NULL;
+	*q = 42;
+	free(p);
+	return 0;
+}`)
+	srv, err := firestarter.NewServer(prog)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	srv.Run(0)
+	fmt.Print(srv.Stdout())
+	fmt.Printf("exit=%d injections=%d\n", srv.ExitCode(), srv.Stats().Injections)
+	// Output:
+	// allocation failed, degrading gracefully
+	// exit=1 injections=1
+}
+
+// The static recovery surface of a program: which library call sites can
+// host a crash transaction (gates), which embed into one, and which break
+// protection (irrecoverable external effects).
+func ExampleAnalyzeSites() {
+	prog := firestarter.MustCompile(`
+int main() {
+	char buf[8];
+	int fd = open("/etc/motd", 0);
+	if (fd < 0) { return 1; }
+	int n = read(fd, buf, 8);
+	if (n < 0) { return 2; }
+	write(1, buf, n);
+	close(fd);
+	return 0;
+}`)
+	gates, embeds, breaks := firestarter.AnalyzeSites(prog)
+	fmt.Printf("gates=%d embedded=%d breaks=%d\n", gates, embeds, breaks)
+	// Output:
+	// gates=2 embedded=1 breaks=1
+}
+
+// Driving a built-in server analog with its standard workload.
+func ExampleServer_DriveWorkload() {
+	app, _ := firestarter.Builtin("redis")
+	srv, err := firestarter.NewAppServer(app)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res := srv.DriveWorkload(app.Protocol, app.Port, 50, 4, 1)
+	// The closed-loop driver may complete a few in-flight extras.
+	fmt.Printf("completed>=50: %v died=%v\n", res.Completed >= 50, res.ServerDied)
+	// Output:
+	// completed>=50: true died=false
+}
+
+// Running a baseline without protection: the same crash is fatal.
+func ExampleWithoutProtection() {
+	prog := firestarter.MustCompile(`
+int main() {
+	int *q = NULL;
+	*q = 1;
+	return 0;
+}`)
+	srv, _ := firestarter.NewServer(prog, firestarter.WithoutProtection())
+	out := srv.Run(0)
+	fmt.Println(out.Kind)
+	// Output:
+	// trapped
+}

@@ -1,0 +1,76 @@
+// Adaptive: the hybrid HTM/STM story of the paper's §IV, live.
+//
+// The Lighttpd analog is driven with the same HTTP workload under four
+// configurations — unprotected, HTM-only, STM-only, and full FIRestarter
+// with its dynamic adaptation policy — and the example prints the
+// throughput cost and hardware-transaction behaviour of each, showing why
+// hybrid checkpointing is the interesting point in the design space:
+// HTM-only is cheap but unprotected after aborts, STM-only is safe but
+// slow, and the adaptive hybrid keeps almost all of HTM's speed at full
+// protection.
+//
+// Run with: go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"os"
+
+	firestarter "github.com/firestarter-go/firestarter"
+)
+
+func main() {
+	app, err := firestarter.Builtin("lighttpd")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	const requests = 400
+	type config struct {
+		name string
+		opts []firestarter.Option
+	}
+	configs := []config{
+		{"vanilla (unprotected)", []firestarter.Option{firestarter.WithoutProtection()}},
+		{"HTM-only baseline", []firestarter.Option{
+			firestarter.WithMode(firestarter.ModeHTMOnly),
+			firestarter.WithInterrupts(250_000, 1),
+		}},
+		{"STM-only baseline", []firestarter.Option{
+			firestarter.WithMode(firestarter.ModeSTMOnly),
+		}},
+		{"FIRestarter (θ=1%, S=4)", []firestarter.Option{
+			firestarter.WithThreshold(0.01),
+			firestarter.WithSampleSize(4),
+			firestarter.WithInterrupts(250_000, 1),
+		}},
+	}
+
+	var baseline float64
+	fmt.Printf("%-26s %16s %12s %14s %12s\n",
+		"configuration", "cycles/request", "overhead", "HTM aborts", "STM txs")
+	for i, cfg := range configs {
+		srv, err := firestarter.NewAppServer(app, cfg.opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res := srv.DriveWorkload(app.Protocol, app.Port, requests, 4, 1)
+		if res.ServerDied || res.Completed == 0 {
+			fmt.Fprintf(os.Stderr, "%s: run failed (%+v)\n", cfg.name, res)
+			os.Exit(1)
+		}
+		cpr := res.CyclesPerRequest()
+		if i == 0 {
+			baseline = cpr
+		}
+		overhead := (cpr/baseline - 1) * 100
+		st := srv.Stats()
+		fmt.Printf("%-26s %16.0f %11.1f%% %14d %12d\n",
+			cfg.name, cpr, overhead, st.HTMAborts, st.STMBegins)
+	}
+
+	fmt.Println("\nnote: HTM-only gives no recovery guarantee after an abort —")
+	fmt.Println("only STM-only and FIRestarter keep the full recovery surface.")
+}

@@ -1,0 +1,174 @@
+// Customapp: hardening your own server, with the recovery trace.
+//
+// This example is the downstream-user path: write a small event-driven
+// service in mini-C, harden it with the default pipeline, drive it with a
+// custom workload, inject a persistent bug, and read the recovery event
+// trace — the crash→rollback→retry→inject story in the order it happened.
+//
+// The service is a tiny line-based calculator ("ADD 2 3\n" → "5\n") whose
+// division handler has a residual crash: dividing by zero traps fail-stop.
+// FIRestarter converts that into a malloc failure the handler already
+// knows how to refuse.
+//
+// Run with: go run ./examples/customapp
+package main
+
+import (
+	"fmt"
+	"os"
+
+	firestarter "github.com/firestarter-go/firestarter"
+)
+
+const calcSrc = `
+int g_conns[64];
+struct cl { int fd; int rlen; char rbuf[128]; };
+
+int put_int(char *dst, int v) {
+	char tmp[24];
+	int i = 0;
+	int pos = 0;
+	if (v < 0) { dst[0] = '-'; pos = 1; v = -v; }
+	if (v == 0) { dst[pos] = '0'; return pos + 1; }
+	while (v > 0) { tmp[i] = '0' + v % 10; v /= 10; i++; }
+	while (i > 0) { i--; dst[pos] = tmp[i]; pos++; }
+	return pos;
+}
+
+int answer(int fd, int v) {
+	char out[32];
+	int n = put_int(out, v);
+	out[n] = '\n';
+	if (write(fd, out, n + 1) < 0) { return -1; }
+	return 0;
+}
+
+int execute(int fd, char *line) {
+	// "<OP> <a> <b>": tokenize in place.
+	int i = 0;
+	while (line[i] != ' ' && line[i] != 0) { i++; }
+	if (line[i] == 0) { return answer(fd, -1); }
+	line[i] = 0;
+	char *sa = line + i + 1;
+	int j = 0;
+	while (sa[j] != ' ' && sa[j] != 0) { j++; }
+	if (sa[j] == 0) { return answer(fd, -1); }
+	sa[j] = 0;
+	int a = atoi(sa);
+	int b = atoi(sa + j + 1);
+
+	// Handlers allocate a scratch result record per request, with the
+	// error handling FIRestarter will divert into.
+	char *scratch = malloc(64);
+	if (!scratch) {
+		puts("calc: request refused (no memory)");
+		char msg[6];
+		msg[0] = 'E'; msg[1] = 'R'; msg[2] = 'R'; msg[3] = '\n';
+		write(fd, msg, 4);
+		return 0;
+	}
+	int v = 0;
+	if (strcmp(line, "ADD") == 0) { v = a + b; }
+	else if (strcmp(line, "MUL") == 0) { v = a * b; }
+	else if (strcmp(line, "DIV") == 0) { v = a / b; }   // residual bug: b==0 traps
+	int rc = answer(fd, v);
+	free(scratch);
+	return rc;
+}
+
+int main() {
+	int s = socket();
+	if (s == -1) { return 1; }
+	if (bind(s, 7000) == -1) { return 2; }
+	if (listen(s, 16) == -1) { return 3; }
+	int ep = epoll_create();
+	if (ep == -1) { return 4; }
+	if (epoll_ctl(ep, 1, s) == -1) { return 5; }
+	puts("calc: ready");
+	int events[8];
+	while (1) {
+		int n = epoll_wait(ep, events, 8);
+		if (n < 0) { continue; }
+		for (int i = 0; i < n; i++) {
+			int fd = events[i];
+			if (fd == s) {
+				int nf = accept(s);
+				if (nf < 0) { continue; }
+				struct cl *c = calloc(1, sizeof(struct cl));
+				if (!c) { close(nf); continue; }
+				c->fd = nf;
+				g_conns[nf] = c;
+				epoll_ctl(ep, 1, nf);
+			} else {
+				struct cl *c = g_conns[fd];
+				if (!c) { continue; }
+				int got = read(fd, c->rbuf + c->rlen, 127 - c->rlen);
+				if (got <= 0) {
+					if (got < 0 && errno() == 11) { continue; }
+					epoll_ctl(ep, 2, fd);
+					close(fd);
+					g_conns[fd] = 0;
+					free(c);
+					continue;
+				}
+				c->rlen = c->rlen + got;
+				int start = 0;
+				for (int k = 0; k < c->rlen; k++) {
+					if (c->rbuf[k] == '\n') {
+						c->rbuf[k] = 0;
+						execute(fd, c->rbuf + start);
+						start = k + 1;
+					}
+				}
+				int rest = c->rlen - start;
+				if (rest > 0 && start > 0) { memcpy(c->rbuf, c->rbuf + start, rest); }
+				c->rlen = rest;
+			}
+		}
+	}
+	return 0;
+}`
+
+func main() {
+	prog, err := firestarter.Compile(calcSrc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compile:", err)
+		os.Exit(1)
+	}
+	srv, err := firestarter.NewServer(prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv.Runtime().EnableTrace()
+
+	if out := srv.Run(0); out.Kind != firestarter.OutBlocked {
+		fmt.Fprintf(os.Stderr, "server did not start: %v\n", out.Kind)
+		os.Exit(1)
+	}
+	conn := srv.Connect(7000)
+
+	ask := func(q string) string {
+		conn.ClientDeliver([]byte(q))
+		if out := srv.Run(0); out.Kind == firestarter.OutTrapped {
+			fmt.Printf("%-12q CRASHED THE SERVER\n", q)
+			os.Exit(1)
+		}
+		return string(conn.ClientTake())
+	}
+
+	fmt.Printf("ADD 2 3    -> %q\n", ask("ADD 2 3\n"))
+	fmt.Printf("MUL 6 7    -> %q\n", ask("MUL 6 7\n"))
+	fmt.Printf("DIV 10 2   -> %q\n", ask("DIV 10 2\n"))
+	fmt.Printf("DIV 1 0    -> %q   (the residual bug, survived)\n", ask("DIV 1 0\n"))
+	fmt.Printf("ADD 4 4    -> %q   (service continues)\n", ask("ADD 4 4\n"))
+
+	st := srv.Stats()
+	fmt.Printf("\nstats: %d crashes rolled back, %d injections, %d unrecovered\n",
+		st.Crashes, st.Injections, st.Unrecovered)
+	fmt.Println("\nrecovery trace:")
+	fmt.Print(srv.Runtime().RenderTrace())
+	if st.Injections == 0 || st.Unrecovered != 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,87 @@
+// Quickstart: harden a tiny program with a persistent null-pointer bug and
+// watch FIRestarter convert the crash into an error the program already
+// handles.
+//
+// The program allocates a buffer per "request"; a residual bug dereferences
+// NULL right after a successful allocation. Unprotected, the first request
+// kills the process. Hardened, FIRestarter rolls back to the checkpoint
+// after malloc, injects ENOMEM into it, and the program's own out-of-memory
+// path absorbs the failure — for every request.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	firestarter "github.com/firestarter-go/firestarter"
+)
+
+const src = `
+int handled = 0;
+
+int handle_request(int n) {
+	char *buf = malloc(256);
+	if (!buf) {
+		// The error handling FIRestarter piggybacks on (§V of the paper).
+		puts("request failed: out of memory, degrading gracefully");
+		return -1;
+	}
+	memset(buf, 0, 256);
+	if (n == 2) {
+		int *p = NULL;
+		*p = 42;          // the residual bug: crashes on request #2, forever
+	}
+	buf[0] = 'o'; buf[1] = 'k'; buf[2] = 0;
+	puts(buf);
+	free(buf);
+	handled++;
+	return 0;
+}
+
+int main() {
+	int failures = 0;
+	for (int i = 0; i < 5; i++) {
+		if (handle_request(i) == -1) { failures++; }
+	}
+	putint(handled);
+	puts(" requests handled");
+	putint(failures);
+	puts(" absorbed by error handling");
+	return failures;
+}`
+
+func main() {
+	prog, err := firestarter.Compile(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "compile:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("--- unprotected run ---")
+	vanilla, err := firestarter.NewServer(prog, firestarter.WithoutProtection())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	out := vanilla.Run(0)
+	fmt.Print(vanilla.Stdout())
+	fmt.Printf("outcome: %v (trap: %v)\n\n", out.Kind, out.Trap)
+
+	fmt.Println("--- FIRestarter-hardened run ---")
+	hardened, err := firestarter.NewServer(prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	out = hardened.Run(0)
+	fmt.Print(hardened.Stdout())
+	st := hardened.Stats()
+	fmt.Printf("outcome: %v, exit code %d\n", out.Kind, hardened.ExitCode())
+	fmt.Printf("recovery: %d crashes rolled back, %d faults injected, %d transactions\n",
+		st.Crashes, st.Injections, st.GateExecs)
+	if out.Kind != firestarter.OutExited || st.Injections == 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,80 @@
+// Webserver: the paper's §VI-F Nginx case study end to end.
+//
+// A fail-stop fault is planted in the SSI substitution code of the built-in
+// Nginx analog — the shape of nginx ticket #1263, where a subrequest
+// needing server-side-include substitution dereferenced NULL. The hardened
+// server is then driven with live HTTP traffic including the poisoned /ssi
+// route: FIRestarter rolls the crash back, makes the preceding pread return
+// -1/EINVAL, and nginx's own error path produces an empty response while
+// every other request keeps being served.
+//
+// Run with: go run ./examples/webserver
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	firestarter "github.com/firestarter-go/firestarter"
+)
+
+func main() {
+	app, err := firestarter.Builtin("nginx")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Plant the persistent crash in the SSI substitution block (the code
+	// following the second pread — where nginx #1263 dereferenced NULL).
+	fault, err := firestarter.FaultInBlockCalling(app, "serve_ssi", "memcpy")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	srv, err := firestarter.NewAppServer(app, firestarter.WithFault(fault))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Boot to the event loop.
+	if out := srv.Run(0); out.Kind != firestarter.OutBlocked {
+		fmt.Fprintf(os.Stderr, "server did not start: %v\n", out.Kind)
+		os.Exit(1)
+	}
+	fmt.Println("nginx analog booted with a planted SSI crash")
+
+	// The poisoned request.
+	ssi := srv.Connect(app.Port)
+	ssi.ClientDeliver([]byte("GET /ssi HTTP/1.1\r\n\r\n"))
+	out := srv.Run(0)
+	if out.Kind == firestarter.OutTrapped {
+		fmt.Println("server crashed — recovery failed")
+		os.Exit(1)
+	}
+	resp := string(ssi.ClientTake())
+	fmt.Printf("SSI response after recovery: %q\n", firstLine(resp))
+
+	// The server keeps serving.
+	normal := srv.Connect(app.Port)
+	normal.ClientDeliver([]byte("GET /index.html HTTP/1.1\r\n\r\n"))
+	srv.Run(0)
+	fmt.Printf("follow-up response:          %q\n", firstLine(string(normal.ClientTake())))
+
+	st := srv.Stats()
+	fmt.Printf("\ncrashes rolled back: %d, faults injected into pread: %d, unrecovered: %d\n",
+		st.Crashes, st.Injections, st.Unrecovered)
+	if st.Injections == 0 || st.Unrecovered != 0 {
+		os.Exit(1)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.Index(s, "\r\n"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,3 @@
+module github.com/firestarter-go/firestarter
+
+go 1.22

@@ -1,0 +1,345 @@
+package apps
+
+import "github.com/firestarter-go/firestarter/internal/libsim"
+
+// Apache returns the Apache httpd analog. Architecturally it differs from
+// the Nginx analog the way the originals differ: requests are handled to
+// completion one event at a time (worker-MPM style), and request
+// processing leans heavily on the C string library — header parsing with
+// strncmp/strlen per line, field copies with memcpy — which is what gives
+// Apache its very high embedded-libcall count in the paper's Table III.
+// Every access is also appended to an access-log file (write(2): an
+// irrecoverable transaction break).
+func Apache() *App {
+	return &App{
+		Name:     "apache",
+		Port:     8081,
+		Protocol: "http",
+		Setup: func(o *libsim.OS) {
+			docRoot(o)
+			o.FS().Add("/logs/access.log", nil)
+		},
+		Source: apacheSrc,
+	}
+}
+
+const apacheSrc = `
+// apache-sim: worker-style HTTP server with header parsing and access log.
+
+int g_listen = -1;
+int g_epoll = -1;
+int g_logfd = -1;
+int g_stop = 0;
+int g_conns[128];
+
+struct request {
+	int fd;
+	int rlen;
+	int keepalive;
+	char rbuf[768];
+	char path[256];
+	char host[64];
+};
+
+int sa_append(char *dst, int pos, char *s) {
+	int n = strlen(s);
+	memcpy(dst + pos, s, n);
+	return pos + n;
+}
+
+int sa_int(char *dst, int pos, int v) {
+	char tmp[24];
+	int i = 0;
+	if (v == 0) { dst[pos] = '0'; return pos + 1; }
+	while (v > 0) { tmp[i] = '0' + v % 10; v /= 10; i++; }
+	while (i > 0) { i--; dst[pos] = tmp[i]; pos++; }
+	return pos;
+}
+
+void log_access(char *path, int status) {
+	if (g_logfd < 0) { return; }
+	char line[300];
+	int pos = sa_append(line, 0, "GET ");
+	pos = sa_append(line, pos, path);
+	pos = sa_append(line, pos, " ");
+	pos = sa_int(line, pos, status);
+	pos = sa_append(line, pos, "\n");
+	if (write(g_logfd, line, pos) < 0) {
+		puts("access log write failed");
+	}
+}
+
+int respond(int fd, int code, char *body, int blen) {
+	char hdr[256];
+	int pos = 0;
+	pos = sa_append(hdr, pos, "HTTP/1.1 ");
+	pos = sa_int(hdr, pos, code);
+	if (code == 200) {
+		pos = sa_append(hdr, pos, " OK");
+	} else if (code == 404) {
+		pos = sa_append(hdr, pos, " Not Found");
+	} else {
+		pos = sa_append(hdr, pos, " Internal Server Error");
+	}
+	pos = sa_append(hdr, pos, "\r\nServer: apache-sim\r\nContent-Length: ");
+	pos = sa_int(hdr, pos, blen);
+	pos = sa_append(hdr, pos, "\r\n\r\n");
+	if (write(fd, hdr, pos) < 0) { return -1; }
+	if (blen > 0) {
+		if (write(fd, body, blen) < 0) { return -1; }
+	}
+	return 0;
+}
+
+int fail_request(int fd, int code, char *path) {
+	char body[80];
+	int pos = 0;
+	if (code == 404) {
+		pos = sa_append(body, pos, "<html><h1>Not Found</h1></html>");
+	} else {
+		pos = sa_append(body, pos, "<html><h1>Internal Server Error</h1></html>");
+	}
+	log_access(path, code);
+	return respond(fd, code, body, pos);
+}
+
+// parse_headers walks the header lines with the string library, the way
+// httpd's protocol.c does: one strncmp per known field.
+int parse_headers(struct request *r) {
+	char *buf = r->rbuf;
+	int len = r->rlen;
+	int i = 0;
+	// Request line: METHOD SP PATH SP VERSION CRLF
+	if (strncmp(buf, "GET ", 4) != 0 && strncmp(buf, "HEAD", 4) != 0) {
+		return -1;
+	}
+	while (i < len && buf[i] != ' ') { i++; }
+	i++;
+	int p = 0;
+	while (i < len && buf[i] != ' ' && p < 255) {
+		r->path[p] = buf[i];
+		i++;
+		p++;
+	}
+	r->path[p] = 0;
+	while (i < len && buf[i] != '\n') { i++; }
+	i++;
+	r->keepalive = 1;
+	r->host[0] = 0;
+	// Header lines.
+	while (i < len) {
+		if (buf[i] == '\r') { break; }
+		int start = i;
+		while (i < len && buf[i] != '\r') { i++; }
+		int llen = i - start;
+		i += 2;
+		if (llen > 6 && strncmp(buf + start, "Host: ", 6) == 0) {
+			int hl = llen - 6;
+			if (hl > 63) { hl = 63; }
+			memcpy(r->host, buf + start + 6, hl);
+			r->host[hl] = 0;
+		}
+		if (llen > 12 && strncmp(buf + start, "Connection: ", 12) == 0) {
+			if (strncmp(buf + start + 12, "close", 5) == 0) {
+				r->keepalive = 0;
+			}
+		}
+	}
+	return 0;
+}
+
+int serve_large_file(struct request *r, int f, int size) {
+	char *body = calloc(1, size + 1);
+	if (!body) {
+		puts("apache: calloc failed, aborting request");
+		close(f);
+		return fail_request(r->fd, 500, r->path);
+	}
+	memset(body, 0, size + 1);
+	int got = pread(f, body, size, 0);
+	if (got < 0) {
+		free(body);
+		close(f);
+		return fail_request(r->fd, 500, r->path);
+	}
+	close(f);
+	log_access(r->path, 200);
+	int rc = respond(r->fd, 200, body, got);
+	free(body);
+	return rc;
+}
+
+int serve_file(struct request *r) {
+	char full[300];
+	int pos = sa_append(full, 0, "/www");
+	if (strcmp(r->path, "/") == 0) {
+		pos = sa_append(full, pos, "/index.html");
+	} else {
+		pos = sa_append(full, pos, r->path);
+	}
+	full[pos] = 0;
+
+	int f = open(full, 0);
+	if (f == -1) {
+		return fail_request(r->fd, 404, r->path);
+	}
+	int st[2];
+	if (fstat(f, st) == -1) {
+		puts("apache: fstat failed");
+		close(f);
+		return fail_request(r->fd, 500, r->path);
+	}
+	int size = st[0];
+	if (size > 32768) {
+		return serve_large_file(r, f, size);
+	}
+	char *body = calloc(1, size + 1);
+	if (!body) {
+		puts("apache: calloc failed, aborting request");
+		close(f);
+		return fail_request(r->fd, 500, r->path);
+	}
+	memset(body, 0, size + 1);
+	int got = pread(f, body, size, 0);
+	if (got < 0) {
+		puts("apache: pread failed");
+		free(body);
+		close(f);
+		return fail_request(r->fd, 500, r->path);
+	}
+	close(f);
+	log_access(r->path, 200);
+	int rc = respond(r->fd, 200, body, got);
+	free(body);
+	return rc;
+}
+
+int process(struct request *r) {
+	if (parse_headers(r) == -1) {
+		return fail_request(r->fd, 500, r->path);
+	}
+	if (strcmp(r->path, "/quit") == 0) {
+		g_stop = 1;
+		char none[4];
+		log_access(r->path, 200);
+		return respond(r->fd, 200, none, 0);
+	}
+	if (strncmp(r->path, "/ssi", 4) == 0) {
+		// apache-sim serves SSI pages as plain files.
+		int n = strlen(r->path);
+		if (n < 250) {
+			memcpy(r->path + n, ".shtml", 7);
+		}
+	}
+	return serve_file(r);
+}
+
+void drop_conn(struct request *r) {
+	epoll_ctl(g_epoll, 2, r->fd);
+	close(r->fd);
+	g_conns[r->fd] = 0;
+	free(r);
+}
+
+void readable(struct request *r) {
+	int n = read(r->fd, r->rbuf + r->rlen, 767 - r->rlen);
+	if (n == 0) {
+		drop_conn(r);
+		return;
+	}
+	if (n < 0) {
+		if (errno() == 11) { return; }
+		drop_conn(r);
+		return;
+	}
+	r->rlen = r->rlen + n;
+	r->rbuf[r->rlen] = 0;
+	if (r->rlen < 4) { return; }
+	int e = r->rlen;
+	if (r->rbuf[e-4] != '\r' || r->rbuf[e-3] != '\n' || r->rbuf[e-2] != '\r' || r->rbuf[e-1] != '\n') {
+		return;
+	}
+	int rc = process(r);
+	if (rc < 0 || !r->keepalive) {
+		drop_conn(r);
+		return;
+	}
+	r->rlen = 0;
+}
+
+void acceptable() {
+	while (1) {
+		int fd = accept(g_listen);
+		if (fd < 0) { return; }
+		if (fd >= 128) { close(fd); return; }
+		struct request *r = calloc(1, sizeof(struct request));
+		if (!r) {
+			puts("apache: out of memory on accept");
+			close(fd);
+			return;
+		}
+		r->fd = fd;
+		g_conns[fd] = r;
+		if (epoll_ctl(g_epoll, 1, fd) == -1) {
+			puts("apache: epoll_ctl failed");
+			close(fd);
+			g_conns[fd] = 0;
+			free(r);
+			return;
+		}
+	}
+}
+
+int main() {
+	int s = socket();
+	if (s == -1) { puts("apache: socket failed"); return 1; }
+	if (setsockopt(s, 2, 1) == -1) {
+		puts("apache: setsockopt failed");
+		close(s);
+		return 1;
+	}
+	if (bind(s, 8081) == -1) {
+		puts("apache: bind failed");
+		close(s);
+		return 1;
+	}
+	if (listen(s, 64) == -1) {
+		puts("apache: listen failed");
+		close(s);
+		return 1;
+	}
+	g_listen = s;
+
+	char logpath[20];
+	int lp = sa_append(logpath, 0, "/logs/access.log");
+	logpath[lp] = 0;
+	int lf = open(logpath, 0x401);      // O_WRONLY|O_APPEND
+	if (lf == -1) {
+		puts("apache: cannot open access log");
+	} else {
+		g_logfd = lf;
+	}
+
+	int ep = epoll_create();
+	if (ep == -1) { puts("apache: epoll_create failed"); return 1; }
+	g_epoll = ep;
+	if (epoll_ctl(ep, 1, s) == -1) { puts("apache: epoll_ctl failed"); return 1; }
+	puts("apache-sim: ready");
+
+	int events[16];
+	while (!g_stop) {
+		int n = epoll_wait(ep, events, 16);
+		if (n < 0) { continue; }
+		for (int i = 0; i < n; i++) {
+			int fd = events[i];
+			if (fd == g_listen) {
+				acceptable();
+			} else {
+				struct request *r = g_conns[fd];
+				if (r) { readable(r); }
+			}
+		}
+	}
+	return 0;
+}
+`

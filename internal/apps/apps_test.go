@@ -1,0 +1,164 @@
+package apps_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/firestarter-go/firestarter/internal/apps"
+	"github.com/firestarter-go/firestarter/internal/core"
+	"github.com/firestarter-go/firestarter/internal/interp"
+	"github.com/firestarter-go/firestarter/internal/libsim"
+	"github.com/firestarter-go/firestarter/internal/mem"
+	"github.com/firestarter-go/firestarter/internal/transform"
+	"github.com/firestarter-go/firestarter/internal/workload"
+)
+
+// startVanilla boots an app under the Direct (uninstrumented) runtime.
+func startVanilla(t *testing.T, app *apps.App) (*libsim.OS, *interp.Machine) {
+	t.Helper()
+	prog, err := app.Compile()
+	if err != nil {
+		t.Fatalf("compile %s: %v", app.Name, err)
+	}
+	o := libsim.New(mem.NewSpace())
+	if app.Setup != nil {
+		app.Setup(o)
+	}
+	m, err := interp.New(prog, o, nil)
+	if err != nil {
+		t.Fatalf("machine %s: %v", app.Name, err)
+	}
+	return o, m
+}
+
+// startHardened boots an app under the full FIRestarter runtime.
+func startHardened(t *testing.T, app *apps.App, cfg core.Config) (*libsim.OS, *interp.Machine, *core.Runtime) {
+	t.Helper()
+	prog, err := app.Compile()
+	if err != nil {
+		t.Fatalf("compile %s: %v", app.Name, err)
+	}
+	tr, err := transform.Apply(prog, nil)
+	if err != nil {
+		t.Fatalf("transform %s: %v", app.Name, err)
+	}
+	o := libsim.New(mem.NewSpace())
+	if app.Setup != nil {
+		app.Setup(o)
+	}
+	rt := core.New(tr, o, cfg)
+	m, err := interp.New(tr.Prog, o, rt)
+	if err != nil {
+		t.Fatalf("machine %s: %v", app.Name, err)
+	}
+	rt.Attach(m)
+	return o, m, rt
+}
+
+func TestAllAppsCompile(t *testing.T) {
+	for _, app := range apps.All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			prog, err := app.Compile()
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if err := prog.Validate(); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			if _, err := transform.Apply(prog, nil); err != nil {
+				t.Fatalf("transform: %v", err)
+			}
+		})
+	}
+}
+
+func TestVanillaServersServeWorkload(t *testing.T) {
+	for _, app := range apps.All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			o, m := startVanilla(t, app)
+			d := &workload.Driver{
+				OS: o, M: m, Port: app.Port,
+				Gen:         workload.ForProtocol(app.Protocol),
+				Concurrency: 4, Seed: 1,
+			}
+			res := d.Run(60)
+			if res.ServerDied {
+				t.Fatalf("server died (trap %d); stdout:\n%s", res.TrapCode, tail(o.Stdout()))
+			}
+			if res.Stalled {
+				t.Fatalf("driver stalled after %d completions; stdout:\n%s", res.Completed, tail(o.Stdout()))
+			}
+			if res.Completed < 55 {
+				t.Fatalf("completed %d/60 (bad %d)", res.Completed, res.BadResp)
+			}
+			if res.BadResp > 5 {
+				t.Errorf("bad responses: %d", res.BadResp)
+			}
+		})
+	}
+}
+
+func TestHardenedServersServeWorkload(t *testing.T) {
+	for _, app := range apps.All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			o, m, rt := startHardened(t, app, core.Config{})
+			d := &workload.Driver{
+				OS: o, M: m, Port: app.Port,
+				Gen:         workload.ForProtocol(app.Protocol),
+				Concurrency: 4, Seed: 1,
+			}
+			res := d.Run(60)
+			if res.ServerDied {
+				t.Fatalf("server died (trap %d); stdout:\n%s", res.TrapCode, tail(o.Stdout()))
+			}
+			if res.Completed < 55 {
+				t.Fatalf("completed %d/60 (bad %d, stalled %v)", res.Completed, res.BadResp, res.Stalled)
+			}
+			st := rt.Stats()
+			if st.GateExecs == 0 {
+				t.Error("no gate executions under load")
+			}
+			if st.Crashes != 0 || st.Unrecovered != 0 {
+				t.Errorf("unexpected crashes under clean load: %+v", st)
+			}
+		})
+	}
+}
+
+func TestNginxServesExactContent(t *testing.T) {
+	app := apps.Nginx()
+	o, m := startVanilla(t, app)
+	if out := m.Run(3_000_000); out.Kind != interp.OutBlocked {
+		t.Fatalf("startup outcome = %v", out.Kind)
+	}
+	if !strings.Contains(o.Stdout(), "nginx-sim: ready") {
+		t.Fatalf("no ready banner: %q", o.Stdout())
+	}
+	c := o.Connect(app.Port)
+	c.ClientDeliver([]byte("GET /index.html HTTP/1.1\r\n\r\n"))
+	m.Run(3_000_000)
+	resp := string(c.ClientTake())
+	if !strings.HasPrefix(resp, "HTTP/1.1 200 OK\r\nContent-Length: 51\r\n\r\n") {
+		t.Fatalf("response = %q", resp)
+	}
+	if !strings.HasSuffix(resp, "<html><body>welcome to the test suite</body></html>") {
+		t.Fatalf("body mismatch: %q", resp)
+	}
+	// Keep-alive: second request on the same connection.
+	c.ClientDeliver([]byte("GET /missing.html HTTP/1.1\r\n\r\n"))
+	m.Run(3_000_000)
+	resp = string(c.ClientTake())
+	if !strings.HasPrefix(resp, "HTTP/1.1 404") {
+		t.Fatalf("404 response = %q", resp)
+	}
+}
+
+func tail(s string) string {
+	if len(s) > 800 {
+		return "..." + s[len(s)-800:]
+	}
+	return s
+}

@@ -1,0 +1,373 @@
+package apps
+
+// Lighttpd returns the Lighttpd analog: an epoll event loop dispatching
+// into a chain of small module handlers (mod_status, mod_webdav,
+// mod_staticfile), mirroring lighttpd's plugin architecture. The many
+// small handler functions give it the largest number of distinct
+// transactions of the three web servers, as in the paper's Table III. The
+// WebDAV module reproduces the structure of the paper's §VI-F case study:
+// a per-connection resource opened with open64 whose injected failure
+// turns into a "403 Forbidden" response.
+func Lighttpd() *App {
+	return &App{
+		Name:     "lighttpd",
+		Port:     8082,
+		Protocol: "http",
+		Setup:    docRoot,
+		Source:   lighttpdSrc,
+	}
+}
+
+const lighttpdSrc = `
+// lighttpd-sim: modular event-driven HTTP server.
+
+int g_listen = -1;
+int g_epoll = -1;
+int g_stop = 0;
+int g_requests = 0;
+int g_conns[128];
+
+struct con {
+	int fd;
+	int rlen;
+	int dav_fd;       // mod_webdav per-connection resource
+	char rbuf[512];
+};
+
+int lt_append(char *dst, int pos, char *s) {
+	int n = strlen(s);
+	memcpy(dst + pos, s, n);
+	return pos + n;
+}
+
+int lt_int(char *dst, int pos, int v) {
+	char tmp[24];
+	int i = 0;
+	if (v == 0) { dst[pos] = '0'; return pos + 1; }
+	while (v > 0) { tmp[i] = '0' + v % 10; v /= 10; i++; }
+	while (i > 0) { i--; dst[pos] = tmp[i]; pos++; }
+	return pos;
+}
+
+int http_reply(int fd, int code, char *body, int blen) {
+	char hdr[192];
+	int pos = 0;
+	pos = lt_append(hdr, pos, "HTTP/1.1 ");
+	pos = lt_int(hdr, pos, code);
+	if (code == 200) {
+		pos = lt_append(hdr, pos, " OK");
+	} else if (code == 404) {
+		pos = lt_append(hdr, pos, " Not Found");
+	} else if (code == 403) {
+		pos = lt_append(hdr, pos, " Forbidden");
+	} else {
+		pos = lt_append(hdr, pos, " Internal Server Error");
+	}
+	pos = lt_append(hdr, pos, "\r\nContent-Length: ");
+	pos = lt_int(hdr, pos, blen);
+	pos = lt_append(hdr, pos, "\r\n\r\n");
+	if (write(fd, hdr, pos) < 0) { return -1; }
+	if (blen > 0) {
+		if (write(fd, body, blen) < 0) { return -1; }
+	}
+	return 0;
+}
+
+int http_error(int fd, int code) {
+	char body[48];
+	int pos = 0;
+	if (code == 404) {
+		pos = lt_append(body, pos, "404 - Not Found");
+	} else if (code == 403) {
+		pos = lt_append(body, pos, "403 - Forbidden");
+	} else {
+		pos = lt_append(body, pos, "500 - Internal Server Error");
+	}
+	return http_reply(fd, code, body, pos);
+}
+
+// mod_status: generated status page, exercises allocation + formatting.
+int mod_status(int fd) {
+	char *page = malloc(128);
+	if (!page) {
+		puts("lighttpd: status alloc failed");
+		return http_error(fd, 500);
+	}
+	int pos = lt_append(page, 0, "<html>requests handled: ");
+	pos = lt_int(page, pos, g_requests);
+	pos = lt_append(page, pos, "</html>");
+	int rc = http_reply(fd, 200, page, pos);
+	free(page);
+	return rc;
+}
+
+// mod_webdav: PROPFIND over /dav resources. The connection caches an open
+// resource descriptor; a missing cleanup of that descriptor is the
+// use-after-free shape of the paper's lighttpd bug.
+int mod_webdav(struct con *c, char *path) {
+	char full[256];
+	int pos = lt_append(full, 0, path);
+	full[pos] = 0;
+	int f = open64(full, 0);
+	if (f == -1) {
+		// Compensated/injected failure path: 403, as in the paper.
+		puts("lighttpd: webdav open failed");
+		return http_error(c->fd, 403);
+	}
+	c->dav_fd = f;
+	int st[2];
+	if (fstat(f, st) == -1) {
+		close(f);
+		c->dav_fd = -1;
+		return http_error(c->fd, 500);
+	}
+	int size = st[0];
+	char *xml = malloc(size + 96);
+	if (!xml) {
+		puts("lighttpd: webdav alloc failed");
+		close(f);
+		c->dav_fd = -1;
+		return http_error(c->fd, 500);
+	}
+	memset(xml, 0, size + 96);
+	int xpos = lt_append(xml, 0, "<propfind><size>");
+	xpos = lt_int(xml, xpos, size);
+	xpos = lt_append(xml, xpos, "</size><data>");
+	int got = pread(f, xml + xpos, size, 0);
+	if (got < 0) {
+		free(xml);
+		close(f);
+		c->dav_fd = -1;
+		return http_error(c->fd, 500);
+	}
+	xpos = xpos + got;
+	xpos = lt_append(xml, xpos, "</data></propfind>");
+	close(f);
+	c->dav_fd = -1;
+	int rc = http_reply(c->fd, 200, xml, xpos);
+	free(xml);
+	return rc;
+}
+
+// mod_largefile: delivery path for big resources (own allocation site).
+int mod_largefile(int fd, int f, int size) {
+	char *body = malloc(size + 1);
+	if (!body) {
+		puts("lighttpd: large alloc failed");
+		close(f);
+		return http_error(fd, 500);
+	}
+	memset(body, 0, size + 1);
+	int got = pread(f, body, size, 0);
+	if (got < 0) {
+		free(body);
+		close(f);
+		return http_error(fd, 500);
+	}
+	close(f);
+	int rc = http_reply(fd, 200, body, got);
+	free(body);
+	return rc;
+}
+
+// mod_staticfile: plain file delivery.
+int mod_staticfile(int fd, char *path) {
+	char full[256];
+	int pos = lt_append(full, 0, "/www");
+	if (strcmp(path, "/") == 0) {
+		pos = lt_append(full, pos, "/index.html");
+	} else {
+		pos = lt_append(full, pos, path);
+	}
+	full[pos] = 0;
+	int f = open(full, 0);
+	if (f == -1) {
+		return http_error(fd, 404);
+	}
+	int st[2];
+	if (fstat(f, st) == -1) {
+		close(f);
+		return http_error(fd, 500);
+	}
+	int size = st[0];
+	if (size > 32768) {
+		return mod_largefile(fd, f, size);
+	}
+	char *body = malloc(size + 1);
+	if (!body) {
+		puts("lighttpd: alloc failed, aborting request");
+		close(f);
+		return http_error(fd, 500);
+	}
+	memset(body, 0, size + 1);
+	int got = pread(f, body, size, 0);
+	if (got < 0) {
+		free(body);
+		close(f);
+		return http_error(fd, 500);
+	}
+	close(f);
+	int rc = http_reply(fd, 200, body, got);
+	free(body);
+	return rc;
+}
+
+// mod_ssi: include processing (simplified: serve the .shtml source).
+int mod_ssi(int fd) {
+	char full[24];
+	int pos = lt_append(full, 0, "/www/ssi.shtml");
+	full[pos] = 0;
+	int f = open(full, 0);
+	if (f == -1) {
+		return http_error(fd, 404);
+	}
+	int st[2];
+	if (fstat(f, st) == -1) {
+		close(f);
+		return http_error(fd, 500);
+	}
+	int size = st[0];
+	char *body = malloc(size + 1);
+	if (!body) {
+		close(f);
+		return http_error(fd, 500);
+	}
+	int got = pread(f, body, size, 0);
+	if (got < 0) {
+		free(body);
+		close(f);
+		return http_error(fd, 500);
+	}
+	close(f);
+	int rc = http_reply(fd, 200, body, got);
+	free(body);
+	return rc;
+}
+
+// dispatch walks the module chain, first match wins.
+int dispatch(struct con *c, char *path) {
+	g_requests = g_requests + 1;
+	if (strcmp(path, "/quit") == 0) {
+		g_stop = 1;
+		char none[4];
+		return http_reply(c->fd, 200, none, 0);
+	}
+	if (strcmp(path, "/status") == 0) {
+		return mod_status(c->fd);
+	}
+	if (strncmp(path, "/dav", 4) == 0) {
+		return mod_webdav(c, path);
+	}
+	if (strncmp(path, "/ssi", 4) == 0) {
+		return mod_ssi(c->fd);
+	}
+	return mod_staticfile(c->fd, path);
+}
+
+void con_close(struct con *c) {
+	epoll_ctl(g_epoll, 2, c->fd);
+	close(c->fd);
+	if (c->dav_fd >= 0) {
+		close(c->dav_fd);
+	}
+	g_conns[c->fd] = 0;
+	free(c);
+}
+
+void con_read(struct con *c) {
+	int n = read(c->fd, c->rbuf + c->rlen, 511 - c->rlen);
+	if (n == 0) { con_close(c); return; }
+	if (n < 0) {
+		if (errno() == 11) { return; }
+		con_close(c);
+		return;
+	}
+	c->rlen = c->rlen + n;
+	c->rbuf[c->rlen] = 0;
+	if (c->rlen < 4) { return; }
+	int e = c->rlen;
+	if (c->rbuf[e-4] != '\r' || c->rbuf[e-3] != '\n' || c->rbuf[e-2] != '\r' || c->rbuf[e-1] != '\n') {
+		return;
+	}
+	// Parse the request line (accepts GET and PROPFIND).
+	int i = 0;
+	while (c->rbuf[i] != ' ' && c->rbuf[i] != 0) { i++; }
+	if (c->rbuf[i] == 0) { con_close(c); return; }
+	i++;
+	int start = i;
+	while (c->rbuf[i] != ' ' && c->rbuf[i] != 0) { i++; }
+	if (c->rbuf[i] == 0) { con_close(c); return; }
+	c->rbuf[i] = 0;
+	if (dispatch(c, c->rbuf + start) < 0) {
+		con_close(c);
+		return;
+	}
+	c->rlen = 0;
+}
+
+void con_accept() {
+	while (1) {
+		int fd = accept(g_listen);
+		if (fd < 0) { return; }
+		if (fd >= 128) { close(fd); return; }
+		struct con *c = malloc(sizeof(struct con));
+		if (!c) {
+			puts("lighttpd: accept alloc failed");
+			close(fd);
+			return;
+		}
+		c->fd = fd;
+		c->rlen = 0;
+		c->dav_fd = -1;
+		g_conns[fd] = c;
+		if (epoll_ctl(g_epoll, 1, fd) == -1) {
+			close(fd);
+			g_conns[fd] = 0;
+			free(c);
+			return;
+		}
+	}
+}
+
+int main() {
+	int s = socket();
+	if (s == -1) { puts("lighttpd: socket failed"); return 1; }
+	if (setsockopt(s, 2, 1) == -1) {
+		puts("lighttpd: setsockopt failed");
+		close(s);
+		return 1;
+	}
+	if (bind(s, 8082) == -1) {
+		puts("lighttpd: bind failed");
+		close(s);
+		return 1;
+	}
+	if (listen(s, 64) == -1) {
+		puts("lighttpd: listen failed");
+		close(s);
+		return 1;
+	}
+	g_listen = s;
+	int ep = epoll_create();
+	if (ep == -1) { puts("lighttpd: epoll_create failed"); return 1; }
+	g_epoll = ep;
+	if (epoll_ctl(ep, 1, s) == -1) { return 1; }
+	puts("lighttpd-sim: ready");
+
+	int events[16];
+	while (!g_stop) {
+		int n = epoll_wait(ep, events, 16);
+		if (n < 0) { continue; }
+		for (int i = 0; i < n; i++) {
+			int fd = events[i];
+			if (fd == g_listen) {
+				con_accept();
+			} else {
+				struct con *c = g_conns[fd];
+				if (c) { con_read(c); }
+			}
+		}
+	}
+	return 0;
+}
+`

@@ -1,0 +1,359 @@
+package apps
+
+// Nginx returns the Nginx analog: a single-worker epoll event loop,
+// keep-alive HTTP/1.1 connections, per-request heap allocation, static
+// file serving and an SSI handler (the subject of the paper's §VI-F null-
+// pointer case study, whose recovery path injects EINVAL into pread and
+// yields an empty response). The startup sequence — setsockopt, bind,
+// listen with EADDRINUSE handling — mirrors the paper's Listing 1.
+func Nginx() *App {
+	return &App{
+		Name:     "nginx",
+		Port:     8080,
+		Protocol: "http",
+		Setup:    docRoot,
+		Source:   nginxSrc,
+	}
+}
+
+const nginxSrc = `
+// nginx-sim: event-driven worker process.
+
+int g_listen = -1;
+int g_epoll = -1;
+int g_stop = 0;
+int g_conns[128];        // fd -> struct conn*
+
+struct conn {
+	int fd;
+	int rlen;
+	int requests;
+	char rbuf[512];
+};
+
+int append_str(char *dst, int pos, char *s) {
+	int n = strlen(s);
+	memcpy(dst + pos, s, n);
+	return pos + n;
+}
+
+int append_int(char *dst, int pos, int v) {
+	char tmp[24];
+	int i = 0;
+	if (v == 0) {
+		dst[pos] = '0';
+		return pos + 1;
+	}
+	while (v > 0) {
+		tmp[i] = '0' + v % 10;
+		v /= 10;
+		i++;
+	}
+	while (i > 0) {
+		i--;
+		dst[pos] = tmp[i];
+		pos++;
+	}
+	return pos;
+}
+
+int send_all(int fd, char *buf, int n) {
+	int sent = write(fd, buf, n);
+	if (sent < 0) {
+		puts("write failed");
+		return -1;
+	}
+	return sent;
+}
+
+int send_response(int fd, int code, char *body, int blen) {
+	char hdr[256];
+	int pos = 0;
+	if (code == 200) {
+		pos = append_str(hdr, pos, "HTTP/1.1 200 OK\r\nContent-Length: ");
+	} else if (code == 404) {
+		pos = append_str(hdr, pos, "HTTP/1.1 404 Not Found\r\nContent-Length: ");
+	} else {
+		pos = append_str(hdr, pos, "HTTP/1.1 500 Internal Server Error\r\nContent-Length: ");
+	}
+	pos = append_int(hdr, pos, blen);
+	pos = append_str(hdr, pos, "\r\n\r\n");
+	if (send_all(fd, hdr, pos) < 0) { return -1; }
+	if (blen > 0 && !g_head_req) {
+		if (send_all(fd, body, blen) < 0) { return -1; }
+	}
+	return 0;
+}
+
+int send_error(int fd, int code) {
+	char body[64];
+	int pos = 0;
+	if (code == 404) {
+		pos = append_str(body, pos, "<html>404 not found</html>");
+	} else {
+		pos = append_str(body, pos, "<html>500 internal error</html>");
+	}
+	return send_response(fd, code, body, pos);
+}
+
+// serve_large delivers big responses through the large-buffer path (its
+// own allocation site, like nginx's output chain buffers).
+int serve_large(int fd, int f, int size) {
+	char *body = malloc(size + 1);
+	if (!body) {
+		puts("malloc failed, aborting request");
+		close(f);
+		return send_error(fd, 500);
+	}
+	memset(body, 0, size + 1);
+	int got = pread(f, body, size, 0);
+	if (got < 0) {
+		puts("pread failed");
+		free(body);
+		close(f);
+		return send_error(fd, 500);
+	}
+	close(f);
+	int rc = send_response(fd, 200, body, got);
+	free(body);
+	return rc;
+}
+
+// serve_static maps the URL path onto /www and streams the file.
+int serve_static(int fd, char *path) {
+	char full[256];
+	int pos = append_str(full, 0, "/www");
+	if (strcmp(path, "/") == 0) {
+		pos = append_str(full, pos, "/index.html");
+	} else {
+		pos = append_str(full, pos, path);
+	}
+	full[pos] = 0;
+
+	int f = open(full, 0);
+	if (f < 0) {
+		return send_error(fd, 404);
+	}
+	int st[2];
+	if (fstat(f, st) == -1) {
+		puts("fstat failed");
+		close(f);
+		return send_error(fd, 500);
+	}
+	int size = st[0];
+	if (size > 32768) {
+		return serve_large(fd, f, size);
+	}
+	char *body = malloc(size + 1);
+	if (!body) {
+		puts("malloc failed, aborting request");
+		close(f);
+		return send_error(fd, 500);
+	}
+	memset(body, 0, size + 1);
+	int got = pread(f, body, size, 0);
+	if (got < 0) {
+		puts("pread failed");
+		free(body);
+		close(f);
+		return send_error(fd, 500);
+	}
+	close(f);
+	int rc = send_response(fd, 200, body, got);
+	free(body);
+	return rc;
+}
+
+// serve_ssi handles server-side-include pages: the body is read, then the
+// include variable is fetched with a second pread — the call the paper's
+// case study diverts with EINVAL, producing an empty response.
+int serve_ssi(int fd) {
+	char full[32];
+	int pos = append_str(full, 0, "/www/ssi.shtml");
+	full[pos] = 0;
+	int f = open(full, 0);
+	if (f < 0) {
+		return send_error(fd, 404);
+	}
+	int st[2];
+	if (fstat(f, st) == -1) {
+		close(f);
+		return send_error(fd, 500);
+	}
+	int size = st[0];
+	char *body = malloc(size + 64);
+	if (!body) {
+		puts("malloc failed, aborting request");
+		close(f);
+		return send_error(fd, 500);
+	}
+	int got = pread(f, body, size, 0);
+	if (got < 0) {
+		// SSI variable unavailable: empty response, like the patched
+		// production incident.
+		free(body);
+		close(f);
+		return send_response(fd, 200, body, 0);
+	}
+	// Substitute the include marker with the variable value.
+	char varbuf[16];
+	int vlen = pread(f, varbuf, 6, 13);
+	if (vlen < 0) {
+		free(body);
+		close(f);
+		return send_response(fd, 200, body, 0);
+	}
+	memcpy(body + got, varbuf, vlen);
+	close(f);
+	int rc = send_response(fd, 200, body, got + vlen);
+	free(body);
+	return rc;
+}
+
+int g_head_req = 0;
+
+int handle_request(int fd, char *req) {
+	// Parse "GET|HEAD <path> HTTP/1.1".
+	g_head_req = 0;
+	if (strncmp(req, "HEAD", 4) == 0) { g_head_req = 1; }
+	int i = 0;
+	while (req[i] != ' ' && req[i] != 0) { i++; }
+	if (req[i] == 0) { return send_error(fd, 500); }
+	i++;
+	int start = i;
+	while (req[i] != ' ' && req[i] != 0) { i++; }
+	if (req[i] == 0) { return send_error(fd, 500); }
+	req[i] = 0;
+	char *path = req + start;
+	puts(path);                      // access log (embedded)
+	if (strcmp(path, "/quit") == 0) {
+		g_stop = 1;
+		char none[4];
+		return send_response(fd, 200, none, 0);
+	}
+	if (strncmp(path, "/ssi", 4) == 0) {
+		return serve_ssi(fd);
+	}
+	return serve_static(fd, path);
+}
+
+void close_conn(struct conn *c) {
+	int fd = c->fd;
+	epoll_ctl(g_epoll, 2, fd);
+	close(fd);
+	g_conns[fd] = 0;
+	free(c);
+}
+
+void on_readable(struct conn *c) {
+	int n = read(c->fd, c->rbuf + c->rlen, 511 - c->rlen);
+	if (n == 0) {
+		close_conn(c);
+		return;
+	}
+	if (n < 0) {
+		if (errno() == 11) { return; }   // EAGAIN
+		puts("read failed");
+		close_conn(c);
+		return;
+	}
+	c->rlen = c->rlen + n;
+	c->rbuf[c->rlen] = 0;
+	// Complete request? (ends with CRLFCRLF)
+	if (c->rlen < 4) { return; }
+	int e = c->rlen;
+	if (c->rbuf[e-4] != '\r' || c->rbuf[e-3] != '\n' || c->rbuf[e-2] != '\r' || c->rbuf[e-1] != '\n') {
+		return;
+	}
+	if (handle_request(c->fd, c->rbuf) < 0) {
+		close_conn(c);
+		return;
+	}
+	c->requests = c->requests + 1;
+	c->rlen = 0;                      // keep-alive: await the next request
+}
+
+void on_accept() {
+	while (1) {
+		int fd = accept(g_listen);
+		if (fd < 0) { return; }        // EAGAIN: queue drained
+		if (fd >= 128) { close(fd); return; }
+		struct conn *c = malloc(sizeof(struct conn));
+		if (!c) {
+			puts("malloc failed, rejecting connection");
+			close(fd);
+			return;
+		}
+		c->fd = fd;
+		c->rlen = 0;
+		c->requests = 0;
+		g_conns[fd] = c;
+		fcntl(fd, 4, 1);
+		if (epoll_ctl(g_epoll, 1, fd) == -1) {
+			puts("epoll_ctl failed");
+			close(fd);
+			g_conns[fd] = 0;
+			free(c);
+			return;
+		}
+	}
+}
+
+int main() {
+	int s = socket();
+	if (s == -1) {
+		puts("socket() failed");
+		return 1;
+	}
+	int reuseaddr = 1;
+	int ret_s = setsockopt(s, 2, reuseaddr);
+	if (ret_s == -1) {
+		puts("setsockopt() failed");
+		if (close(s) == -1) { puts("close failed"); }
+		return 1;
+	}
+	int ret_b = bind(s, 8080);
+	if (ret_b == -1) {
+		int err = errno();
+		puts("bind() failed");
+		if (close(s) == -1) { puts("close failed"); }
+		if (err != 98) { return 1; }   // EADDRINUSE handled by retry elsewhere
+		return 1;
+	}
+	if (listen(s, 64) == -1) {
+		puts("listen() failed");
+		close(s);
+		return 1;
+	}
+	g_listen = s;
+	int ep = epoll_create();
+	if (ep == -1) {
+		puts("epoll_create failed");
+		close(s);
+		return 1;
+	}
+	g_epoll = ep;
+	if (epoll_ctl(ep, 1, s) == -1) {
+		puts("epoll_ctl listener failed");
+		return 1;
+	}
+	puts("nginx-sim: ready");
+
+	int events[16];
+	while (!g_stop) {
+		int n = epoll_wait(ep, events, 16);
+		if (n < 0) { continue; }       // critical path: retry
+		for (int i = 0; i < n; i++) {
+			int fd = events[i];
+			if (fd == g_listen) {
+				on_accept();
+			} else {
+				struct conn *c = g_conns[fd];
+				if (c) { on_readable(c); }
+			}
+		}
+	}
+	puts("nginx-sim: shutting down");
+	return 0;
+}
+`

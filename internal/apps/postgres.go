@@ -1,0 +1,307 @@
+package apps
+
+import "github.com/firestarter-go/firestarter/internal/libsim"
+
+// Postgres returns the PostgreSQL analog: a row store with a write-ahead
+// log. Every INSERT appends a WAL record (write + fsync — irrecoverable
+// transaction breaks, which is why the paper reports PostgreSQL's
+// recovery surface and HTM gains as the weakest of the five), and a
+// shared-memory statistics region is mapped at startup (the paper's §VII
+// shared-memory caveat).
+func Postgres() *App {
+	return &App{
+		Name:     "postgres",
+		Port:     5432,
+		Protocol: "sql",
+		Setup: func(o *libsim.OS) {
+			o.FS().Add("/pgdata/wal", nil)
+		},
+		Source: postgresSrc,
+	}
+}
+
+const postgresSrc = `
+// postgres-sim: row store with WAL.
+
+int g_listen = -1;
+int g_epoll = -1;
+int g_stop = 0;
+int g_walfd = -1;
+int g_shm = 0;        // shared-memory stats region (mmap)
+int g_conns[128];
+int g_table = 0;      // head of the row list (struct row*)
+
+struct row {
+	int key;
+	char *val;
+	struct row *next;
+};
+
+struct session {
+	int fd;
+	int rlen;
+	char rbuf[512];
+};
+
+int pg_append(char *dst, int pos, char *s) {
+	int n = strlen(s);
+	memcpy(dst + pos, s, n);
+	return pos + n;
+}
+
+int pg_int(char *dst, int pos, int v) {
+	char tmp[24];
+	int i = 0;
+	if (v < 0) { dst[pos] = '-'; pos++; v = -v; }
+	if (v == 0) { dst[pos] = '0'; return pos + 1; }
+	while (v > 0) { tmp[i] = '0' + v % 10; v /= 10; i++; }
+	while (i > 0) { i--; dst[pos] = tmp[i]; pos++; }
+	return pos;
+}
+
+// wal_append persists one log record before the in-memory update becomes
+// visible (write-ahead rule). write() and fsync() are irrecoverable.
+int wal_append(int key, char *val) {
+	if (g_walfd < 0) { return -1; }
+	char rec[300];
+	int pos = pg_append(rec, 0, "INS ");
+	pos = pg_int(rec, pos, key);
+	pos = pg_append(rec, pos, " ");
+	pos = pg_append(rec, pos, val);
+	pos = pg_append(rec, pos, "\n");
+	int w = write(g_walfd, rec, pos);
+	if (w < 0) {
+		puts("postgres: wal write failed");
+		return -1;
+	}
+	if (fsync(g_walfd) == -1) {
+		puts("postgres: wal fsync failed");
+		return -1;
+	}
+	return 0;
+}
+
+struct row *find_row(int key) {
+	struct row *r = g_table;
+	while (r) {
+		if (r->key == key) { return r; }
+		r = r->next;
+	}
+	return NULL;
+}
+
+int insert_row(int key, char *val) {
+	if (wal_append(key, val) == -1) { return -1; }
+	struct row *r = find_row(key);
+	int n = strlen(val);
+	char *nv = malloc(n + 1);
+	if (!nv) {
+		puts("postgres: oom on insert");
+		return -1;
+	}
+	memcpy(nv, val, n + 1);
+	if (r) {
+		free(r->val);
+		r->val = nv;
+	} else {
+		struct row *nr = malloc(sizeof(struct row));
+		if (!nr) {
+			puts("postgres: oom on row");
+			free(nv);
+			return -1;
+		}
+		nr->key = key;
+		nr->val = nv;
+		nr->next = g_table;
+		g_table = nr;
+	}
+	// Bump the shared-memory insert counter (externally visible state).
+	int *stats = g_shm;
+	if (stats) {
+		stats[0] = stats[0] + 1;
+	}
+	return 0;
+}
+
+int reply(int fd, char *s, int n) {
+	if (write(fd, s, n) < 0) { return -1; }
+	return 0;
+}
+
+int run_statement(int fd, char *line) {
+	if (strncmp(line, "INSERT ", 7) == 0) {
+		char *rest = line + 7;
+		int i = 0;
+		while (rest[i] != ' ' && rest[i] != 0) { i++; }
+		if (rest[i] == 0) { return reply(fd, "ERR\n", 4); }
+		rest[i] = 0;
+		int key = atoi(rest);
+		char *val = rest + i + 1;
+		if (insert_row(key, val) == -1) {
+			return reply(fd, "ERR\n", 4);
+		}
+		return reply(fd, "OK\n", 3);
+	}
+	if (strncmp(line, "SELECT ", 7) == 0) {
+		int key = atoi(line + 7);
+		struct row *r = find_row(key);
+		if (!r) { return reply(fd, "NONE\n", 5); }
+		char out[300];
+		int pos = pg_append(out, 0, "ROW ");
+		pos = pg_append(out, pos, r->val);
+		pos = pg_append(out, pos, "\n");
+		return reply(fd, out, pos);
+	}
+	if (strncmp(line, "DELETE ", 7) == 0) {
+		int key = atoi(line + 7);
+		struct row *r = g_table;
+		struct row *prev = NULL;
+		while (r) {
+			if (r->key == key) {
+				char rec[64];
+				int pos = pg_append(rec, 0, "DEL ");
+				pos = pg_int(rec, pos, key);
+				pos = pg_append(rec, pos, "\n");
+				if (write(g_walfd, rec, pos) < 0) { return reply(fd, "ERR\n", 4); }
+				if (fsync(g_walfd) == -1) { return reply(fd, "ERR\n", 4); }
+				if (prev) { prev->next = r->next; } else { g_table = r->next; }
+				free(r->val);
+				free(r);
+				return reply(fd, "OK\n", 3);
+			}
+			prev = r;
+			r = r->next;
+		}
+		return reply(fd, "NONE\n", 5);
+	}
+	if (strncmp(line, "COUNT", 5) == 0) {
+		int n = 0;
+		struct row *r = g_table;
+		while (r) { n++; r = r->next; }
+		char out[40];
+		int pos = pg_append(out, 0, "COUNT ");
+		pos = pg_int(out, pos, n);
+		pos = pg_append(out, pos, "\n");
+		return reply(fd, out, pos);
+	}
+	if (strncmp(line, "QUIT", 4) == 0) {
+		g_stop = 1;
+		return reply(fd, "OK\n", 3);
+	}
+	return reply(fd, "ERR\n", 4);
+}
+
+void end_session(struct session *s) {
+	epoll_ctl(g_epoll, 2, s->fd);
+	close(s->fd);
+	g_conns[s->fd] = 0;
+	free(s);
+}
+
+void session_read(struct session *s) {
+	int n = read(s->fd, s->rbuf + s->rlen, 511 - s->rlen);
+	if (n == 0) { end_session(s); return; }
+	if (n < 0) {
+		if (errno() == 11) { return; }
+		end_session(s);
+		return;
+	}
+	s->rlen = s->rlen + n;
+	int start = 0;
+	for (int i = 0; i < s->rlen; i++) {
+		if (s->rbuf[i] == '\n') {
+			s->rbuf[i] = 0;
+			if (run_statement(s->fd, s->rbuf + start) < 0) {
+				end_session(s);
+				return;
+			}
+			start = i + 1;
+		}
+	}
+	int rest = s->rlen - start;
+	if (rest > 0 && start > 0) {
+		memcpy(s->rbuf, s->rbuf + start, rest);
+	}
+	s->rlen = rest;
+}
+
+void session_accept() {
+	while (1) {
+		int fd = accept(g_listen);
+		if (fd < 0) { return; }
+		if (fd >= 128) { close(fd); return; }
+		struct session *s = calloc(1, sizeof(struct session));
+		if (!s) {
+			puts("postgres: accept alloc failed");
+			close(fd);
+			return;
+		}
+		s->fd = fd;
+		g_conns[fd] = s;
+		if (epoll_ctl(g_epoll, 1, fd) == -1) {
+			close(fd);
+			g_conns[fd] = 0;
+			free(s);
+			return;
+		}
+	}
+}
+
+int main() {
+	// Shared-memory statistics region (irrecoverable interactions, §VII).
+	int shm = mmap(4096);
+	if (shm == -1) {
+		puts("postgres: mmap failed");
+		return 1;
+	}
+	g_shm = shm;
+
+	char walpath[16];
+	int wp = pg_append(walpath, 0, "/pgdata/wal");
+	walpath[wp] = 0;
+	int wal = open(walpath, 0x401);     // O_WRONLY|O_APPEND
+	if (wal == -1) {
+		puts("postgres: cannot open wal");
+		return 1;
+	}
+	g_walfd = wal;
+
+	int s = socket();
+	if (s == -1) { return 1; }
+	if (setsockopt(s, 2, 1) == -1) {
+		close(s);
+		return 1;
+	}
+	if (bind(s, 5432) == -1) {
+		puts("postgres: bind failed");
+		close(s);
+		return 1;
+	}
+	if (listen(s, 64) == -1) {
+		close(s);
+		return 1;
+	}
+	g_listen = s;
+	int ep = epoll_create();
+	if (ep == -1) { return 1; }
+	g_epoll = ep;
+	if (epoll_ctl(ep, 1, s) == -1) { return 1; }
+	puts("postgres-sim: ready");
+
+	int events[16];
+	while (!g_stop) {
+		int n = epoll_wait(ep, events, 16);
+		if (n < 0) { continue; }
+		for (int i = 0; i < n; i++) {
+			int fd = events[i];
+			if (fd == g_listen) {
+				session_accept();
+			} else {
+				struct session *c = g_conns[fd];
+				if (c) { session_read(c); }
+			}
+		}
+	}
+	return 0;
+}
+`

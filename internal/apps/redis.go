@@ -1,0 +1,321 @@
+package apps
+
+import "github.com/firestarter-go/firestarter/internal/libsim"
+
+// Redis returns the Redis analog: a single-threaded event loop over a
+// chained hash table, speaking a newline-framed SET/GET/DEL protocol (the
+// paper's SET/GET workload). Every entry is individually allocated —
+// key and value strings duplicated onto the heap — so the allocation
+// gates sit exactly where Redis's sds/dict allocations sit.
+func Redis() *App {
+	return &App{
+		Name:     "redis",
+		Port:     6379,
+		Protocol: "redis",
+		Setup:    func(o *libsim.OS) {},
+		Source:   redisSrc,
+	}
+}
+
+const redisSrc = `
+// redis-sim: in-memory key-value store.
+
+int g_listen = -1;
+int g_epoll = -1;
+int g_stop = 0;
+int g_conns[128];
+int g_buckets[64];     // bucket heads (struct entry*)
+int g_keys = 0;
+
+struct entry {
+	char *key;
+	char *val;
+	struct entry *next;
+};
+
+struct client {
+	int fd;
+	int rlen;
+	char rbuf[512];
+};
+
+int rhash(char *s) {
+	int h = 5381;
+	int i = 0;
+	while (s[i]) {
+		h = h * 33 + s[i];
+		i++;
+	}
+	if (h < 0) { h = -h; }
+	return h % 64;
+}
+
+int itoa_r(char *dst, int v) {
+	char tmp[24];
+	int i = 0;
+	int pos = 0;
+	if (v < 0) { dst[0] = '-'; pos = 1; v = -v; }
+	if (v == 0) { dst[pos] = '0'; dst[pos+1] = 0; return pos + 1; }
+	while (v > 0) { tmp[i] = '0' + v % 10; v /= 10; i++; }
+	while (i > 0) { i--; dst[pos] = tmp[i]; pos++; }
+	dst[pos] = 0;
+	return pos;
+}
+
+char *rstrdup(char *s) {
+	int n = strlen(s);
+	char *d = malloc(n + 1);
+	if (!d) { return NULL; }
+	memcpy(d, s, n + 1);
+	return d;
+}
+
+struct entry *lookup(char *key) {
+	int b = rhash(key);
+	struct entry *e = g_buckets[b];
+	while (e) {
+		if (strcmp(e->key, key) == 0) { return e; }
+		e = e->next;
+	}
+	return NULL;
+}
+
+// db_set inserts or updates; returns 0 on success, -1 on OOM.
+int db_set(char *key, char *val) {
+	struct entry *e = lookup(key);
+	if (e) {
+		char *nv = rstrdup(val);
+		if (!nv) { return -1; }
+		free(e->val);
+		e->val = nv;
+		return 0;
+	}
+	struct entry *ne = malloc(sizeof(struct entry));
+	if (!ne) { return -1; }
+	ne->key = rstrdup(key);
+	if (!ne->key) {
+		free(ne);
+		return -1;
+	}
+	ne->val = rstrdup(val);
+	if (!ne->val) {
+		free(ne->key);
+		free(ne);
+		return -1;
+	}
+	int b = rhash(key);
+	ne->next = g_buckets[b];
+	g_buckets[b] = ne;
+	g_keys = g_keys + 1;
+	return 0;
+}
+
+int db_del(char *key) {
+	int b = rhash(key);
+	struct entry *e = g_buckets[b];
+	struct entry *prev = NULL;
+	while (e) {
+		if (strcmp(e->key, key) == 0) {
+			if (prev) {
+				prev->next = e->next;
+			} else {
+				g_buckets[b] = e->next;
+			}
+			free(e->key);
+			free(e->val);
+			free(e);
+			g_keys = g_keys - 1;
+			return 1;
+		}
+		prev = e;
+		e = e->next;
+	}
+	return 0;
+}
+
+int reply(int fd, char *s) {
+	int n = strlen(s);
+	if (write(fd, s, n) < 0) { return -1; }
+	return 0;
+}
+
+// execute runs one command line (already NUL-terminated, no newline).
+int execute(int fd, char *line) {
+	// Tokenize: cmd key [value].
+	int i = 0;
+	while (line[i] != ' ' && line[i] != 0) { i++; }
+	if (line[i] == 0) {
+		if (strcmp(line, "QUIT") == 0) {
+			g_stop = 1;
+			return reply(fd, "+OK\n");
+		}
+		return reply(fd, "-ERR\n");
+	}
+	line[i] = 0;
+	char *cmd = line;
+	char *key = line + i + 1;
+	int j = 0;
+	while (key[j] != ' ' && key[j] != 0) { j++; }
+	char *val = NULL;
+	if (key[j] == ' ') {
+		key[j] = 0;
+		val = key + j + 1;
+	}
+
+	if (strcmp(cmd, "SET") == 0) {
+		if (!val) { return reply(fd, "-ERR\n"); }
+		if (db_set(key, val) == -1) {
+			puts("redis: oom on SET");
+			return reply(fd, "-OOM\n");
+		}
+		return reply(fd, "+OK\n");
+	}
+	if (strcmp(cmd, "GET") == 0) {
+		struct entry *e = lookup(key);
+		if (!e) { return reply(fd, "$-1\n"); }
+		char out[256];
+		out[0] = '$';
+		int n = strlen(e->val);
+		memcpy(out + 1, e->val, n);
+		out[n+1] = '\n';
+		if (write(fd, out, n + 2) < 0) { return -1; }
+		return 0;
+	}
+	if (strcmp(cmd, "DEL") == 0) {
+		if (db_del(key)) { return reply(fd, ":1\n"); }
+		return reply(fd, ":0\n");
+	}
+	if (strcmp(cmd, "EXISTS") == 0) {
+		if (lookup(key)) { return reply(fd, ":1\n"); }
+		return reply(fd, ":0\n");
+	}
+	if (strcmp(cmd, "INCR") == 0) {
+		struct entry *e = lookup(key);
+		char num[32];
+		if (!e) {
+			num[0] = '1';
+			num[1] = 0;
+			if (db_set(key, num) == -1) {
+				puts("redis: oom on INCR");
+				return reply(fd, "-OOM\n");
+			}
+			return reply(fd, ":1\n");
+		}
+		int v = atoi(e->val) + 1;
+		itoa_r(num, v);
+		char *nv = rstrdup(num);
+		if (!nv) {
+			puts("redis: oom on INCR");
+			return reply(fd, "-OOM\n");
+		}
+		free(e->val);
+		e->val = nv;
+		char out[40];
+		out[0] = ':';
+		int n = itoa_r(out + 1, v);
+		out[n+1] = '\n';
+		if (write(fd, out, n + 2) < 0) { return -1; }
+		return 0;
+	}
+	return reply(fd, "-ERR\n");
+}
+
+void client_close(struct client *c) {
+	epoll_ctl(g_epoll, 2, c->fd);
+	close(c->fd);
+	g_conns[c->fd] = 0;
+	free(c);
+}
+
+void client_read(struct client *c) {
+	int n = read(c->fd, c->rbuf + c->rlen, 511 - c->rlen);
+	if (n == 0) { client_close(c); return; }
+	if (n < 0) {
+		if (errno() == 11) { return; }
+		client_close(c);
+		return;
+	}
+	c->rlen = c->rlen + n;
+	// Process every complete line in the buffer.
+	int start = 0;
+	for (int i = 0; i < c->rlen; i++) {
+		if (c->rbuf[i] == '\n') {
+			c->rbuf[i] = 0;
+			if (execute(c->fd, c->rbuf + start) < 0) {
+				client_close(c);
+				return;
+			}
+			start = i + 1;
+		}
+	}
+	// Shift the partial tail to the front.
+	int rest = c->rlen - start;
+	if (rest > 0 && start > 0) {
+		memcpy(c->rbuf, c->rbuf + start, rest);
+	}
+	c->rlen = rest;
+}
+
+void client_accept() {
+	while (1) {
+		int fd = accept(g_listen);
+		if (fd < 0) { return; }
+		if (fd >= 128) { close(fd); return; }
+		struct client *c = malloc(sizeof(struct client));
+		if (!c) {
+			puts("redis: accept alloc failed");
+			close(fd);
+			return;
+		}
+		c->fd = fd;
+		c->rlen = 0;
+		g_conns[fd] = c;
+		if (epoll_ctl(g_epoll, 1, fd) == -1) {
+			close(fd);
+			g_conns[fd] = 0;
+			free(c);
+			return;
+		}
+	}
+}
+
+int main() {
+	int s = socket();
+	if (s == -1) { puts("redis: socket failed"); return 1; }
+	if (setsockopt(s, 2, 1) == -1) {
+		close(s);
+		return 1;
+	}
+	if (bind(s, 6379) == -1) {
+		puts("redis: bind failed");
+		close(s);
+		return 1;
+	}
+	if (listen(s, 64) == -1) {
+		close(s);
+		return 1;
+	}
+	g_listen = s;
+	int ep = epoll_create();
+	if (ep == -1) { return 1; }
+	g_epoll = ep;
+	if (epoll_ctl(ep, 1, s) == -1) { return 1; }
+	puts("redis-sim: ready");
+
+	int events[16];
+	while (!g_stop) {
+		int n = epoll_wait(ep, events, 16);
+		if (n < 0) { continue; }
+		for (int i = 0; i < n; i++) {
+			int fd = events[i];
+			if (fd == g_listen) {
+				client_accept();
+			} else {
+				struct client *c = g_conns[fd];
+				if (c) { client_read(c); }
+			}
+		}
+	}
+	return 0;
+}
+`

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/firestarter-go/firestarter/internal/apps"
+	"github.com/firestarter-go/firestarter/internal/core"
+	"github.com/firestarter-go/firestarter/internal/htm"
+)
+
+// TestRunsAreDeterministic is the reproducibility guarantee behind every
+// number in EXPERIMENTS.md: identical configuration and seed must yield
+// bit-identical cycles and statistics, even with the interrupt process and
+// recovery machinery active.
+func TestRunsAreDeterministic(t *testing.T) {
+	r := Runner{Requests: 120, Concurrency: 4, Seed: 9}
+	cfg := core.Config{
+		Threshold:  0.01,
+		SampleSize: 4,
+		HTM:        htm.Config{MeanInstrsPerInterrupt: 50_000, Seed: 9},
+	}
+	type fingerprint struct {
+		cycles    int64
+		completed int
+		stats     string
+	}
+	run := func() fingerprint {
+		inst, res, err := r.measure(apps.Nginx(), bootOpts{cfg: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := inst.rt.Stats()
+		st.LatencyCycles = nil
+		st.GateSites, st.EmbedSites, st.BreakSites = nil, nil, nil
+		return fingerprint{
+			cycles:    inst.m.Cycles,
+			completed: res.Completed,
+			stats:     statsKey(st),
+		}
+	}
+	a := run()
+	b := run()
+	if a != b {
+		t.Fatalf("two identical runs diverged:\n  a=%+v\n  b=%+v", a, b)
+	}
+	// A different interrupt seed must (almost surely) change something.
+	cfg.HTM.Seed = 10
+	inst, _, err := r.measure(apps.Nginx(), bootOpts{cfg: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.m.Cycles == a.cycles {
+		t.Log("warning: different interrupt seed produced identical cycles (possible, unlikely)")
+	}
+}
+
+func statsKey(st core.Stats) string {
+	return fmt.Sprintf("g=%d hb=%d ha=%d sb=%d c=%d i=%d u=%d",
+		st.GateExecs, st.HTMBegins, st.HTMAborts, st.STMBegins,
+		st.Crashes, st.Injections, st.Unrecovered)
+}

@@ -1,0 +1,40 @@
+package bench
+
+import "testing"
+
+func TestAblationMaskedWrites(t *testing.T) {
+	res, err := testRunner().AblationMaskedWrites()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// The masked model must strictly enlarge (or equal) the
+		// recoverable surface and never shrink survivability.
+		if row.MaskedRecoverablePct < row.BaseRecoverablePct {
+			t.Errorf("%s: masked surface %.1f%% < base %.1f%%",
+				row.Server, row.MaskedRecoverablePct, row.BaseRecoverablePct)
+		}
+		if row.MaskedBreaks > row.BaseBreaks {
+			t.Errorf("%s: masked breaks %d > base %d", row.Server, row.MaskedBreaks, row.BaseBreaks)
+		}
+		if row.MaskedRecovered < row.BaseRecovered {
+			t.Errorf("%s: masked recovered %d < base %d",
+				row.Server, row.MaskedRecovered, row.BaseRecovered)
+		}
+	}
+	// At least one server must show an actual gain somewhere (fewer
+	// breaks), or the extension is a no-op.
+	gained := false
+	for _, row := range res.Rows {
+		if row.MaskedBreaks < row.BaseBreaks {
+			gained = true
+		}
+	}
+	if !gained {
+		t.Error("write masking removed no irrecoverable transactions on any server")
+	}
+	t.Logf("\n%s", res.Render())
+}

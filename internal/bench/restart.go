@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/firestarter-go/firestarter/internal/apps"
+	"github.com/firestarter-go/firestarter/internal/faultinj"
+	"github.com/firestarter-go/firestarter/internal/workload"
+)
+
+// RestartRow is one strategy's outcome against the same persistent fault.
+type RestartRow struct {
+	Strategy     string
+	Completed    int
+	Failed       int // bad responses + requests lost to dead connections
+	Restarts     int
+	StateLost    int // times accumulated in-memory state was discarded
+	CyclesPerReq float64
+}
+
+// RestartResult compares crash-handling strategies.
+type RestartResult struct {
+	Rows []RestartRow
+}
+
+// AblationRestartBaseline stages the paper's motivating comparison (§I):
+// a persistent fault in the Redis analog's request handling, faced by
+//
+//   - the traditional strategy — run unprotected and let a supervisor
+//     restart the process after every crash, losing all in-memory state
+//     and every open connection; and
+//   - FIRestarter — roll back and divert, preserving both.
+//
+// The workload interleaves SETs with INCRs on hot keys; the fault sits on
+// INCR's existing-key path, so it fires repeatedly once counters exist.
+func (r Runner) AblationRestartBaseline() (RestartResult, error) {
+	r = r.withDefaults()
+	app := apps.Redis()
+	prog, err := app.Compile()
+	if err != nil {
+		return RestartResult{}, err
+	}
+	ref, err := findLibBlock(prog, "execute", "atoi", 1)
+	if err != nil {
+		return RestartResult{}, err
+	}
+	fault := faultinj.Fault{ID: 1, Kind: faultinj.FailStop, Func: ref.Func, Block: ref.Block, Index: 0}
+
+	var out RestartResult
+
+	// Strategy 1: supervisor restart of the unprotected server.
+	restartRow := RestartRow{Strategy: "restart-on-crash (vanilla)"}
+	var totalCycles int64
+	remaining := r.Requests
+	for incarnation := 0; incarnation < 50 && remaining > 0; incarnation++ {
+		inst, err := boot(app, bootOpts{vanilla: true, fault: &fault})
+		if err != nil {
+			return out, err
+		}
+		d := &workload.Driver{
+			OS: inst.os, M: inst.m, Port: app.Port,
+			Gen:         workload.ForProtocol(app.Protocol),
+			Concurrency: r.Concurrency,
+			Seed:        r.Seed + int64(incarnation),
+		}
+		res := d.Run(remaining)
+		restartRow.Completed += res.Completed
+		restartRow.Failed += res.BadResp
+		totalCycles += res.Cycles
+		remaining -= res.Completed + res.BadResp
+		if res.ServerDied {
+			restartRow.Restarts++
+			restartRow.StateLost++
+			// Every in-flight request on every connection dies with the
+			// process; the driver's outstanding requests count as failed.
+			restartRow.Failed += r.Concurrency
+			remaining -= r.Concurrency
+			continue
+		}
+		break
+	}
+	if restartRow.Completed > 0 {
+		restartRow.CyclesPerReq = float64(totalCycles) / float64(restartRow.Completed)
+	}
+	out.Rows = append(out.Rows, restartRow)
+
+	// Strategy 2: FIRestarter on the same fault and workload volume.
+	inst, res, err := r.measure(app, bootOpts{fault: &fault})
+	if err != nil {
+		return out, err
+	}
+	firRow := RestartRow{
+		Strategy:     "FIRestarter",
+		Completed:    res.Completed,
+		Failed:       res.BadResp,
+		CyclesPerReq: res.CyclesPerRequest(),
+	}
+	if res.ServerDied {
+		firRow.Restarts = 1
+		firRow.StateLost = 1
+	}
+	_ = inst
+	out.Rows = append(out.Rows, firRow)
+	return out, nil
+}
+
+// Render prints the strategy comparison.
+func (d RestartResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Baseline: restart-on-crash vs FIRestarter under a persistent fault (Redis)\n")
+	fmt.Fprintf(&sb, "%-28s %10s %8s %9s %11s %14s\n",
+		"strategy", "completed", "failed", "restarts", "state lost", "cycles/req")
+	for _, row := range d.Rows {
+		fmt.Fprintf(&sb, "%-28s %10d %8d %9d %11d %14.0f\n",
+			row.Strategy, row.Completed, row.Failed, row.Restarts, row.StateLost, row.CyclesPerReq)
+	}
+	return sb.String()
+}

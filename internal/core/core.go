@@ -1,0 +1,764 @@
+// Package core is FIRestarter's recovery runtime: the execution-time half
+// of the system that the compile-time passes in package transform
+// instrument programs for.
+//
+// It implements:
+//
+//   - Crash transactions (§IV): at every gate a checkpoint is taken; the
+//     region up to the next boundary library call runs inside a hardware
+//     (package htm) or software (package stm) memory transaction.
+//   - Dynamic transaction adaptivity (§IV-C): each gate monitors its HTM
+//     abort rate and latches to STM permanently when the rate exceeds the
+//     configured threshold, checked every SampleSize aborts.
+//   - Crash recovery (§V): a fail-stop trap inside a transaction rolls the
+//     transaction back and re-executes (transient faults). A repeated
+//     crash is treated as persistent: the runtime runs the gate library
+//     call's compensation action, injects the call's documented error
+//     return, and resumes — diverting execution into the application's own
+//     error-handling code.
+//   - The paper's evaluation baselines: HTM-only (fall back to unprotected
+//     execution on abort — no recovery guarantee) and STM-only (every
+//     transaction software-checkpointed).
+//
+// Faithful to the paper's policy dynamics, a crash inside a *hardware*
+// transaction is indistinguishable from a resource abort at abort time: the
+// runtime first re-executes the region under STM "to determine whether HTM
+// aborted due to resource constraints, or due to a real crash" (§IV-C);
+// only a crash under STM enters the recovery path.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/firestarter-go/firestarter/internal/analysis"
+	"github.com/firestarter-go/firestarter/internal/htm"
+	"github.com/firestarter-go/firestarter/internal/interp"
+	"github.com/firestarter-go/firestarter/internal/ir"
+	"github.com/firestarter-go/firestarter/internal/libmodel"
+	"github.com/firestarter-go/firestarter/internal/libsim"
+	"github.com/firestarter-go/firestarter/internal/stm"
+	"github.com/firestarter-go/firestarter/internal/transform"
+)
+
+// Mode selects the protection scheme.
+type Mode int
+
+// Protection modes.
+const (
+	// ModeHybrid is full FIRestarter: HTM first, adaptive STM fallback.
+	ModeHybrid Mode = iota + 1
+	// ModeHTMOnly tries HTM and falls back to *unprotected* execution on
+	// abort (the paper's performance baseline; no recovery guarantees).
+	ModeHTMOnly
+	// ModeSTMOnly checkpoints every transaction in software (the
+	// paper's full-protection, high-overhead baseline).
+	ModeSTMOnly
+)
+
+// String returns the mode name used in benchmark output.
+func (m Mode) String() string {
+	switch m {
+	case ModeHybrid:
+		return "FIRestarter"
+	case ModeHTMOnly:
+		return "HTM-only"
+	case ModeSTMOnly:
+		return "STM-only"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Cycle-cost constants of the recovery machinery (see the cost model note
+// in package interp).
+const (
+	costHTMBegin     = 10
+	costHTMCommit    = 10
+	costHTMAbort     = 150
+	costSTMBegin     = 6
+	costSTMCommit    = 2
+	costSTMUndoEntry = 2
+	costStmStore     = 4
+	costCompensation = 100
+	costSignal       = 2000 // signal delivery + handler entry/exit
+	costRegSavePer   = 1    // per register saved by the STM setjmp analog
+)
+
+// Config parameterizes the runtime.
+type Config struct {
+	Mode Mode
+
+	// Threshold is the HTM abort-rate bound θ above which a gate latches
+	// to STM (paper default 1%).
+	Threshold float64
+
+	// SampleSize S: the threshold is checked every S-th HTM abort of a
+	// gate (paper's best: 4; Fig. 3 uses 128).
+	SampleSize int64
+
+	// RetryTransient is the number of rollback-and-re-execute attempts
+	// (under STM) before a crash is declared persistent and a fault is
+	// injected.
+	RetryTransient int
+
+	// StickyDivert keeps a gate permanently diverted after an injection
+	// (gracefully disabling the crashing path) instead of re-arming
+	// after the transaction commits.
+	StickyDivert bool
+
+	// HTM parameterizes the hardware model (cache geometry, interrupt
+	// process, seed).
+	HTM htm.Config
+}
+
+// withDefaults fills zero values with the paper's defaults.
+func (c Config) withDefaults() Config {
+	if c.Mode == 0 {
+		c.Mode = ModeHybrid
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 0.01
+	}
+	if c.SampleSize == 0 {
+		c.SampleSize = 4
+	}
+	if c.RetryTransient == 0 {
+		c.RetryTransient = 1
+	}
+	return c
+}
+
+// gateState is the per-gate adaptive policy and recovery state.
+type gateState struct {
+	execs     int64
+	htmAborts int64
+
+	stmLatched bool // permanent STM (policy decision)
+	oneShotSTM bool // next execution in STM (post-abort re-execution)
+	oneShotRaw bool // next execution unprotected (ModeHTMOnly fallback)
+
+	crashes       int  // consecutive STM crashes in the current episode
+	injectPending bool // inject at next gate execution
+	injected      bool // injected in the current episode
+	sticky        bool // permanently diverted (StickyDivert)
+}
+
+// callRecord captures one executed boundary call for compensation.
+type callRecord struct {
+	call libmodel.Call
+	aux  any
+}
+
+type deferredCall struct {
+	name string
+	args []int64
+}
+
+// txState is the live transaction.
+type txState struct {
+	site       int
+	variant    int64 // ir.TxHTM, ir.TxSTM, or 0 for unprotected
+	snap       *interp.Snapshot
+	htmTx      *htm.Tx
+	stdoutMark int
+	startSteps int64
+	deferred   []deferredCall
+	comps      []func()
+}
+
+// Stats aggregates runtime behaviour for the evaluation harness.
+type Stats struct {
+	GateExecs    int64
+	HTMBegins    int64
+	HTMCommits   int64
+	STMBegins    int64
+	STMCommits   int64
+	Unprotected  int64 // gate executions that ran unprotected (HTM-only fallback)
+	HTMAborts    int64 // capacity + interrupt + crash-triggered explicit aborts
+	Crashes      int64 // fail-stop traps inside transactions (counted under STM)
+	Retries      int64 // transient re-executions
+	Injections   int64 // persistent faults bypassed by injection
+	Unrecovered  int64 // crashes the runtime could not recover
+	DeferredRuns int64
+
+	// LatencyCycles holds one sample per successful recovery event: the
+	// cost-model cycles from trap to resumed execution (Fig. 5).
+	LatencyCycles []int64
+
+	// TxSteps holds, per committed transaction, the instructions retired
+	// inside it — the size of the recovery window (bounded buffer).
+	TxSteps []int64
+
+	// TxWriteLines holds, per committed transaction, its write-set size:
+	// dirty cache lines for HTM commits, undo-log entries for STM.
+	TxWriteLines []int64
+
+	// Executed site sets by role (Table III).
+	GateSites  map[int]bool
+	EmbedSites map[int]bool
+	BreakSites map[int]bool
+}
+
+// HTMAbortRate returns aborts per HTM transaction begin.
+func (s Stats) HTMAbortRate() float64 {
+	if s.HTMBegins == 0 {
+		return 0
+	}
+	return float64(s.HTMAborts) / float64(s.HTMBegins)
+}
+
+// Runtime implements interp.Runtime with full crash recovery.
+type Runtime struct {
+	cfg   Config
+	model *libmodel.Model
+	sites map[int]*analysis.Site
+	gates map[int]*analysis.Site
+
+	os   *libsim.OS
+	m    *interp.Machine
+	tsx  *htm.TSX
+	undo *stm.Log
+
+	gs         []gateState
+	cur        *txState
+	curVariant int64
+	pending    struct {
+		site    int
+		variant int64
+		raw     bool
+		snap    *interp.Snapshot
+	}
+	lastCall map[int]*callRecord
+
+	stats   Stats
+	tracing bool
+	trace   []Event
+}
+
+var _ interp.Runtime = (*Runtime)(nil)
+
+// New builds a runtime for a transformed program. Call Attach after
+// creating the machine.
+func New(tr *transform.Result, os *libsim.OS, cfg Config) *Runtime {
+	cfg = cfg.withDefaults()
+	rt := &Runtime{
+		cfg:      cfg,
+		model:    tr.Model,
+		sites:    tr.Analysis.ByID,
+		gates:    tr.Gates,
+		os:       os,
+		tsx:      htm.New(cfg.HTM),
+		undo:     stm.New(os.Space),
+		gs:       make([]gateState, tr.Prog.NumSites+1),
+		lastCall: make(map[int]*callRecord),
+	}
+	rt.stats.GateSites = map[int]bool{}
+	rt.stats.EmbedSites = map[int]bool{}
+	rt.stats.BreakSites = map[int]bool{}
+	// Route library-internal writes to application memory through the
+	// active transaction.
+	os.SetStore(func(addr, val int64, width int) error {
+		return rt.routeStore(addr, val, width)
+	})
+	return rt
+}
+
+// Attach binds the machine (created with this runtime) to the runtime.
+func (rt *Runtime) Attach(m *interp.Machine) { rt.m = m }
+
+// Stats returns a snapshot of accumulated statistics.
+func (rt *Runtime) Stats() Stats {
+	s := rt.stats
+	s.LatencyCycles = append([]int64(nil), rt.stats.LatencyCycles...)
+	s.TxSteps = append([]int64(nil), rt.stats.TxSteps...)
+	s.TxWriteLines = append([]int64(nil), rt.stats.TxWriteLines...)
+	return s
+}
+
+// HTMStats exposes the hardware model's counters.
+func (rt *Runtime) HTMStats() htm.Stats { return rt.tsx.Stats() }
+
+// STMStats exposes the undo log's counters.
+func (rt *Runtime) STMStats() stm.Stats { return rt.undo.Stats() }
+
+// MemoryOverheadBytes reports runtime memory attributable to the recovery
+// machinery (undo log capacity), used by the Fig. 9 experiment.
+func (rt *Runtime) MemoryOverheadBytes() int64 { return rt.undo.MemoryBytes() }
+
+// GateLatchedSTM reports whether a gate has permanently switched to STM
+// (tests and the Fig. 3/6 experiments).
+func (rt *Runtime) GateLatchedSTM(site int) bool {
+	if site <= 0 || site >= len(rt.gs) {
+		return false
+	}
+	return rt.gs[site].stmLatched
+}
+
+// LatchSTM pins a gate to STM permanently before execution — the paper's
+// §IV-C "manual marking" policy, where hot regions (post-malloc
+// initialization) are hand-annotated to skip HTM entirely.
+func (rt *Runtime) LatchSTM(site int) {
+	if site > 0 && site < len(rt.gs) {
+		rt.gs[site].stmLatched = true
+	}
+}
+
+// SiteAbortRate describes one gate's HTM abort behaviour — the paper's
+// Fig. 3 attributes aborts to specific library calls this way (malloc,
+// posix_memalign, fcntl64 on real Nginx).
+type SiteAbortRate struct {
+	Site    int
+	Call    string
+	Execs   int64
+	Aborts  int64
+	Latched bool
+}
+
+// AbortPct returns the site's abort percentage.
+func (s SiteAbortRate) AbortPct() float64 {
+	if s.Execs == 0 {
+		return 0
+	}
+	return 100 * float64(s.Aborts) / float64(s.Execs)
+}
+
+// SiteAbortRates returns per-gate abort accounting for every gate that
+// aborted at least once, ordered by site ID.
+func (rt *Runtime) SiteAbortRates() []SiteAbortRate {
+	var out []SiteAbortRate
+	for site := range rt.gs {
+		st := &rt.gs[site]
+		if st.htmAborts == 0 {
+			continue
+		}
+		name := ""
+		if g := rt.gates[site]; g != nil {
+			name = g.Name
+		}
+		out = append(out, SiteAbortRate{
+			Site:    site,
+			Call:    name,
+			Execs:   st.execs,
+			Aborts:  st.htmAborts,
+			Latched: st.stmLatched,
+		})
+	}
+	return out
+}
+
+// LatchedSites returns the gates currently latched to STM (used to carry
+// a warmup run's learned policy into a fresh "manual" run).
+func (rt *Runtime) LatchedSites() []int {
+	var out []int
+	for site := range rt.gs {
+		if rt.gs[site].stmLatched {
+			out = append(out, site)
+		}
+	}
+	return out
+}
+
+func (rt *Runtime) state(site int) *gateState {
+	if site <= 0 || site >= len(rt.gs) {
+		// Defensive: unknown site, use a throwaway slot.
+		return &gateState{}
+	}
+	return &rt.gs[site]
+}
+
+// routeStore sends a store through the active transaction.
+func (rt *Runtime) routeStore(addr, val int64, width int) error {
+	if tx := rt.cur; tx != nil {
+		switch {
+		case tx.htmTx != nil:
+			return tx.htmTx.Store(addr, val, width)
+		case tx.variant == ir.TxSTM:
+			if rt.m != nil {
+				rt.m.Cycles += costStmStore
+			}
+			return rt.undo.Store(addr, val, width)
+		}
+	}
+	return rt.os.Space.Store(addr, val, width)
+}
+
+// --- interp.Runtime implementation ------------------------------------------
+
+// LibCall implements interp.Runtime.
+func (rt *Runtime) LibCall(m *interp.Machine, name string, args []int64, siteID int) (int64, error) {
+	site := rt.sites[siteID]
+	if site != nil && rt.gates[siteID] != nil {
+		// Boundary call: runs outside any transaction (the shaper put a
+		// TxEnd before it). Record it for compensation.
+		rt.stats.GateSites[siteID] = true
+		rec := &callRecord{call: libmodel.Call{Name: name, Args: append([]int64(nil), args...)}}
+		if site.Entry.Capture != nil {
+			rec.aux = site.Entry.Capture(rt.os, rec.call)
+		}
+		ret, err := rt.os.Call(name, args)
+		if err != nil {
+			return 0, err
+		}
+		rec.call.Ret = ret
+		rt.lastCall[siteID] = rec
+		return ret, nil
+	}
+
+	if site != nil {
+		switch site.Role {
+		case analysis.RoleEmbed:
+			rt.stats.EmbedSites[siteID] = true
+		case analysis.RoleBreak:
+			rt.stats.BreakSites[siteID] = true
+		}
+	}
+
+	entry := rt.model.Lookup(name)
+	if tx := rt.cur; tx != nil && tx.variant != 0 && entry != nil {
+		switch {
+		case entry.Class == libmodel.Deferrable:
+			// Defer the effect to commit time; report success now.
+			tx.deferred = append(tx.deferred, deferredCall{name: name, args: append([]int64(nil), args...)})
+			return 0, nil
+		case entry.Compensate != nil:
+			// Embedded reversible call: execute, but queue its
+			// compensation for rollback.
+			ret, err := rt.os.Call(name, args)
+			if err != nil {
+				return 0, err
+			}
+			c := libmodel.Call{Name: name, Args: append([]int64(nil), args...), Ret: ret}
+			comp := entry.Compensate
+			tx.comps = append(tx.comps, func() { comp(rt.os, c, nil) })
+			return ret, nil
+		}
+	}
+	return rt.os.Call(name, args)
+}
+
+// Gate implements interp.Runtime: the transaction entry gate dispatch.
+func (rt *Runtime) Gate(m *interp.Machine, siteID int, snap *interp.Snapshot) (int64, bool, int64) {
+	st := rt.state(siteID)
+	st.execs++
+	rt.stats.GateExecs++
+
+	rt.pending.site = siteID
+	rt.pending.snap = snap
+	rt.pending.raw = false
+
+	if st.injectPending || st.sticky {
+		st.injectPending = false
+		st.injected = true
+		rt.stats.Injections++
+		rt.pending.variant = ir.TxSTM
+		errRet := rt.inject(m, siteID)
+		return ir.TxSTM, true, errRet
+	}
+
+	variant := int64(ir.TxHTM)
+	switch rt.cfg.Mode {
+	case ModeSTMOnly:
+		variant = ir.TxSTM
+	case ModeHTMOnly:
+		if st.oneShotRaw {
+			st.oneShotRaw = false
+			rt.pending.raw = true
+		}
+	default: // ModeHybrid
+		if st.stmLatched || st.oneShotSTM {
+			st.oneShotSTM = false
+			variant = ir.TxSTM
+		}
+	}
+	rt.pending.variant = variant
+	return variant, false, 0
+}
+
+// inject performs the Fault Injector's runtime action for a persistent
+// crash: run the boundary call's compensation, set errno per the library
+// documentation, and return the documented error value for the gate to
+// install in the call's return register (§V-B).
+func (rt *Runtime) inject(m *interp.Machine, siteID int) int64 {
+	site := rt.gates[siteID]
+	entry := site.Entry
+	if rec := rt.lastCall[siteID]; rec != nil && entry.Compensate != nil {
+		entry.Compensate(rt.os, rec.call, rec.aux)
+		m.Cycles += costCompensation
+	}
+	if !entry.ErrnoDirect {
+		rt.os.Errno = entry.Errno
+	}
+	rt.emit(EvInject, siteID, fmt.Sprintf("ret=%d errno=%d", entry.ErrorReturn, entry.Errno))
+	return entry.ErrorReturn
+}
+
+// TxBegin implements interp.Runtime.
+func (rt *Runtime) TxBegin(m *interp.Machine, siteID int, variant int64) error {
+	if rt.cur != nil {
+		// A new gate while a transaction is live should not happen (the
+		// shaper ends transactions before boundary calls); recover by
+		// committing.
+		if err := rt.TxEnd(m); err != nil {
+			return err
+		}
+	}
+	if rt.pending.raw {
+		// HTM-only fallback: run unprotected (no recovery guarantee).
+		rt.pending.raw = false
+		rt.stats.Unprotected++
+		rt.cur = nil
+		rt.curVariant = ir.TxHTM
+		return nil
+	}
+	tx := &txState{
+		site:       rt.pending.site,
+		variant:    variant,
+		snap:       rt.pending.snap,
+		stdoutMark: rt.os.StdoutLen(),
+		startSteps: m.Steps,
+	}
+	if variant == ir.TxHTM {
+		tx.htmTx = rt.tsx.Begin(rt.os.Space)
+		rt.stats.HTMBegins++
+		m.Cycles += costHTMBegin
+	} else {
+		rt.undo.Begin()
+		rt.stats.STMBegins++
+		m.Cycles += costSTMBegin
+	}
+	rt.cur = tx
+	rt.curVariant = variant
+	return nil
+}
+
+// TxEnd implements interp.Runtime: commit.
+func (rt *Runtime) TxEnd(m *interp.Machine) error {
+	tx := rt.cur
+	if tx == nil {
+		return nil
+	}
+	if len(rt.stats.TxSteps) < maxLatencySamples {
+		rt.stats.TxSteps = append(rt.stats.TxSteps, m.Steps-tx.startSteps)
+		var wset int64
+		if tx.htmTx != nil {
+			wset = int64(tx.htmTx.WriteSetLines())
+		} else if tx.variant == ir.TxSTM {
+			wset = int64(rt.undo.Len())
+		}
+		rt.stats.TxWriteLines = append(rt.stats.TxWriteLines, wset)
+	}
+	if tx.htmTx != nil {
+		if err := tx.htmTx.Commit(); err != nil {
+			return err
+		}
+		rt.stats.HTMCommits++
+		m.Cycles += costHTMCommit
+	} else if tx.variant == ir.TxSTM {
+		if err := rt.undo.Commit(); err != nil {
+			return err
+		}
+		rt.stats.STMCommits++
+		m.Cycles += costSTMCommit
+	}
+	rt.cur = nil
+
+	// A committed transaction closes its gate's crash episode.
+	st := rt.state(tx.site)
+	st.crashes = 0
+	if st.injected {
+		if rt.cfg.StickyDivert {
+			st.sticky = true
+		}
+		st.injected = false
+	}
+
+	// Deferred effects (free/close/...) become real at commit.
+	for _, d := range tx.deferred {
+		rt.stats.DeferredRuns++
+		if _, err := rt.os.Call(d.name, d.args); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Store implements interp.Runtime.
+func (rt *Runtime) Store(m *interp.Machine, addr, val int64, width int, _ bool) error {
+	return rt.routeStore(addr, val, width)
+}
+
+// RegSave implements interp.Runtime: the STM register-save hook. The
+// machine snapshot (taken at the gate) already preserves registers; this
+// charges the cost the software path would pay (setjmp analog).
+func (rt *Runtime) RegSave(m *interp.Machine) {
+	if rt.pending.variant == ir.TxSTM && !rt.pending.raw {
+		if d := m.Depth(); d > 0 {
+			m.Cycles += costRegSavePer * 16
+		}
+	}
+}
+
+// Tick implements interp.Runtime: retire instructions against the HTM
+// interrupt model.
+func (rt *Runtime) Tick(m *interp.Machine, n int64) error {
+	if tx := rt.cur; tx != nil && tx.htmTx != nil {
+		return tx.htmTx.Tick(n)
+	}
+	return nil
+}
+
+// Variant implements interp.Runtime: the flow-switch selector.
+func (rt *Runtime) Variant() int64 {
+	if tx := rt.cur; tx != nil && tx.variant != 0 {
+		return tx.variant
+	}
+	return rt.curVariant
+}
+
+// Handle implements interp.Runtime: the recovery brain.
+func (rt *Runtime) Handle(m *interp.Machine, err error) interp.Action {
+	if errors.Is(err, libsim.ErrBlocked) {
+		return interp.ActionBlock
+	}
+
+	var abortErr *htm.AbortError
+	if errors.As(err, &abortErr) {
+		return rt.handleHTMAbort(m, abortErr.Cause)
+	}
+
+	// Everything else is a fail-stop crash: an interpreter trap, heap
+	// corruption, or a wild memory access inside a library call.
+	return rt.handleCrash(m)
+}
+
+// handleHTMAbort processes a capacity/interrupt abort: the hardware rolled
+// memory back; restore registers, apply the adaptive policy, and re-execute
+// the region (via STM in hybrid mode, unprotected in HTM-only mode).
+func (rt *Runtime) handleHTMAbort(m *interp.Machine, cause htm.AbortCause) interp.Action {
+	tx := rt.cur
+	if tx == nil || tx.htmTx == nil {
+		return interp.ActionDie
+	}
+	rt.noteHTMAbort(tx.site)
+	rt.rollbackSideEffects(tx)
+	m.Restore(tx.snap)
+	m.Cycles += costHTMAbort
+	rt.cur = nil
+
+	st := rt.state(tx.site)
+	if rt.cfg.Mode == ModeHTMOnly {
+		st.oneShotRaw = true
+	} else {
+		st.oneShotSTM = true
+	}
+	return interp.ActionContinue
+}
+
+// noteHTMAbort updates the per-gate abort accounting and applies the
+// dynamic adaptation policy (§IV-C).
+func (rt *Runtime) noteHTMAbort(site int) {
+	st := rt.state(site)
+	st.htmAborts++
+	rt.stats.HTMAborts++
+	rt.emit(EvHTMAbort, site, fmt.Sprintf("aborts=%d execs=%d", st.htmAborts, st.execs))
+	if rt.cfg.Mode == ModeHybrid && st.htmAborts%rt.cfg.SampleSize == 0 {
+		if float64(st.htmAborts)/float64(st.execs) > rt.cfg.Threshold {
+			if !st.stmLatched {
+				rt.emit(EvLatchSTM, site, "")
+			}
+			st.stmLatched = true
+		}
+	}
+}
+
+// handleCrash processes a fail-stop trap.
+func (rt *Runtime) handleCrash(m *interp.Machine) interp.Action {
+	tx := rt.cur
+	if tx == nil || tx.variant == 0 {
+		// Unprotected execution (startup, post-irrecoverable region, or
+		// the HTM-only fallback): the crash is fatal.
+		rt.stats.Unrecovered++
+		site := 0
+		if tx != nil {
+			site = tx.site
+		}
+		rt.emit(EvUnrecovered, site, "crash outside any transaction")
+		return interp.ActionDie
+	}
+
+	if tx.htmTx != nil {
+		// A fault inside a hardware transaction surfaces as an abort;
+		// per the paper the runtime cannot yet distinguish a crash from
+		// a resource abort, so it re-executes under STM first (§IV-C).
+		tx.htmTx.Abort(htm.AbortExplicit)
+		rt.noteHTMAbort(tx.site)
+		rt.rollbackSideEffects(tx)
+		m.Restore(tx.snap)
+		m.Cycles += costHTMAbort
+		rt.cur = nil
+		if rt.cfg.Mode == ModeHTMOnly {
+			rt.state(tx.site).oneShotRaw = true
+		} else {
+			rt.state(tx.site).oneShotSTM = true
+		}
+		return interp.ActionContinue
+	}
+
+	// Crash under STM: this is a confirmed fail-stop fault.
+	latStart := m.Cycles
+	rt.stats.Crashes++
+	rt.emit(EvCrash, tx.site, "")
+	undone, rerr := rt.undo.Rollback()
+	if rerr != nil {
+		rt.stats.Unrecovered++
+		return interp.ActionDie
+	}
+	m.Cycles += int64(undone) * costSTMUndoEntry
+	rt.rollbackSideEffects(tx)
+	m.Restore(tx.snap)
+	m.Cycles += costSignal
+	rt.cur = nil
+
+	st := rt.state(tx.site)
+	st.crashes++
+	switch {
+	case st.crashes <= rt.cfg.RetryTransient:
+		// Assume transient: re-execute (still under STM).
+		st.oneShotSTM = true
+		rt.stats.Retries++
+		rt.emit(EvRetry, tx.site, fmt.Sprintf("attempt=%d", st.crashes))
+	default:
+		// Persistent: inject a fault at the gate, if the site allows it
+		// and we have not already diverted this episode.
+		site := rt.gates[tx.site]
+		if site == nil || !site.Entry.Injectable() || st.injected {
+			rt.stats.Unrecovered++
+			rt.emit(EvUnrecovered, tx.site, "persistent fault, no injectable gate")
+			return interp.ActionDie
+		}
+		st.injectPending = true
+	}
+	// Bound the sample buffer: a persistent fault in a request loop can
+	// produce one recovery per request indefinitely.
+	if len(rt.stats.LatencyCycles) < maxLatencySamples {
+		rt.stats.LatencyCycles = append(rt.stats.LatencyCycles, m.Cycles-latStart)
+	}
+	return interp.ActionContinue
+}
+
+// maxLatencySamples bounds the Fig. 5 latency sample buffer.
+const maxLatencySamples = 100_000
+
+// rollbackSideEffects reverts transaction side effects beyond memory:
+// compensations for embedded reversible calls (in reverse order), output
+// written by embedded printf/puts, and queued deferred actions (which
+// simply never happen).
+func (rt *Runtime) rollbackSideEffects(tx *txState) {
+	for i := len(tx.comps) - 1; i >= 0; i-- {
+		tx.comps[i]()
+	}
+	tx.comps = nil
+	tx.deferred = nil
+	rt.os.TruncateStdout(tx.stdoutMark)
+}

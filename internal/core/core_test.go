@@ -1,0 +1,606 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/firestarter-go/firestarter/internal/core"
+	"github.com/firestarter-go/firestarter/internal/htm"
+	"github.com/firestarter-go/firestarter/internal/interp"
+	"github.com/firestarter-go/firestarter/internal/libsim"
+	"github.com/firestarter-go/firestarter/internal/mem"
+	"github.com/firestarter-go/firestarter/internal/minic"
+	"github.com/firestarter-go/firestarter/internal/transform"
+)
+
+// harness bundles a hardened program ready to run.
+type harness struct {
+	os *libsim.OS
+	m  *interp.Machine
+	rt *core.Runtime
+}
+
+func newHarness(t *testing.T, src string, cfg core.Config) *harness {
+	t.Helper()
+	prog, err := minic.Compile(src, minic.Config{KnownLib: libsim.Known})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	tr, err := transform.Apply(prog, nil)
+	if err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	o := libsim.New(mem.NewSpace())
+	rt := core.New(tr, o, cfg)
+	m, err := interp.New(tr.Prog, o, rt)
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	rt.Attach(m)
+	return &harness{os: o, m: m, rt: rt}
+}
+
+func (h *harness) runToExit(t *testing.T, want int64) {
+	t.Helper()
+	out := h.m.Run(20_000_000)
+	if out.Kind != interp.OutExited {
+		t.Fatalf("outcome = %v (trap %+v), want exit", out.Kind, out.Trap)
+	}
+	if h.m.ExitCode() != want {
+		t.Fatalf("exit code = %d, want %d", h.m.ExitCode(), want)
+	}
+}
+
+func TestInstrumentedProgramRunsCleanly(t *testing.T) {
+	// No faults: the instrumented program must behave exactly like the
+	// vanilla one.
+	src := `
+int main() {
+	char *p = malloc(256);
+	if (!p) { return 1; }
+	memset(p, 'a', 255);
+	p[255] = 0;
+	int n = strlen(p);
+	free(p);
+	return n;
+}`
+	h := newHarness(t, src, core.Config{})
+	h.runToExit(t, 255)
+	st := h.rt.Stats()
+	if st.GateExecs == 0 {
+		t.Error("no gates executed; instrumentation inactive?")
+	}
+	if st.Crashes != 0 || st.Injections != 0 {
+		t.Errorf("unexpected recovery events: %+v", st)
+	}
+}
+
+func TestPersistentCrashRecoversViaInjection(t *testing.T) {
+	// A persistent null-pointer dereference right after a checked malloc:
+	// FIRestarter must roll back, inject ENOMEM into malloc, and let the
+	// application's own error path produce the result.
+	src := `
+int handle() {
+	char *p = malloc(64);
+	if (!p) {
+		puts("alloc failed, aborting request");
+		return -1;
+	}
+	int *q = NULL;
+	*q = 1;        // the residual bug
+	free(p);
+	return 0;
+}
+int main() {
+	if (handle() == -1) { return 55; }
+	return 0;
+}`
+	h := newHarness(t, src, core.Config{})
+	h.runToExit(t, 55)
+	st := h.rt.Stats()
+	if st.Injections != 1 {
+		t.Errorf("injections = %d, want 1", st.Injections)
+	}
+	if st.Crashes == 0 {
+		t.Error("no crashes recorded")
+	}
+	if st.Unrecovered != 0 {
+		t.Errorf("unrecovered = %d", st.Unrecovered)
+	}
+	if !strings.Contains(h.os.Stdout(), "alloc failed") {
+		t.Errorf("error handler did not run: stdout = %q", h.os.Stdout())
+	}
+	// The compensation action freed the block malloc really allocated.
+	if h.os.Heap().LiveBytes() != 0 {
+		t.Errorf("leaked %d bytes across recovery", h.os.Heap().LiveBytes())
+	}
+	if len(st.LatencyCycles) == 0 {
+		t.Error("no recovery latency samples recorded")
+	}
+}
+
+func TestTransientCrashRecoversByRetry(t *testing.T) {
+	// The crash condition depends on the simulated clock, which advances
+	// across re-executions: the first attempt crashes, the retry passes.
+	// STM-only mode makes the attempt counting deterministic.
+	src := `
+int main() {
+	char *p = malloc(16);
+	if (!p) { return 90; }
+	int t = clock_gettime();
+	if (t < 1500) {
+		int *q = NULL;
+		*q = 1;      // "transient": gone on re-execution
+	}
+	free(p);
+	return 7;
+}`
+	h := newHarness(t, src, core.Config{Mode: core.ModeSTMOnly})
+	h.runToExit(t, 7)
+	st := h.rt.Stats()
+	if st.Crashes != 1 || st.Retries != 1 {
+		t.Errorf("crashes/retries = %d/%d, want 1/1", st.Crashes, st.Retries)
+	}
+	if st.Injections != 0 {
+		t.Errorf("injections = %d, want 0 (transient must not divert)", st.Injections)
+	}
+}
+
+func TestCrashInHTMFirstReexecutesUnderSTM(t *testing.T) {
+	// In hybrid mode, a crash inside a hardware transaction first aborts
+	// and re-executes under STM (the runtime cannot distinguish crash
+	// from capacity at abort time, §IV-C). A clock-transient fault is
+	// therefore absorbed by that STM re-execution without ever being
+	// counted as a crash.
+	src := `
+int main() {
+	char *p = malloc(16);
+	if (!p) { return 90; }
+	int t = clock_gettime();
+	if (t < 1500) {
+		int *q = NULL;
+		*q = 1;
+	}
+	free(p);
+	return 7;
+}`
+	h := newHarness(t, src, core.Config{Mode: core.ModeHybrid})
+	h.runToExit(t, 7)
+	st := h.rt.Stats()
+	if st.HTMAborts == 0 {
+		t.Error("no HTM abort recorded for the in-HTM crash")
+	}
+	if st.Crashes != 0 {
+		t.Errorf("crashes = %d, want 0 (absorbed by STM re-execution)", st.Crashes)
+	}
+}
+
+func TestRollbackRestoresMemoryExactly(t *testing.T) {
+	// The global is incremented inside the crashing transaction; rollback
+	// plus diversion must leave exactly one increment from the final
+	// (diverted) execution — the crashed attempts must not leak state.
+	src := `
+int counter = 0;
+int main() {
+	char *p = malloc(32);
+	if (!p) { return counter; }
+	counter = counter + 100;
+	int *q = NULL;
+	*q = 1;
+	return -1;
+}`
+	h := newHarness(t, src, core.Config{})
+	h.runToExit(t, 0)
+}
+
+func TestDeferredFreeAcrossRollback(t *testing.T) {
+	// free() executes inside the transaction (embedded, deferrable): on
+	// rollback it must not have happened; on commit it must happen once.
+	src := `
+int main() {
+	char *p = malloc(48);
+	if (!p) { return 9; }
+	char *q = malloc(16);
+	if (!q) {
+		// Error path after injection: p must still be live here, since
+		// the crashed transaction's free(p) was rolled back.
+		p[0] = 'o';
+		p[1] = 'k';
+		p[2] = 0;
+		puts(p);
+		free(p);
+		return 33;
+	}
+	free(p);       // deferred inside the q-transaction
+	int *bad = NULL;
+	*bad = 1;      // persistent crash in the same transaction
+	free(q);
+	return 0;
+}`
+	h := newHarness(t, src, core.Config{})
+	h.runToExit(t, 33)
+	if got := h.os.Stdout(); !strings.Contains(got, "ok") {
+		t.Errorf("error path did not see live p: stdout = %q", got)
+	}
+	if h.os.Heap().LiveBytes() != 0 {
+		t.Errorf("leak after recovery: %d live bytes", h.os.Heap().LiveBytes())
+	}
+	if h.rt.Stats().Injections != 1 {
+		t.Errorf("injections = %d, want 1", h.rt.Stats().Injections)
+	}
+}
+
+func TestEmbeddedOutputRolledBack(t *testing.T) {
+	// Log lines written inside a crashed transaction must not appear
+	// twice after re-execution.
+	src := `
+int main() {
+	char *p = malloc(16);
+	if (!p) { return 2; }
+	puts("processing");
+	int t = clock_gettime();
+	if (t < 1500) {
+		int *q = NULL;
+		*q = 1;
+	}
+	free(p);
+	return 0;
+}`
+	h := newHarness(t, src, core.Config{Mode: core.ModeSTMOnly})
+	h.runToExit(t, 0)
+	if got := strings.Count(h.os.Stdout(), "processing"); got != 1 {
+		t.Errorf("log line appeared %d times, want exactly 1:\n%s", got, h.os.Stdout())
+	}
+}
+
+func TestCapacityAbortFallsBackToSTM(t *testing.T) {
+	// Initializing 64 KiB right after malloc exceeds the modelled L1
+	// write buffer: HTM must abort with capacity and the region must
+	// complete under STM — the paper's Fig. 3 scenario.
+	src := `
+int main() {
+	char *p = malloc(65536);
+	if (!p) { return 1; }
+	memset(p, 7, 65536);
+	int ok = p[0] == 7 && p[65535] == 7;
+	free(p);
+	return ok;
+}`
+	h := newHarness(t, src, core.Config{})
+	h.runToExit(t, 1)
+	st := h.rt.Stats()
+	if st.HTMAborts == 0 {
+		t.Error("no capacity abort for 64 KiB initialization")
+	}
+	if st.STMBegins == 0 {
+		t.Error("no STM fallback")
+	}
+	if h.rt.HTMStats().ByCapac == 0 {
+		t.Errorf("hardware stats: %+v, want capacity aborts", h.rt.HTMStats())
+	}
+}
+
+func TestAdaptivePolicyLatchesHotGate(t *testing.T) {
+	// A loop whose body always blows HTM capacity: after enough aborts
+	// the gate must latch to STM permanently, so HTM begins stop growing.
+	src := `
+int main() {
+	for (int i = 0; i < 50; i++) {
+		char *p = malloc(65536);
+		if (!p) { return 1; }
+		memset(p, i, 65536);
+		free(p);
+	}
+	return 0;
+}`
+	h := newHarness(t, src, core.Config{Threshold: 0.01, SampleSize: 4})
+	h.runToExit(t, 0)
+	st := h.rt.Stats()
+	if st.HTMAborts >= 20 {
+		t.Errorf("policy did not latch: %d aborts over 50 iterations", st.HTMAborts)
+	}
+	if st.STMBegins < 40 {
+		t.Errorf("STM begins = %d, want most of the 50 iterations", st.STMBegins)
+	}
+}
+
+func TestSTMOnlyNeverUsesHTM(t *testing.T) {
+	h := newHarness(t, `
+int main() {
+	char *p = malloc(64);
+	if (!p) { return 1; }
+	p[1] = 2;
+	free(p);
+	return 0;
+}`, core.Config{Mode: core.ModeSTMOnly})
+	h.runToExit(t, 0)
+	if st := h.rt.Stats(); st.HTMBegins != 0 || st.STMBegins == 0 {
+		t.Errorf("stats = %+v, want STM only", st)
+	}
+}
+
+func TestHTMOnlyDiesOnPersistentCrash(t *testing.T) {
+	// The HTM-only baseline falls back to unprotected execution, so a
+	// persistent crash is fatal — "no recovery guarantees at all".
+	src := `
+int main() {
+	char *p = malloc(64);
+	if (!p) { return 1; }
+	int *q = NULL;
+	*q = 1;
+	return 0;
+}`
+	h := newHarness(t, src, core.Config{Mode: core.ModeHTMOnly})
+	out := h.m.Run(10_000_000)
+	if out.Kind != interp.OutTrapped {
+		t.Fatalf("outcome = %v, want trapped", out.Kind)
+	}
+	st := h.rt.Stats()
+	if st.Injections != 0 {
+		t.Errorf("HTM-only injected a fault: %+v", st)
+	}
+	if st.Unprotected == 0 {
+		t.Error("no unprotected fallback execution recorded")
+	}
+}
+
+func TestCrashAfterIrrecoverableCallDies(t *testing.T) {
+	// write() ends the transaction; the crash lands in the unprotected
+	// region and must be fatal ("the application cannot recover until
+	// the next library call amenable to fault injection").
+	src := `
+int main() {
+	char buf[4];
+	buf[0] = 'x';
+	int rc = write(1, buf, 1);
+	if (rc < 0) { return 1; }
+	int *q = NULL;
+	*q = 1;
+	return 0;
+}`
+	h := newHarness(t, src, core.Config{})
+	out := h.m.Run(10_000_000)
+	if out.Kind != interp.OutTrapped {
+		t.Fatalf("outcome = %v, want trapped", out.Kind)
+	}
+	if st := h.rt.Stats(); st.Unrecovered == 0 {
+		t.Errorf("stats = %+v, want unrecovered crash", st)
+	}
+}
+
+func TestCompensationClosesInjectedOpen(t *testing.T) {
+	// Injection into open() must close the descriptor the real call
+	// produced (the compensation action), so no fd leaks.
+	src := `
+int main() {
+	char path[4];
+	path[0] = '/'; path[1] = 'f'; path[2] = 0;
+	int fd = open(path, 0);
+	if (fd < 0) { return 44; }
+	int *q = NULL;
+	*q = 1;
+	close(fd);
+	return 0;
+}`
+	h := newHarness(t, src, core.Config{})
+	h.os.FS().Add("/f", []byte("data"))
+	h.runToExit(t, 44)
+	if h.os.OpenFDs() != 0 {
+		t.Errorf("OpenFDs = %d after injected open, want 0", h.os.OpenFDs())
+	}
+	if h.rt.Stats().Injections != 1 {
+		t.Errorf("injections = %d", h.rt.Stats().Injections)
+	}
+}
+
+func TestInjectionSetsErrno(t *testing.T) {
+	src := `
+int main() {
+	char *p = malloc(64);
+	if (!p) { return errno(); }
+	int *q = NULL;
+	*q = 1;
+	return 0;
+}`
+	h := newHarness(t, src, core.Config{})
+	h.runToExit(t, libsim.ENOMEM)
+}
+
+func TestCrashInErrorHandlerIsFatal(t *testing.T) {
+	// "There is no error handler for the error handler": if the diverted
+	// path crashes in the same transaction, recovery must give up.
+	src := `
+int main() {
+	char *p = malloc(64);
+	if (!p) {
+		int *q = NULL;
+		*q = 2;     // bug in the error handler itself
+		return 1;
+	}
+	int *r = NULL;
+	*r = 1;         // original persistent bug
+	free(p);
+	return 0;
+}`
+	h := newHarness(t, src, core.Config{})
+	out := h.m.Run(10_000_000)
+	if out.Kind != interp.OutTrapped {
+		t.Fatalf("outcome = %v, want trapped", out.Kind)
+	}
+	if st := h.rt.Stats(); st.Unrecovered == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCrashDuringStartupIsFatal(t *testing.T) {
+	// Before the first gate there is no checkpoint to roll back to.
+	src := `
+int g = 0;
+int main() {
+	int *q = NULL;
+	*q = 1;
+	return g;
+}`
+	h := newHarness(t, src, core.Config{})
+	out := h.m.Run(1_000_000)
+	if out.Kind != interp.OutTrapped {
+		t.Fatalf("outcome = %v, want trapped", out.Kind)
+	}
+}
+
+func TestFlowSwitchAcrossFunctionBoundary(t *testing.T) {
+	// A callee whose gate latches STM returns into an HTM-clone caller
+	// block: the return-site flow switch must land in the STM clone so
+	// subsequent stores are undo-logged. The test exercises this heavily
+	// and checks pure functional correctness.
+	src := `
+int fill(char *p, int n, int v) {
+	char *big = malloc(65536);
+	if (!big) { return -1; }
+	memset(big, v, 65536);
+	int sum = big[100];
+	free(big);
+	memset(p, v, n);
+	return sum;
+}
+int main() {
+	char buf[64];
+	int total = 0;
+	for (int i = 1; i <= 20; i++) {
+		int rc = fill(buf, 64, i);
+		if (rc < 0) { return -1; }
+		total += buf[0];
+	}
+	return total;
+}`
+	h := newHarness(t, src, core.Config{})
+	h.runToExit(t, 210) // 1+2+...+20
+}
+
+func TestInterruptAbortsAreAbsorbed(t *testing.T) {
+	// With an aggressive interrupt process, transactions abort at random
+	// points; the program must still complete correctly via STM
+	// re-execution.
+	src := `
+int main() {
+	int total = 0;
+	for (int i = 0; i < 30; i++) {
+		char *p = malloc(128);
+		if (!p) { return -1; }
+		memset(p, 1, 128);
+		total += p[5];
+		free(p);
+	}
+	return total;
+}`
+	h := newHarness(t, src, core.Config{
+		HTM: htm.Config{MeanInstrsPerInterrupt: 200, Seed: 7},
+	})
+	h.runToExit(t, 30)
+	if h.rt.HTMStats().ByIntr == 0 {
+		t.Error("no interrupt aborts with mean gap 200")
+	}
+}
+
+func TestStickyDivertDisablesPath(t *testing.T) {
+	// With StickyDivert, once a gate diverts, every subsequent execution
+	// takes the error path without crashing again.
+	src := `
+int crashes_survived = 0;
+int work() {
+	char *p = malloc(32);
+	if (!p) { return -1; }
+	int *q = NULL;
+	*q = 1;
+	free(p);
+	return 0;
+}
+int main() {
+	int diverted = 0;
+	for (int i = 0; i < 5; i++) {
+		if (work() == -1) { diverted++; }
+	}
+	return diverted;
+}`
+	h := newHarness(t, src, core.Config{StickyDivert: true})
+	h.runToExit(t, 5)
+	st := h.rt.Stats()
+	if st.Injections != 5 {
+		t.Errorf("injections = %d, want 5 (sticky)", st.Injections)
+	}
+	// Only the first iteration should crash; the rest divert directly.
+	if st.Crashes > 2 {
+		t.Errorf("crashes = %d, want at most 2 with sticky divert", st.Crashes)
+	}
+}
+
+func TestNonStickyReinjectsPerEpisode(t *testing.T) {
+	src := `
+int work() {
+	char *p = malloc(32);
+	if (!p) { return -1; }
+	int *q = NULL;
+	*q = 1;
+	free(p);
+	return 0;
+}
+int main() {
+	int diverted = 0;
+	for (int i = 0; i < 3; i++) {
+		if (work() == -1) { diverted++; }
+	}
+	return diverted;
+}`
+	h := newHarness(t, src, core.Config{})
+	h.runToExit(t, 3)
+	st := h.rt.Stats()
+	if st.Injections != 3 {
+		t.Errorf("injections = %d, want 3 (one per episode)", st.Injections)
+	}
+	if st.Crashes < 3 {
+		t.Errorf("crashes = %d, want at least one per episode", st.Crashes)
+	}
+}
+
+func TestReadCompensationPushesDataBack(t *testing.T) {
+	// Injection into read() must push the consumed bytes back into the
+	// connection so environment state matches the checkpoint; the error
+	// path then closes the connection.
+	src := `
+int main() {
+	int s = socket();
+	if (s < 0) { return 1; }
+	if (bind(s, 80) == -1) { return 2; }
+	if (listen(s, 4) == -1) { return 3; }
+	int fd = -1;
+	while (fd < 0) { fd = accept(s); }
+	char buf[64];
+	int n = read(fd, buf, 64);
+	if (n < 0) {
+		puts("read failed");
+		close(fd);
+		return 77;
+	}
+	int *q = NULL;
+	*q = 1;     // persistent crash after a successful read
+	return 0;
+}`
+	h := newHarness(t, src, core.Config{})
+	// Let the server bind and spin in its accept loop, then connect.
+	if out := h.m.Run(30_000); out.Kind != interp.OutStepLimit {
+		t.Fatalf("setup run outcome = %v, want step-limit (accept spin)", out.Kind)
+	}
+	c := h.os.Connect(80)
+	if c == nil {
+		t.Fatal("server did not bind port 80")
+	}
+	c.ClientDeliver([]byte("hello"))
+	h.runToExit(t, 77)
+	// The consumed bytes were pushed back before the injected error.
+	if c.InboundLen() != 5 {
+		t.Errorf("inbound queue = %d bytes after compensation, want 5", c.InboundLen())
+	}
+	if !strings.Contains(h.os.Stdout(), "read failed") {
+		t.Errorf("stdout = %q", h.os.Stdout())
+	}
+}

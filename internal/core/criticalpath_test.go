@@ -1,0 +1,92 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/firestarter-go/firestarter/internal/apps"
+	"github.com/firestarter-go/firestarter/internal/core"
+	"github.com/firestarter-go/firestarter/internal/faultinj"
+	"github.com/firestarter-go/firestarter/internal/interp"
+	"github.com/firestarter-go/firestarter/internal/ir"
+	"github.com/firestarter-go/firestarter/internal/libsim"
+	"github.com/firestarter-go/firestarter/internal/mem"
+	"github.com/firestarter-go/firestarter/internal/transform"
+	"github.com/firestarter-go/firestarter/internal/workload"
+)
+
+// TestCriticalPathFaultCostsAvailabilityNotSurvival reproduces the paper's
+// §VII limitation: a persistent fault in the event-processing loop (the
+// critical path) cannot be meaningfully bypassed. FIRestarter still
+// converts every crash into an injected epoll_wait error — the server
+// never dies — but the error handler's retry loop makes no progress, so
+// availability is lost: the workload driver stalls with zero completions.
+func TestCriticalPathFaultCostsAvailabilityNotSurvival(t *testing.T) {
+	app := apps.Nginx()
+	prog, err := app.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant the fault in the event-dispatch block of the main loop (the
+	// block that calls on_accept), inside the epoll_wait transaction.
+	var ref *faultinj.BlockRef
+	main := prog.Funcs["main"]
+	for _, b := range main.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.OpCall && in.Name == "on_accept" {
+				ref = &faultinj.BlockRef{Func: "main", Block: b.ID}
+			}
+		}
+	}
+	if ref == nil {
+		t.Fatal("no on_accept dispatch block found")
+	}
+	fp, err := faultinj.Apply(prog, faultinj.Fault{
+		ID: 1, Kind: faultinj.FailStop, Func: ref.Func, Block: ref.Block, Index: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := transform.Apply(fp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := libsim.New(mem.NewSpace())
+	app.Setup(o)
+	rt := core.New(tr, o, core.Config{})
+	m, err := interp.New(tr.Prog, o, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Attach(m)
+
+	d := &workload.Driver{
+		OS: o, M: m, Port: app.Port,
+		Gen:         workload.DefaultHTTPMix(),
+		Concurrency: 2, Seed: 1,
+		// Small slices: the recovery loop spins without progress, so
+		// give the driver short turns before it detects the stall.
+		StepBudget: 150_000,
+	}
+	res := d.Run(10)
+
+	// Survival: yes. Availability: no.
+	if res.ServerDied {
+		t.Fatalf("server died (trap %d) — critical-path crash should still be absorbed", res.TrapCode)
+	}
+	if res.Completed != 0 {
+		t.Fatalf("completed %d requests through a disabled event loop", res.Completed)
+	}
+	if !res.Stalled {
+		t.Fatal("driver did not report the availability loss")
+	}
+	st := rt.Stats()
+	if st.Injections == 0 {
+		t.Error("no injections — the loop should repeatedly divert epoll_wait")
+	}
+	if st.Unrecovered != 0 {
+		t.Errorf("unrecovered = %d", st.Unrecovered)
+	}
+	t.Logf("availability-loss loop: %d crashes, %d injections, 0 served (as §VII predicts)",
+		st.Crashes, st.Injections)
+}

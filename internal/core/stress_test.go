@@ -1,0 +1,266 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/firestarter-go/firestarter/internal/apps"
+	"github.com/firestarter-go/firestarter/internal/core"
+	"github.com/firestarter-go/firestarter/internal/faultinj"
+	"github.com/firestarter-go/firestarter/internal/htm"
+	"github.com/firestarter-go/firestarter/internal/interp"
+	"github.com/firestarter-go/firestarter/internal/ir"
+	"github.com/firestarter-go/firestarter/internal/libsim"
+	"github.com/firestarter-go/firestarter/internal/mem"
+	"github.com/firestarter-go/firestarter/internal/transform"
+	"github.com/firestarter-go/firestarter/internal/workload"
+)
+
+// TestGenuineOOMIsNotConfusedWithInjection exhausts the allocator for
+// real: the application's out-of-memory path must run without the
+// recovery machinery counting crashes or injections, and later requests
+// must succeed once memory frees up.
+func TestGenuineOOMIsNotConfusedWithInjection(t *testing.T) {
+	src := `
+int main() {
+	int served = 0;
+	int failed = 0;
+	for (int i = 0; i < 6; i++) {
+		char *p = malloc(1024);
+		if (!p) {
+			puts("oom");
+			failed++;
+			continue;
+		}
+		memset(p, 1, 1024);
+		served++;
+		free(p);
+	}
+	return served * 10 + failed;
+}`
+	h := newHarness(t, src, core.Config{})
+	// Fail the third allocation for real (allocator-level, like a
+	// genuinely full heap).
+	h.os.OOMAfter = 3
+	h.runToExit(t, 51) // 5 served, 1 failed
+	st := h.rt.Stats()
+	if st.Crashes != 0 || st.Injections != 0 || st.Unrecovered != 0 {
+		t.Errorf("genuine OOM produced recovery events: %+v", st)
+	}
+}
+
+// TestEnduranceUnderCombinedStress runs the full gauntlet at once: a
+// planted persistent fault, aggressive modelled interrupts, capacity
+// aborts from large transfers, and hundreds of keep-alive requests. The
+// hardened server must stay up, keep answering, and leak neither memory
+// nor descriptors.
+func TestEnduranceUnderCombinedStress(t *testing.T) {
+	app := apps.Nginx()
+	prog, err := app.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Persistent fault in the SSI substitution region.
+	var ref *faultinj.BlockRef
+	f := prog.Funcs["serve_ssi"]
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Name == "memcpy" {
+				ref = &faultinj.BlockRef{Func: "serve_ssi", Block: b.ID}
+			}
+		}
+	}
+	if ref == nil {
+		t.Fatal("no memcpy block in serve_ssi")
+	}
+	fp, err := faultinj.Apply(prog, faultinj.Fault{
+		ID: 1, Kind: faultinj.FailStop, Func: ref.Func, Block: ref.Block, Index: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := transform.Apply(fp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := libsim.New(mem.NewSpace())
+	app.Setup(o)
+	rt := core.New(tr, o, core.Config{
+		HTM: htm.Config{MeanInstrsPerInterrupt: 20_000, Seed: 3},
+	})
+	m, err := interp.New(tr.Prog, o, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Attach(m)
+
+	d := &workload.Driver{
+		OS: o, M: m, Port: app.Port,
+		Gen:         workload.TestSuiteHTTPMix(), // includes the poisoned /ssi
+		Concurrency: 6, Seed: 3,
+	}
+	res := d.Run(600)
+	if res.ServerDied {
+		t.Fatalf("server died under stress (trap %d)", res.TrapCode)
+	}
+	if res.Completed < 500 {
+		t.Fatalf("completed %d/600 (bad %d, stalled %v)", res.Completed, res.BadResp, res.Stalled)
+	}
+	st := rt.Stats()
+	if st.Injections == 0 {
+		t.Error("poisoned route never triggered an injection")
+	}
+	if rt.HTMStats().ByIntr == 0 {
+		t.Error("no interrupt aborts at mean gap 20k")
+	}
+	if st.Unrecovered != 0 {
+		t.Errorf("unrecovered crashes: %d", st.Unrecovered)
+	}
+	// Long-run hygiene: the per-connection state may be live, but heap
+	// usage must stay bounded (no leak per recovery).
+	if live := o.Heap().LiveBytes(); live > 64*1024 {
+		t.Errorf("heap grew to %d live bytes after 600 requests", live)
+	}
+	t.Logf("stress: %d completed, %d crashes, %d injections, %d HTM aborts, %d STM txs",
+		res.Completed, st.Crashes, st.Injections, st.HTMAborts, st.STMBegins)
+}
+
+// TestRecoveryPreservesApplicationState drives the Redis analog, poisons
+// it with a crash in the SET path, and checks the keys stored *before*
+// the crash survive recovery — the state-preserving claim of the paper's
+// abstract.
+func TestRecoveryPreservesApplicationState(t *testing.T) {
+	app := apps.Redis()
+	prog, err := app.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := transform.Apply(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := libsim.New(mem.NewSpace())
+	rt := core.New(tr, o, core.Config{})
+	m, err := interp.New(tr.Prog, o, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Attach(m)
+
+	if out := m.Run(5_000_000); out.Kind != interp.OutBlocked {
+		t.Fatalf("startup: %v", out.Kind)
+	}
+	c := o.Connect(app.Port)
+
+	send := func(cmd string) string {
+		c.ClientDeliver([]byte(cmd))
+		if out := m.Run(50_000_000); out.Kind == interp.OutTrapped {
+			t.Fatalf("server died on %q", cmd)
+		}
+		return string(c.ClientTake())
+	}
+	if got := send("SET durable before-crash\n"); got != "+OK\n" {
+		t.Fatalf("SET = %q", got)
+	}
+	// A command whose value is huge enough to exhaust the allocator is a
+	// graceful error; instead cause a real crash: a wild DEL through
+	// corrupted state is hard to stage externally, so use the OOM knob to
+	// push the server through its malloc error path first...
+	o.OOMAfter = 1
+	if got := send("SET other value\n"); got != "-OOM\n" {
+		t.Fatalf("OOM SET = %q", got)
+	}
+	// ...and verify pre-existing state is intact afterwards.
+	if got := send("GET durable\n"); got != "$before-crash\n" {
+		t.Fatalf("GET after error = %q", got)
+	}
+	if st := rt.Stats(); st.Unrecovered != 0 {
+		t.Errorf("unrecovered: %+v", st)
+	}
+}
+
+// TestStatePreservedAcrossRealCrash plants a genuine persistent crash in
+// the Redis analog's INCR handler. Recovery diverts the last boundary
+// call (the command read) with ECONNRESET, the server drops that
+// connection — and the keys stored before the crash remain readable on a
+// fresh connection: state-preserving recovery under a real fail-stop bug.
+func TestStatePreservedAcrossRealCrash(t *testing.T) {
+	app := apps.Redis()
+	prog, err := app.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The INCR branch calls the user function itoa_r: plant the fault in
+	// that dispatch block.
+	var ref *faultinj.BlockRef
+	ex := prog.Funcs["execute"]
+	for _, b := range ex.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == ir.OpCall && in.Name == "itoa_r" {
+				ref = &faultinj.BlockRef{Func: "execute", Block: b.ID}
+			}
+		}
+	}
+	if ref == nil {
+		t.Fatal("no itoa_r dispatch block in execute")
+	}
+	fp, err := faultinj.Apply(prog, faultinj.Fault{
+		ID: 1, Kind: faultinj.FailStop, Func: ref.Func, Block: ref.Block, Index: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := transform.Apply(fp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := libsim.New(mem.NewSpace())
+	rt := core.New(tr, o, core.Config{})
+	m, err := interp.New(tr.Prog, o, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Attach(m)
+
+	if out := m.Run(5_000_000); out.Kind != interp.OutBlocked {
+		t.Fatalf("startup: %v", out.Kind)
+	}
+	ask := func(c *libsim.Conn, cmd string) string {
+		c.ClientDeliver([]byte(cmd))
+		if out := m.Run(50_000_000); out.Kind == interp.OutTrapped {
+			t.Fatalf("server died on %q", cmd)
+		}
+		return string(c.ClientTake())
+	}
+
+	c1 := o.Connect(app.Port)
+	// The planted fault sits on INCR's existing-key path: the first INCR
+	// creates the key (no crash), the second one crashes persistently.
+	if got := ask(c1, "SET durable gold\nINCR counter\n"); got != "+OK\n:1\n" {
+		t.Fatalf("setup commands = %q", got)
+	}
+	got := ask(c1, "INCR counter\n")
+	t.Logf("poisoned INCR response: %q (connection may have been dropped)", got)
+	st := rt.Stats()
+	if st.Crashes == 0 || st.Injections == 0 {
+		t.Fatalf("no recovery happened: %+v", st)
+	}
+	if st.Unrecovered != 0 {
+		t.Fatalf("unrecovered: %+v", st)
+	}
+
+	// Fresh connection: pre-crash state intact, non-INCR service normal.
+	c2 := o.Connect(app.Port)
+	if c2 == nil {
+		t.Fatal("reconnect failed")
+	}
+	if got := ask(c2, "GET durable\n"); got != "$gold\n" {
+		t.Fatalf("durable key after crash = %q, want $gold", got)
+	}
+	if got := ask(c2, "SET post recovery\n"); got != "+OK\n" {
+		t.Fatalf("SET after crash = %q", got)
+	}
+	if got := ask(c2, "GET post\n"); got != "$recovery\n" {
+		t.Fatalf("GET after crash = %q", got)
+	}
+}

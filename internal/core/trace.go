@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EventKind classifies recovery-trace events.
+type EventKind int
+
+// Trace event kinds.
+const (
+	EvHTMAbort EventKind = iota + 1
+	EvCrash
+	EvRetry
+	EvInject
+	EvLatchSTM
+	EvUnrecovered
+)
+
+// String returns the event name.
+func (k EventKind) String() string {
+	switch k {
+	case EvHTMAbort:
+		return "htm-abort"
+	case EvCrash:
+		return "crash"
+	case EvRetry:
+		return "retry"
+	case EvInject:
+		return "inject"
+	case EvLatchSTM:
+		return "latch-stm"
+	case EvUnrecovered:
+		return "unrecovered"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one recovery-relevant occurrence, timestamped in cost-model
+// cycles.
+type Event struct {
+	Cycles int64
+	Kind   EventKind
+	Site   int
+	Call   string // the gate's library function, when known
+	Detail string
+}
+
+// String renders the event as one trace line.
+func (e Event) String() string {
+	s := fmt.Sprintf("[%12d] %-11s site=%d", e.Cycles, e.Kind, e.Site)
+	if e.Call != "" {
+		s += " call=" + e.Call
+	}
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// maxTraceEvents bounds the trace buffer (crash storms, §VII).
+const maxTraceEvents = 50_000
+
+// EnableTrace turns on recovery-event recording.
+func (rt *Runtime) EnableTrace() { rt.tracing = true }
+
+// Trace returns the recorded events.
+func (rt *Runtime) Trace() []Event {
+	return append([]Event(nil), rt.trace...)
+}
+
+// RenderTrace formats the recorded events, one per line.
+func (rt *Runtime) RenderTrace() string {
+	var sb strings.Builder
+	for _, e := range rt.trace {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// emit records a trace event (no-op unless EnableTrace was called).
+func (rt *Runtime) emit(kind EventKind, site int, detail string) {
+	if !rt.tracing || len(rt.trace) >= maxTraceEvents {
+		return
+	}
+	call := ""
+	if s := rt.gates[site]; s != nil {
+		call = s.Name
+	}
+	var cycles int64
+	if rt.m != nil {
+		cycles = rt.m.Cycles
+	}
+	rt.trace = append(rt.trace, Event{
+		Cycles: cycles,
+		Kind:   kind,
+		Site:   site,
+		Call:   call,
+		Detail: detail,
+	})
+}

@@ -1,0 +1,583 @@
+// Package interp executes IR programs against the simulated address space
+// and operating system.
+//
+// The machine is resumable: Run executes until the program exits, traps
+// fatally, blocks on I/O (epoll_wait with nothing ready), or exhausts a
+// step budget. The workload driver interleaves with the machine by feeding
+// client bytes between Run calls.
+//
+// All events FIRestarter cares about are delegated to a Runtime
+// implementation: library calls, transaction begin/commit, transactional
+// stores, gate dispatch, instruction accounting (for the modelled HTM
+// interrupt process) and trap handling. The no-op Direct runtime runs
+// uninstrumented programs; package core provides the full recovery runtime.
+//
+// The machine also maintains a cycle count — a simple deterministic cost
+// model (one cycle per simple instruction, two per memory access, plus
+// documented surcharges for instrumentation) used as the performance metric
+// of the benchmark harness, so results are reproducible and host-
+// independent.
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/firestarter-go/firestarter/internal/ir"
+	"github.com/firestarter-go/firestarter/internal/libsim"
+	"github.com/firestarter-go/firestarter/internal/mem"
+)
+
+// Cycle costs of the performance model. Simple ALU ops cost one cycle;
+// memory accesses two. The instrumentation surcharges (undo logging,
+// transaction begin/commit) are charged by the runtime, not here.
+const (
+	CostSimple  = 1
+	CostMem     = 2
+	CostCall    = 4
+	CostLibBase = 30 // syscall/library-call entry overhead
+)
+
+// Trap describes a fail-stop crash.
+type Trap struct {
+	Code int64 // one of the ir.Trap* codes
+	Addr int64 // faulting address for TrapBadAccess
+	PC   string
+}
+
+// Error implements error.
+func (t *Trap) Error() string {
+	return fmt.Sprintf("trap %d at %s (addr %#x)", t.Code, t.PC, t.Addr)
+}
+
+// Action tells the machine how to proceed after the runtime handled an
+// execution event (trap, transaction abort, blocked call).
+type Action int
+
+// Actions returned by Runtime.Handle.
+const (
+	// ActionContinue resumes execution at the machine's (possibly
+	// restored) current position.
+	ActionContinue Action = iota + 1
+	// ActionBlock makes Run return with OutBlocked; the faulting
+	// instruction will re-execute on resume.
+	ActionBlock
+	// ActionDie makes Run return with OutTrapped: the crash was not
+	// recoverable.
+	ActionDie
+)
+
+// Runtime is the recovery layer's interface to the machine.
+type Runtime interface {
+	// LibCall executes a library call. site is the call site's ID (zero
+	// for sites the Library Interface Analyzer did not mark as
+	// transaction boundaries).
+	LibCall(m *Machine, name string, args []int64, site int) (int64, error)
+
+	// Gate dispatches a transaction entry gate: it decides the variant
+	// (ir.TxHTM or ir.TxSTM) to execute, and whether to inject a fault
+	// into the preceding library call (inject=true, with the register
+	// value to install). The machine passes a state snapshot positioned
+	// at the gate, which the runtime keeps for rollback.
+	Gate(m *Machine, site int, snap *Snapshot) (variant int64, inject bool, injectVal int64)
+
+	// TxBegin activates the transaction chosen by the gate.
+	TxBegin(m *Machine, site int, variant int64) error
+
+	// TxEnd commits the active transaction (no-op when none is active).
+	TxEnd(m *Machine) error
+
+	// Store performs a store, routed through the active transaction.
+	// stmInstrumented marks OpStmStore instructions (undo-logged).
+	Store(m *Machine, addr, val int64, width int, stmInstrumented bool) error
+
+	// RegSave is the STM register-save hook (setjmp analog). The HTM
+	// variant's hardware saves registers for free, so the runtime only
+	// charges work in STM mode.
+	RegSave(m *Machine)
+
+	// Tick retires n instructions: drives the HTM interrupt model.
+	Tick(m *Machine, n int64) error
+
+	// Handle reacts to an execution event: a trap (as *Trap), a
+	// transaction abort, a blocked library call, or heap corruption.
+	// When it returns ActionContinue the machine state must have been
+	// restored to a consistent resume point.
+	Handle(m *Machine, err error) Action
+
+	// Variant returns the transaction variant currently in effect,
+	// used by the call/return flow switches. Zero means none (run the
+	// HTM clone, whose uninstrumented stores are direct).
+	Variant() int64
+}
+
+// Frame is one call-stack entry.
+type Frame struct {
+	Fn   *ir.Func
+	Blk  int
+	Idx  int
+	Regs []int64
+	FP   int64
+	// RetDst is the caller register receiving the return value (-1 to
+	// discard); meaningless for the bottom frame.
+	RetDst int
+}
+
+// Snapshot captures resumable machine state for rollback.
+type Snapshot struct {
+	frames []Frame
+	sp     int64
+}
+
+// OutcomeKind classifies why Run returned.
+type OutcomeKind int
+
+// Outcome kinds.
+const (
+	OutExited OutcomeKind = iota + 1
+	OutTrapped
+	OutBlocked
+	OutStepLimit
+)
+
+func (k OutcomeKind) String() string {
+	switch k {
+	case OutExited:
+		return "exited"
+	case OutTrapped:
+		return "trapped"
+	case OutBlocked:
+		return "blocked"
+	case OutStepLimit:
+		return "step-limit"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(k))
+	}
+}
+
+// Outcome is the result of a Run call.
+type Outcome struct {
+	Kind OutcomeKind
+	Code int64 // exit code (OutExited) or trap code (OutTrapped)
+	Trap *Trap // populated for OutTrapped
+}
+
+// Machine executes one program.
+type Machine struct {
+	Prog  *ir.Program
+	Space *mem.Space
+	OS    *libsim.OS
+	RT    Runtime
+
+	frames  []Frame
+	sp      int64
+	globals map[string]int64
+
+	// Cycles is the accumulated cost-model time; Steps counts executed
+	// instructions.
+	Cycles int64
+	Steps  int64
+
+	// BlockHook, when non-nil, is invoked on every basic-block entry
+	// (used by the fault injector's execution profiling).
+	BlockHook func(fn string, block int)
+
+	exited   bool
+	exitCode int64
+}
+
+// StackBytes is the simulated stack size.
+const StackBytes = 512 * 1024
+
+// New loads a program: globals are placed in the data segment, the stack
+// is mapped, and a frame for the entry function is pushed. The runtime rt
+// may be nil, in which case the Direct runtime is used.
+func New(prog *ir.Program, os *libsim.OS, rt Runtime) (*Machine, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if rt == nil {
+		rt = Direct{}
+	}
+	m := &Machine{
+		Prog:    prog,
+		Space:   os.Space,
+		OS:      os,
+		RT:      rt,
+		globals: make(map[string]int64, len(prog.Globals)),
+		sp:      mem.StackTop,
+	}
+	addr := int64(mem.GlobalBase)
+	for _, g := range prog.Globals {
+		size := g.Size
+		if size <= 0 {
+			size = 8
+		}
+		if err := m.Space.Map(addr, size); err != nil {
+			return nil, fmt.Errorf("interp: mapping global %s: %w", g.Name, err)
+		}
+		if len(g.Data) > 0 {
+			if err := m.Space.WriteBytes(addr, g.Data); err != nil {
+				return nil, fmt.Errorf("interp: initializing global %s: %w", g.Name, err)
+			}
+		}
+		g.Addr = addr
+		m.globals[g.Name] = addr
+		addr += (size + 15) &^ 15
+	}
+	if err := m.Space.Map(mem.StackTop-StackBytes, StackBytes); err != nil {
+		return nil, fmt.Errorf("interp: mapping stack: %w", err)
+	}
+	entry := prog.Funcs[prog.Entry]
+	if entry == nil {
+		return nil, fmt.Errorf("interp: entry function %q not found", prog.Entry)
+	}
+	os.SetCycleSink(&m.Cycles)
+	if err := m.push(entry, nil, -1); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// GlobalAddr returns the loaded address of a global (tests and tools).
+func (m *Machine) GlobalAddr(name string) int64 { return m.globals[name] }
+
+// Exited reports whether the program has terminated.
+func (m *Machine) Exited() bool { return m.exited }
+
+// ExitCode returns the program's exit code once Exited.
+func (m *Machine) ExitCode() int64 { return m.exitCode }
+
+// Depth returns the current call-stack depth.
+func (m *Machine) Depth() int { return len(m.frames) }
+
+// pcString renders the current position for diagnostics.
+func (m *Machine) pcString() string {
+	if len(m.frames) == 0 {
+		return "<no frame>"
+	}
+	f := &m.frames[len(m.frames)-1]
+	return fmt.Sprintf("%s.b%d.%d", f.Fn.Name, f.Blk, f.Idx)
+}
+
+// push enters fn with the given arguments.
+func (m *Machine) push(fn *ir.Func, args []int64, retDst int) error {
+	newSP := (m.sp - fn.FrameSize) &^ 15
+	if newSP < mem.StackTop-StackBytes {
+		return &Trap{Code: ir.TrapBadAccess, Addr: newSP, PC: "stack overflow in " + fn.Name}
+	}
+	regs := make([]int64, fn.NumRegs)
+	copy(regs, args)
+	entry := 0
+	if fn.Cloned && m.RT.Variant() == ir.TxSTM {
+		entry = fn.EntrySTM
+	} else if fn.Cloned {
+		entry = fn.EntryHTM
+	}
+	m.frames = append(m.frames, Frame{Fn: fn, Blk: entry, Idx: 0, Regs: regs, FP: newSP, RetDst: retDst})
+	m.sp = newSP
+	return nil
+}
+
+// Snapshot deep-copies the resumable machine state.
+func (m *Machine) Snapshot() *Snapshot {
+	s := &Snapshot{sp: m.sp, frames: make([]Frame, len(m.frames))}
+	for i := range m.frames {
+		s.frames[i] = m.frames[i]
+		s.frames[i].Regs = append([]int64(nil), m.frames[i].Regs...)
+	}
+	return s
+}
+
+// Restore rewinds the machine to a snapshot. The snapshot's frame data is
+// copied so the same snapshot can be restored repeatedly.
+func (m *Machine) Restore(s *Snapshot) {
+	m.sp = s.sp
+	m.frames = m.frames[:0]
+	for i := range s.frames {
+		f := s.frames[i]
+		f.Regs = append([]int64(nil), s.frames[i].Regs...)
+		m.frames = append(m.frames, f)
+	}
+}
+
+// Run executes until exit, fatal trap, blocked I/O, or maxSteps
+// instructions (0 = no limit).
+func (m *Machine) Run(maxSteps int64) Outcome {
+	if m.exited {
+		return Outcome{Kind: OutExited, Code: m.exitCode}
+	}
+	budget := maxSteps
+	for {
+		if m.exited {
+			return Outcome{Kind: OutExited, Code: m.exitCode}
+		}
+		if maxSteps > 0 && budget <= 0 {
+			return Outcome{Kind: OutStepLimit}
+		}
+		budget--
+		m.Steps++
+
+		err := m.step()
+		if err == nil {
+			if terr := m.RT.Tick(m, 1); terr != nil {
+				err = terr
+			}
+		}
+		if err == nil {
+			continue
+		}
+		switch m.RT.Handle(m, err) {
+		case ActionContinue:
+			continue
+		case ActionBlock:
+			return Outcome{Kind: OutBlocked}
+		default:
+			var trap *Trap
+			if !errors.As(err, &trap) {
+				trap = &Trap{Code: ir.TrapBadAccess, PC: m.pcString()}
+				if ae := (*mem.AccessError)(nil); errors.As(err, &ae) {
+					trap.Addr = ae.Addr
+				}
+			}
+			m.exited = true
+			return Outcome{Kind: OutTrapped, Code: trap.Code, Trap: trap}
+		}
+	}
+}
+
+// trapHere builds a Trap at the current position.
+func (m *Machine) trapHere(code int64, addr int64) *Trap {
+	return &Trap{Code: code, Addr: addr, PC: m.pcString()}
+}
+
+// step executes one instruction. On success the program counter has
+// advanced; on error it still points at the faulting instruction.
+func (m *Machine) step() error {
+	f := &m.frames[len(m.frames)-1]
+	blk := f.Fn.Blocks[f.Blk]
+	if f.Idx >= len(blk.Instrs) {
+		return fmt.Errorf("interp: fell off block %s.b%d", f.Fn.Name, f.Blk)
+	}
+	if f.Idx == 0 && m.BlockHook != nil {
+		m.BlockHook(f.Fn.Name, f.Blk)
+	}
+	in := &blk.Instrs[f.Idx]
+
+	switch in.Op {
+	case ir.OpConst:
+		f.Regs[in.Dst] = in.Imm
+		m.Cycles += CostSimple
+	case ir.OpMov:
+		f.Regs[in.Dst] = f.Regs[in.A]
+		m.Cycles += CostSimple
+	case ir.OpBin:
+		v, ok := in.Bin.Eval(f.Regs[in.A], f.Regs[in.B])
+		if !ok {
+			return m.trapHere(ir.TrapDivZero, 0)
+		}
+		f.Regs[in.Dst] = v
+		m.Cycles += CostSimple
+	case ir.OpNeg:
+		f.Regs[in.Dst] = -f.Regs[in.A]
+		m.Cycles += CostSimple
+	case ir.OpNot:
+		if f.Regs[in.A] == 0 {
+			f.Regs[in.Dst] = 1
+		} else {
+			f.Regs[in.Dst] = 0
+		}
+		m.Cycles += CostSimple
+	case ir.OpLoad:
+		v, err := m.Space.Load(f.Regs[in.A]+in.Imm, in.Width)
+		if err != nil {
+			return m.trapHere(ir.TrapBadAccess, f.Regs[in.A]+in.Imm)
+		}
+		f.Regs[in.Dst] = v
+		m.Cycles += CostMem
+	case ir.OpStore:
+		m.Cycles += CostMem
+		if err := m.RT.Store(m, f.Regs[in.A]+in.Imm, f.Regs[in.B], in.Width, false); err != nil {
+			return m.storeError(err, f.Regs[in.A]+in.Imm)
+		}
+	case ir.OpStmStore:
+		m.Cycles += CostMem
+		if err := m.RT.Store(m, f.Regs[in.A]+in.Imm, f.Regs[in.B], in.Width, true); err != nil {
+			return m.storeError(err, f.Regs[in.A]+in.Imm)
+		}
+	case ir.OpFrameAddr:
+		f.Regs[in.Dst] = f.FP + in.Imm
+		m.Cycles += CostSimple
+	case ir.OpGlobalAddr:
+		f.Regs[in.Dst] = m.globals[in.Name]
+		m.Cycles += CostSimple
+	case ir.OpCall:
+		callee := m.Prog.Funcs[in.Name]
+		args := make([]int64, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = f.Regs[a]
+		}
+		m.Cycles += CostCall
+		f.Idx++ // return address: the instruction after the call
+		if err := m.push(callee, args, in.Dst); err != nil {
+			f.Idx--
+			return err
+		}
+		return nil
+	case ir.OpLib:
+		args := make([]int64, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = f.Regs[a]
+		}
+		m.Cycles += CostLibBase
+		ret, err := m.RT.LibCall(m, in.Name, args, in.Site)
+		if err != nil {
+			return err
+		}
+		// The frame slice may have been reallocated if the runtime
+		// restored a snapshot during the call; refuse to write through
+		// a stale pointer.
+		f = &m.frames[len(m.frames)-1]
+		if in.Dst >= 0 {
+			f.Regs[in.Dst] = ret
+		}
+	case ir.OpJmp:
+		f.Blk = in.Then
+		f.Idx = 0
+		m.Cycles += CostSimple
+		return nil
+	case ir.OpBr:
+		if f.Regs[in.A] != 0 {
+			f.Blk = in.Then
+		} else {
+			f.Blk = in.Else
+		}
+		f.Idx = 0
+		m.Cycles += CostSimple
+		return nil
+	case ir.OpRet:
+		m.Cycles += CostSimple
+		return m.doReturn(in)
+	case ir.OpTrap:
+		return m.trapHere(in.Imm, 0)
+	case ir.OpTxBegin:
+		if err := m.RT.TxBegin(m, in.Site, in.Imm); err != nil {
+			return err
+		}
+	case ir.OpTxEnd:
+		if err := m.RT.TxEnd(m); err != nil {
+			return err
+		}
+	case ir.OpRegSave:
+		m.RT.RegSave(m)
+	case ir.OpGate:
+		return m.doGate(in)
+	default:
+		return fmt.Errorf("interp: unknown opcode %d at %s", int(in.Op), m.pcString())
+	}
+	f = &m.frames[len(m.frames)-1]
+	f.Idx++
+	return nil
+}
+
+func (m *Machine) storeError(err error, addr int64) error {
+	if errors.Is(err, mem.ErrUnmapped) {
+		return m.trapHere(ir.TrapBadAccess, addr)
+	}
+	return err
+}
+
+// doGate executes a transaction entry gate: snapshot, policy dispatch,
+// optional fault injection, then a jump into the chosen variant's clone.
+func (m *Machine) doGate(in *ir.Instr) error {
+	snap := m.Snapshot()
+	variant, inject, injectVal := m.RT.Gate(m, in.Site, snap)
+	f := &m.frames[len(m.frames)-1]
+	m.Cycles += 3 // gate dispatch cost
+	if inject && in.Dst >= 0 {
+		f.Regs[in.Dst] = injectVal
+	}
+	if variant == ir.TxSTM {
+		f.Blk = in.Else
+	} else {
+		f.Blk = in.Then
+	}
+	f.Idx = 0
+	return nil
+}
+
+// doReturn pops a frame, applying the return-site flow switch: execution
+// continues in the caller's clone matching the current transaction
+// variant (§IV-B).
+func (m *Machine) doReturn(in *ir.Instr) error {
+	f := &m.frames[len(m.frames)-1]
+	var ret int64
+	if in.A >= 0 {
+		ret = f.Regs[in.A]
+	}
+	retDst := f.RetDst
+	m.sp = f.FP + f.Fn.FrameSize // not exact (alignment), fixed below
+	m.frames = m.frames[:len(m.frames)-1]
+	if len(m.frames) == 0 {
+		m.exited = true
+		m.exitCode = ret
+		// Commit any transaction still pending at exit so deferred
+		// effects (free/close) are not lost.
+		return m.RT.TxEnd(m)
+	}
+	caller := &m.frames[len(m.frames)-1]
+	m.sp = caller.FP
+	if retDst >= 0 {
+		caller.Regs[retDst] = ret
+	}
+	// Return-site flow switch: if the caller's block is a clone of the
+	// wrong variant, continue at the same index in its counterpart.
+	blk := caller.Fn.Blocks[caller.Blk]
+	if v := m.RT.Variant(); blk.Variant != 0 && v != 0 && int64(blk.Variant) != v && blk.Counterpart >= 0 {
+		caller.Blk = blk.Counterpart
+	}
+	return nil
+}
+
+// Direct is the pass-through runtime for uninstrumented programs: library
+// calls go straight to the OS, stores go straight to memory, and every
+// trap is fatal.
+type Direct struct{}
+
+var _ Runtime = Direct{}
+
+// LibCall implements Runtime.
+func (Direct) LibCall(m *Machine, name string, args []int64, _ int) (int64, error) {
+	return m.OS.Call(name, args)
+}
+
+// Gate implements Runtime; uninstrumented programs have no gates.
+func (Direct) Gate(*Machine, int, *Snapshot) (int64, bool, int64) { return ir.TxHTM, false, 0 }
+
+// TxBegin implements Runtime.
+func (Direct) TxBegin(*Machine, int, int64) error { return nil }
+
+// TxEnd implements Runtime.
+func (Direct) TxEnd(*Machine) error { return nil }
+
+// Store implements Runtime.
+func (Direct) Store(m *Machine, addr, val int64, width int, _ bool) error {
+	return m.Space.Store(addr, val, width)
+}
+
+// RegSave implements Runtime.
+func (Direct) RegSave(*Machine) {}
+
+// Tick implements Runtime.
+func (Direct) Tick(*Machine, int64) error { return nil }
+
+// Handle implements Runtime: blocked calls yield, everything else is fatal.
+func (Direct) Handle(_ *Machine, err error) Action {
+	if errors.Is(err, libsim.ErrBlocked) {
+		return ActionBlock
+	}
+	return ActionDie
+}
+
+// Variant implements Runtime.
+func (Direct) Variant() int64 { return 0 }

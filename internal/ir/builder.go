@@ -1,0 +1,160 @@
+package ir
+
+// Builder provides a convenient fluent interface for emitting instructions
+// into a function, used by the mini-C code generator and by tests that
+// construct programs by hand.
+type Builder struct {
+	F   *Func
+	Cur *Block
+}
+
+// NewBuilder returns a builder positioned at a fresh entry block of a new
+// function with the given name and parameter count.
+func NewBuilder(name string, params int) *Builder {
+	f := &Func{Name: name, Params: params, NumRegs: params}
+	b := &Builder{F: f}
+	b.Cur = f.NewBlock("entry")
+	return b
+}
+
+// Block starts (and switches to) a new block with the given label.
+func (b *Builder) Block(label string) *Block {
+	blk := b.F.NewBlock(label)
+	b.Cur = blk
+	return blk
+}
+
+// SetBlock repositions the builder at an existing block.
+func (b *Builder) SetBlock(blk *Block) { b.Cur = blk }
+
+// emit appends an instruction to the current block.
+func (b *Builder) emit(in Instr) {
+	b.Cur.Instrs = append(b.Cur.Instrs, in)
+}
+
+// Const emits dst = imm into a fresh register and returns it.
+func (b *Builder) Const(imm int64) int {
+	r := b.F.NewReg()
+	b.emit(Instr{Op: OpConst, Dst: r, Imm: imm})
+	return r
+}
+
+// ConstInto emits dst = imm into an existing register.
+func (b *Builder) ConstInto(dst int, imm int64) {
+	b.emit(Instr{Op: OpConst, Dst: dst, Imm: imm})
+}
+
+// Mov emits dst = src.
+func (b *Builder) Mov(dst, src int) {
+	b.emit(Instr{Op: OpMov, Dst: dst, A: src})
+}
+
+// Bin emits a binary operation into a fresh register.
+func (b *Builder) Bin(op BinKind, x, y int) int {
+	r := b.F.NewReg()
+	b.emit(Instr{Op: OpBin, Dst: r, A: x, B: y, Bin: op})
+	return r
+}
+
+// BinInto emits a binary operation into an existing register.
+func (b *Builder) BinInto(dst int, op BinKind, x, y int) {
+	b.emit(Instr{Op: OpBin, Dst: dst, A: x, B: y, Bin: op})
+}
+
+// Neg emits dst = -x into a fresh register.
+func (b *Builder) Neg(x int) int {
+	r := b.F.NewReg()
+	b.emit(Instr{Op: OpNeg, Dst: r, A: x})
+	return r
+}
+
+// Not emits logical negation into a fresh register.
+func (b *Builder) Not(x int) int {
+	r := b.F.NewReg()
+	b.emit(Instr{Op: OpNot, Dst: r, A: x})
+	return r
+}
+
+// Load emits dst = mem[addr+off] of the given width into a fresh register.
+func (b *Builder) Load(addr int, off int64, width int) int {
+	r := b.F.NewReg()
+	b.emit(Instr{Op: OpLoad, Dst: r, A: addr, Imm: off, Width: width})
+	return r
+}
+
+// LoadInto emits a load into an existing register.
+func (b *Builder) LoadInto(dst, addr int, off int64, width int) {
+	b.emit(Instr{Op: OpLoad, Dst: dst, A: addr, Imm: off, Width: width})
+}
+
+// Store emits mem[addr+off] = val of the given width.
+func (b *Builder) Store(addr int, off int64, val, width int) {
+	b.emit(Instr{Op: OpStore, A: addr, Imm: off, B: val, Width: width})
+}
+
+// FrameAddr emits dst = fp+off into a fresh register, growing the frame if
+// needed to cover off+size bytes.
+func (b *Builder) FrameAddr(off, size int64) int {
+	if off+size > b.F.FrameSize {
+		b.F.FrameSize = off + size
+	}
+	r := b.F.NewReg()
+	b.emit(Instr{Op: OpFrameAddr, Dst: r, Imm: off})
+	return r
+}
+
+// GlobalAddr emits dst = &name into a fresh register.
+func (b *Builder) GlobalAddr(name string) int {
+	r := b.F.NewReg()
+	b.emit(Instr{Op: OpGlobalAddr, Dst: r, Name: name})
+	return r
+}
+
+// Call emits a direct call returning into a fresh register.
+func (b *Builder) Call(name string, args ...int) int {
+	r := b.F.NewReg()
+	b.emit(Instr{Op: OpCall, Dst: r, Name: name, Args: args})
+	return r
+}
+
+// CallVoid emits a direct call discarding the result.
+func (b *Builder) CallVoid(name string, args ...int) {
+	b.emit(Instr{Op: OpCall, Dst: -1, Name: name, Args: args})
+}
+
+// Lib emits a library call returning into a fresh register.
+func (b *Builder) Lib(name string, args ...int) int {
+	r := b.F.NewReg()
+	b.emit(Instr{Op: OpLib, Dst: r, Name: name, Args: args})
+	return r
+}
+
+// LibVoid emits a library call discarding the result.
+func (b *Builder) LibVoid(name string, args ...int) {
+	b.emit(Instr{Op: OpLib, Dst: -1, Name: name, Args: args})
+}
+
+// Jmp emits an unconditional jump.
+func (b *Builder) Jmp(target *Block) {
+	b.emit(Instr{Op: OpJmp, Then: target.ID})
+}
+
+// Br emits a conditional branch.
+func (b *Builder) Br(cond int, then, els *Block) {
+	b.emit(Instr{Op: OpBr, A: cond, Then: then.ID, Else: els.ID})
+}
+
+// Ret emits a return of register r.
+func (b *Builder) Ret(r int) {
+	b.emit(Instr{Op: OpRet, A: r})
+}
+
+// RetVoid emits a valueless return.
+func (b *Builder) RetVoid() {
+	b.emit(Instr{Op: OpRet, A: -1})
+}
+
+// Trap emits a fatal trap with the given code.
+func (b *Builder) Trap(code int64) {
+	b.emit(Instr{Op: OpTrap, Imm: code})
+}

@@ -1,0 +1,179 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBuilderFullSurface constructs a program exercising every builder
+// method and instruction form, then validates it — the builder must only
+// ever produce well-formed IR.
+func TestBuilderFullSurface(t *testing.T) {
+	p := NewProgram()
+	p.AddGlobal("counter", 8, nil)
+	p.AddGlobal("msg", 0, []byte("hey"))
+
+	callee := NewBuilder("twice", 1)
+	two := callee.Const(2)
+	r := callee.Bin(BinMul, 0, two)
+	callee.Ret(r)
+	p.AddFunc(callee.F)
+
+	b := NewBuilder("main", 0)
+	entry := b.Cur
+
+	// Arithmetic and logic.
+	x := b.Const(6)
+	y := b.Const(7)
+	prod := b.Bin(BinMul, x, y)
+	neg := b.Neg(prod)
+	notv := b.Not(neg)
+	dst := b.F.NewReg()
+	b.Mov(dst, notv)
+	b.ConstInto(dst, 5)
+	b.BinInto(dst, BinAdd, dst, x)
+
+	// Memory.
+	g := b.GlobalAddr("counter")
+	b.Store(g, 0, dst, 8)
+	loaded := b.Load(g, 0, 8)
+	ld2 := b.F.NewReg()
+	b.LoadInto(ld2, g, 0, 8)
+	fa := b.FrameAddr(0, 16)
+	b.Store(fa, 8, loaded, 8)
+
+	// Calls.
+	cr := b.Call("twice", ld2)
+	b.CallVoid("twice", cr)
+	lr := b.Lib("getpid")
+	b.LibVoid("puts", b.GlobalAddr("msg"))
+
+	// Control flow.
+	loop := b.F.NewBlock("loop")
+	done := b.F.NewBlock("done")
+	dead := b.F.NewBlock("dead")
+	b.Br(lr, loop, done)
+
+	b.SetBlock(loop)
+	b.Jmp(done)
+
+	b.SetBlock(dead)
+	b.Trap(TrapAssert)
+
+	b.SetBlock(done)
+	b.Ret(cr)
+	p.AddFunc(b.F)
+
+	if err := p.Validate(); err != nil {
+		t.Fatalf("builder produced invalid IR: %v", err)
+	}
+	if entry.Terminator() == nil {
+		t.Fatal("entry block unterminated")
+	}
+	d := p.Dump()
+	for _, want := range []string{"call twice", "lib getpid", "trap 2", "frame+0"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("dump missing %q", want)
+		}
+	}
+}
+
+// TestValidateInstrumentationOps covers the validation rules of the
+// transform-inserted opcodes.
+func TestValidateInstrumentationOps(t *testing.T) {
+	mk := func(mutate func(f *Func)) error {
+		p := NewProgram()
+		b := NewBuilder("main", 0)
+		b.RetVoid()
+		mutate(b.F)
+		p.AddFunc(b.F)
+		return p.Validate()
+	}
+	prepend := func(f *Func, in Instr) {
+		f.Blocks[0].Instrs = append([]Instr{in}, f.Blocks[0].Instrs...)
+	}
+
+	if err := mk(func(f *Func) {
+		prepend(f, Instr{Op: OpTxBegin, Imm: TxHTM})
+		prepend(f, Instr{Op: OpTxEnd})
+		prepend(f, Instr{Op: OpRegSave})
+	}); err != nil {
+		t.Errorf("valid instrumentation rejected: %v", err)
+	}
+	if err := mk(func(f *Func) {
+		prepend(f, Instr{Op: OpTxBegin, Imm: 9})
+	}); err == nil || !strings.Contains(err.Error(), "txbegin with variant") {
+		t.Errorf("bad txbegin variant: %v", err)
+	}
+	if err := mk(func(f *Func) {
+		f.Blocks[0].Instrs = []Instr{{Op: OpGate, Site: 1, Dst: -1, Then: 0, Else: 7}}
+	}); err == nil || !strings.Contains(err.Error(), "gate stm target") {
+		t.Errorf("bad gate else target: %v", err)
+	}
+	if err := mk(func(f *Func) {
+		f.Blocks[0].Instrs = []Instr{{Op: OpGate, Site: 1, Dst: 5, Then: 0, Else: 0}}
+	}); err == nil || !strings.Contains(err.Error(), "gate return register") {
+		t.Errorf("bad gate dst: %v", err)
+	}
+	if err := mk(func(f *Func) {
+		prepend(f, Instr{Op: OpStmStore, A: 0, B: 0, Width: 8})
+	}); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("stmstore with bad regs: %v", err)
+	}
+	if err := mk(func(f *Func) {
+		prepend(f, Instr{Op: Opcode(99)})
+	}); err == nil || !strings.Contains(err.Error(), "unknown opcode") {
+		t.Errorf("unknown opcode: %v", err)
+	}
+	if err := mk(func(f *Func) {
+		r := f.NewReg()
+		prepend(f, Instr{Op: OpFrameAddr, Dst: r, Imm: 64})
+	}); err == nil || !strings.Contains(err.Error(), "frame offset") {
+		t.Errorf("frame offset out of frame: %v", err)
+	}
+	if err := mk(func(f *Func) {
+		r := f.NewReg()
+		prepend(f, Instr{Op: OpBin, Dst: r, A: r, B: r, Bin: BinKind(99)})
+	}); err == nil || !strings.Contains(err.Error(), "unknown binary operator") {
+		t.Errorf("unknown binop: %v", err)
+	}
+	if err := mk(func(f *Func) {
+		prepend(f, Instr{Op: OpRet, A: 7})
+	}); err == nil || !strings.Contains(err.Error(), "terminator") {
+		t.Errorf("mid-block ret: %v", err)
+	}
+}
+
+func TestInstrStringInstrumentationForms(t *testing.T) {
+	tests := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpTxBegin, Imm: TxHTM, Site: 2}, "txbegin htm #site2"},
+		{Instr{Op: OpTxEnd}, "txend"},
+		{Instr{Op: OpRegSave}, "regsave"},
+		{Instr{Op: OpStmStore, A: 1, B: 2, Imm: 4, Width: 8}, "stmstore8 [r1+4] = r2"},
+		{Instr{Op: OpNeg, Dst: 1, A: 0}, "r1 = -r0"},
+		{Instr{Op: OpNot, Dst: 1, A: 0}, "r1 = !r0"},
+		{Instr{Op: OpMov, Dst: 3, A: 2}, "r3 = r2"},
+		{Instr{Op: OpFrameAddr, Dst: 1, Imm: 24}, "r1 = frame+24"},
+		{Instr{Op: OpGlobalAddr, Dst: 1, Name: "g"}, "r1 = &g"},
+		{Instr{Op: OpCall, Dst: -1, Name: "f", Args: []int{1}}, "call f(r1)"},
+		{Instr{Op: OpJmp, Then: 3}, "jmp b3"},
+		{Instr{Op: OpRet, A: -1}, "ret"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestBinKindStringUnknown(t *testing.T) {
+	if got := BinKind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown binop string = %q", got)
+	}
+	if v, ok := BinKind(99).Eval(1, 2); ok || v != 0 {
+		t.Errorf("unknown binop Eval = %d, %v", v, ok)
+	}
+}

@@ -1,0 +1,314 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinKindEval(t *testing.T) {
+	tests := []struct {
+		op   BinKind
+		x, y int64
+		want int64
+		ok   bool
+	}{
+		{BinAdd, 2, 3, 5, true},
+		{BinSub, 2, 3, -1, true},
+		{BinMul, -4, 3, -12, true},
+		{BinDiv, 7, 2, 3, true},
+		{BinDiv, 7, 0, 0, false},
+		{BinRem, 7, 2, 1, true},
+		{BinRem, 7, 0, 0, false},
+		{BinAnd, 0b1100, 0b1010, 0b1000, true},
+		{BinOr, 0b1100, 0b1010, 0b1110, true},
+		{BinXor, 0b1100, 0b1010, 0b0110, true},
+		{BinShl, 1, 4, 16, true},
+		{BinShr, 16, 4, 1, true},
+		{BinEq, 5, 5, 1, true},
+		{BinEq, 5, 6, 0, true},
+		{BinNe, 5, 6, 1, true},
+		{BinLt, -1, 0, 1, true},
+		{BinLe, 0, 0, 1, true},
+		{BinGt, 1, 0, 1, true},
+		{BinGe, 0, 1, 0, true},
+	}
+	for _, tt := range tests {
+		got, ok := tt.op.Eval(tt.x, tt.y)
+		if got != tt.want || ok != tt.ok {
+			t.Errorf("%v.Eval(%d, %d) = (%d, %v), want (%d, %v)", tt.op, tt.x, tt.y, got, ok, tt.want, tt.ok)
+		}
+	}
+}
+
+func TestBinKindEvalCommutative(t *testing.T) {
+	// +, *, &, |, ^, ==, != are commutative; check via testing/quick.
+	for _, op := range []BinKind{BinAdd, BinMul, BinAnd, BinOr, BinXor, BinEq, BinNe} {
+		op := op
+		f := func(x, y int64) bool {
+			a, _ := op.Eval(x, y)
+			b, _ := op.Eval(y, x)
+			return a == b
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("operator %v not commutative: %v", op, err)
+		}
+	}
+}
+
+func TestBinKindComparisonsAreBoolean(t *testing.T) {
+	for _, op := range []BinKind{BinEq, BinNe, BinLt, BinLe, BinGt, BinGe} {
+		op := op
+		f := func(x, y int64) bool {
+			v, ok := op.Eval(x, y)
+			return ok && (v == 0 || v == 1)
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("operator %v yields non-boolean: %v", op, err)
+		}
+	}
+}
+
+func buildReturn42(t *testing.T) *Program {
+	t.Helper()
+	p := NewProgram()
+	b := NewBuilder("main", 0)
+	r := b.Const(42)
+	b.Ret(r)
+	p.AddFunc(b.F)
+	return p
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	p := buildReturn42(t)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate() = %v, want nil", err)
+	}
+}
+
+func TestValidateMissingEntry(t *testing.T) {
+	p := NewProgram()
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "entry function") {
+		t.Fatalf("Validate() = %v, want entry-function error", err)
+	}
+}
+
+func TestValidateMissingTerminator(t *testing.T) {
+	p := NewProgram()
+	b := NewBuilder("main", 0)
+	b.Const(1) // no terminator
+	p.AddFunc(b.F)
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "missing terminator") {
+		t.Fatalf("Validate() = %v, want missing-terminator error", err)
+	}
+}
+
+func TestValidateRegisterOutOfRange(t *testing.T) {
+	p := NewProgram()
+	b := NewBuilder("main", 0)
+	b.Cur.Instrs = append(b.Cur.Instrs, Instr{Op: OpMov, Dst: 0, A: 99})
+	b.F.NumRegs = 1
+	b.RetVoid()
+	p.AddFunc(b.F)
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("Validate() = %v, want out-of-range error", err)
+	}
+}
+
+func TestValidateUndefinedCallee(t *testing.T) {
+	p := NewProgram()
+	b := NewBuilder("main", 0)
+	b.CallVoid("nowhere")
+	b.RetVoid()
+	p.AddFunc(b.F)
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "undefined function") {
+		t.Fatalf("Validate() = %v, want undefined-function error", err)
+	}
+}
+
+func TestValidateArityMismatch(t *testing.T) {
+	p := NewProgram()
+	callee := NewBuilder("f", 2)
+	callee.RetVoid()
+	p.AddFunc(callee.F)
+	b := NewBuilder("main", 0)
+	x := b.Const(1)
+	b.CallVoid("f", x)
+	b.RetVoid()
+	p.AddFunc(b.F)
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "want 2") {
+		t.Fatalf("Validate() = %v, want arity error", err)
+	}
+}
+
+func TestValidateBadWidth(t *testing.T) {
+	p := NewProgram()
+	b := NewBuilder("main", 0)
+	a := b.Const(0)
+	b.Cur.Instrs = append(b.Cur.Instrs, Instr{Op: OpLoad, Dst: a, A: a, Width: 3})
+	b.RetVoid()
+	p.AddFunc(b.F)
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "width") {
+		t.Fatalf("Validate() = %v, want width error", err)
+	}
+}
+
+func TestValidateBranchTargets(t *testing.T) {
+	p := NewProgram()
+	b := NewBuilder("main", 0)
+	b.Cur.Instrs = append(b.Cur.Instrs, Instr{Op: OpJmp, Then: 7})
+	p.AddFunc(b.F)
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "block 7 out of range") {
+		t.Fatalf("Validate() = %v, want block-range error", err)
+	}
+}
+
+func TestValidateUnknownGlobal(t *testing.T) {
+	p := NewProgram()
+	b := NewBuilder("main", 0)
+	r := b.F.NewReg()
+	b.Cur.Instrs = append(b.Cur.Instrs, Instr{Op: OpGlobalAddr, Dst: r, Name: "ghost"})
+	b.RetVoid()
+	p.AddFunc(b.F)
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "unknown global") {
+		t.Fatalf("Validate() = %v, want unknown-global error", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := buildReturn42(t)
+	p.AddGlobal("g", 8, []byte{1, 2, 3})
+	cp := p.Clone()
+
+	// Mutating the clone must not affect the original.
+	cp.Funcs["main"].Blocks[0].Instrs[0].Imm = 7
+	cp.Globals[0].Data[0] = 9
+	cp.Funcs["main"].NumRegs = 99
+
+	if got := p.Funcs["main"].Blocks[0].Instrs[0].Imm; got != 42 {
+		t.Errorf("original instruction mutated through clone: imm = %d", got)
+	}
+	if got := p.Globals[0].Data[0]; got != 1 {
+		t.Errorf("original global data mutated through clone: %d", got)
+	}
+	if got := p.Funcs["main"].NumRegs; got == 99 {
+		t.Errorf("original func mutated through clone")
+	}
+}
+
+func TestCloneCopiesArgs(t *testing.T) {
+	p := NewProgram()
+	f := NewBuilder("f", 1)
+	f.RetVoid()
+	p.AddFunc(f.F)
+	b := NewBuilder("main", 0)
+	x := b.Const(1)
+	b.CallVoid("f", x)
+	b.RetVoid()
+	p.AddFunc(b.F)
+
+	cp := p.Clone()
+	var callInstr *Instr
+	for i := range cp.Funcs["main"].Blocks[0].Instrs {
+		if cp.Funcs["main"].Blocks[0].Instrs[i].Op == OpCall {
+			callInstr = &cp.Funcs["main"].Blocks[0].Instrs[i]
+		}
+	}
+	if callInstr == nil {
+		t.Fatal("clone lost the call instruction")
+	}
+	callInstr.Args[0] = 42
+	for i := range p.Funcs["main"].Blocks[0].Instrs {
+		in := &p.Funcs["main"].Blocks[0].Instrs[i]
+		if in.Op == OpCall && in.Args[0] == 42 {
+			t.Error("original call args mutated through clone")
+		}
+	}
+}
+
+func TestDumpContainsStructure(t *testing.T) {
+	p := buildReturn42(t)
+	p.AddGlobal("msg", 0, []byte("hi"))
+	d := p.Dump()
+	for _, want := range []string{"global msg", "func main", "const 42", "ret r0"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Dump() missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestInstrStringForms(t *testing.T) {
+	tests := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpConst, Dst: 1, Imm: 5}, "r1 = const 5"},
+		{Instr{Op: OpBin, Dst: 2, A: 0, B: 1, Bin: BinAdd}, "r2 = r0 + r1"},
+		{Instr{Op: OpLoad, Dst: 1, A: 0, Imm: 8, Width: 8}, "r1 = load8 [r0+8]"},
+		{Instr{Op: OpStore, A: 0, B: 1, Imm: -4, Width: 4}, "store4 [r0-4] = r1"},
+		{Instr{Op: OpLib, Dst: 3, Name: "socket", Args: []int{1, 2}, Site: 9}, "r3 = lib socket(r1, r2) #site9"},
+		{Instr{Op: OpBr, A: 1, Then: 2, Else: 3}, "br r1 ? b2 : b3"},
+		{Instr{Op: OpTxBegin, Imm: TxSTM, Site: 4}, "txbegin stm #site4"},
+		{Instr{Op: OpGate, Site: 2, Then: 5}, "gate #site2 -> b5"},
+		{Instr{Op: OpTrap, Imm: TrapInjected}, "trap 1"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestNewBlockAssignsSequentialIDs(t *testing.T) {
+	f := &Func{Name: "f"}
+	for i := 0; i < 5; i++ {
+		b := f.NewBlock("x")
+		if b.ID != i {
+			t.Fatalf("block %d got ID %d", i, b.ID)
+		}
+	}
+}
+
+func TestFrameAddrGrowsFrame(t *testing.T) {
+	b := NewBuilder("f", 0)
+	b.FrameAddr(0, 16)
+	b.FrameAddr(16, 64)
+	b.RetVoid()
+	if b.F.FrameSize != 80 {
+		t.Fatalf("FrameSize = %d, want 80", b.F.FrameSize)
+	}
+}
+
+func TestTerminatorDetection(t *testing.T) {
+	b := &Block{}
+	if b.Terminator() != nil {
+		t.Error("empty block reported a terminator")
+	}
+	b.Instrs = []Instr{{Op: OpConst, Dst: 0, Imm: 1}}
+	if b.Terminator() != nil {
+		t.Error("const reported as terminator")
+	}
+	b.Instrs = append(b.Instrs, Instr{Op: OpRet, A: -1})
+	if b.Terminator() == nil {
+		t.Error("ret not reported as terminator")
+	}
+}
+
+func TestProgramGlobalLookup(t *testing.T) {
+	p := NewProgram()
+	p.AddGlobal("a", 8, nil)
+	p.AddGlobal("b", 0, []byte("xyz"))
+	if g := p.Global("b"); g == nil || g.Size != 3 {
+		t.Fatalf("Global(b) = %+v, want size 3", g)
+	}
+	if p.Global("c") != nil {
+		t.Fatal("Global(c) should be nil")
+	}
+}
+
+func TestInstrCount(t *testing.T) {
+	p := buildReturn42(t)
+	if got := p.InstrCount(); got != 2 {
+		t.Fatalf("InstrCount() = %d, want 2", got)
+	}
+}

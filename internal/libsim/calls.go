@@ -1,0 +1,831 @@
+package libsim
+
+import (
+	"fmt"
+
+	"github.com/firestarter-go/firestarter/internal/mem"
+)
+
+// Fcntl and epoll command numbers (Linux values).
+const (
+	FGetFl = 3
+	FSetFl = 4
+
+	EpollCtlAdd = 1
+	EpollCtlDel = 2
+
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// DeferFreeFunc lets the recovery runtime defer a free() that executes
+// inside a live transaction until the transaction commits (the paper's
+// "operation deferrable" class). It returns true when the free has been
+// queued; false means no transaction is active and the free should happen
+// immediately.
+type DeferFreeFunc func(addr int64) bool
+
+// SetDeferFree installs the runtime's deferred-free hook (nil to clear).
+func (o *OS) SetDeferFree(f DeferFreeFunc) { o.deferFree = f }
+
+// ReadRecord describes the most recent data-consuming read, kept so the
+// compensation action for read/recv can push the bytes back into the
+// source queue ("state restoration needed" class).
+type ReadRecord struct {
+	FD   int64
+	Data []byte
+}
+
+// LastRead returns the most recent consuming read's record (nil if none).
+func (o *OS) LastRead() *ReadRecord { return o.lastRead }
+
+// Unread pushes data back to the front of a connection's inbound queue,
+// used by the read/recv compensation action.
+func (o *OS) Unread(fd int64, data []byte) bool {
+	s := o.lookupFD(fd)
+	if s == nil || s.Kind != FDConn {
+		return false
+	}
+	s.Conn.in = append(append([]byte(nil), data...), s.Conn.in...)
+	return true
+}
+
+type handler struct {
+	args int
+	fn   func(o *OS, a []int64) (int64, error)
+}
+
+// Call executes the named library function. It returns the call's result
+// and sets o.Errno on failure. The error return is reserved for simulation-
+// level conditions: ErrBlocked (the interpreter should yield and retry),
+// memory access errors from transaction-aware stores (which the runtime
+// turns into aborts/crashes), and ErrCorrupt for operations that real libc
+// would abort the process for (wild free).
+func (o *OS) Call(name string, args []int64) (int64, error) {
+	h, ok := callTable[name]
+	if !ok {
+		return 0, fmt.Errorf("libsim: unknown library function %q", name)
+	}
+	if h.args >= 0 && len(args) != h.args {
+		return 0, fmt.Errorf("libsim: %s called with %d args, want %d", name, len(args), h.args)
+	}
+	if o.Trace != nil {
+		o.Trace(name)
+	}
+	return h.fn(o, args)
+}
+
+// Known reports whether name is an implemented library function.
+func Known(name string) bool {
+	_, ok := callTable[name]
+	return ok
+}
+
+// ErrCorrupt reports heap corruption (wild/double free): real allocators
+// abort the process, so the interpreter converts this into a fail-stop
+// crash inside the application.
+var ErrCorrupt = fmt.Errorf("libsim: heap corruption detected")
+
+var callTable = buildCallTable()
+
+func buildCallTable() map[string]handler {
+	t := map[string]handler{}
+
+	// --- memory management -------------------------------------------------
+	t["malloc"] = handler{1, func(o *OS, a []int64) (int64, error) {
+		return o.alloc(a[0])
+	}}
+	t["calloc"] = handler{2, func(o *OS, a []int64) (int64, error) {
+		return o.alloc(a[0] * a[1])
+	}}
+	t["realloc"] = handler{2, func(o *OS, a []int64) (int64, error) {
+		if o.oomNow() {
+			o.Errno = ENOMEM
+			return 0, nil
+		}
+		r := o.heap.Realloc(a[0], a[1])
+		if r == -1 {
+			return 0, ErrCorrupt
+		}
+		if r == 0 {
+			o.Errno = ENOMEM
+		}
+		return r, nil
+	}}
+	t["posix_memalign"] = handler{3, func(o *OS, a []int64) (int64, error) {
+		// posix_memalign(outptr, alignment, size): returns an errno
+		// value directly, 0 on success.
+		if o.oomNow() {
+			return ENOMEM, nil
+		}
+		addr := o.heap.AllocAligned(a[1], a[2])
+		if addr == 0 {
+			return ENOMEM, nil
+		}
+		if err := o.store(a[0], addr, 8); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}}
+	t["free"] = handler{1, func(o *OS, a []int64) (int64, error) {
+		if a[0] == 0 {
+			return 0, nil
+		}
+		if o.deferFree != nil && o.deferFree(a[0]) {
+			return 0, nil
+		}
+		if !o.heap.Free(a[0]) {
+			return 0, ErrCorrupt
+		}
+		return 0, nil
+	}}
+	t["mmap"] = handler{1, func(o *OS, a []int64) (int64, error) {
+		// Anonymous mapping of a[0] bytes (page-aligned chunk from the
+		// allocator's aligned path).
+		if o.oomNow() {
+			o.Errno = ENOMEM
+			return -1, nil
+		}
+		addr := o.heap.AllocAligned(mem.PageSize, a[0])
+		if addr == 0 {
+			o.Errno = ENOMEM
+			return -1, nil
+		}
+		return addr, nil
+	}}
+	t["munmap"] = handler{2, func(o *OS, a []int64) (int64, error) {
+		if !o.heap.Free(a[0]) {
+			o.Errno = EINVAL
+			return -1, nil
+		}
+		return 0, nil
+	}}
+
+	// --- string/memory helpers (embedded libcalls) --------------------------
+	t["memset"] = handler{3, func(o *OS, a []int64) (int64, error) {
+		dst, c, n := a[0], a[1], a[2]
+		if n < 0 {
+			return dst, nil
+		}
+		splat := c & 0xff
+		word := splat | splat<<8 | splat<<16 | splat<<24 | splat<<32 | splat<<40 | splat<<48 | splat<<56
+		i := int64(0)
+		for ; i+8 <= n; i += 8 {
+			o.charge(2)
+			if err := o.store(dst+i, word, 8); err != nil {
+				return 0, err
+			}
+		}
+		for ; i < n; i++ {
+			o.charge(2)
+			if err := o.store(dst+i, splat, 1); err != nil {
+				return 0, err
+			}
+		}
+		return dst, nil
+	}}
+	t["memcpy"] = handler{3, func(o *OS, a []int64) (int64, error) {
+		dst, src, n := a[0], a[1], a[2]
+		if n < 0 {
+			return dst, nil
+		}
+		i := int64(0)
+		for ; i+8 <= n; i += 8 {
+			w, err := o.Space.Load(src+i, 8)
+			if err != nil {
+				return 0, err
+			}
+			o.charge(3)
+			if err := o.store(dst+i, w, 8); err != nil {
+				return 0, err
+			}
+		}
+		for ; i < n; i++ {
+			b, err := o.Space.Load(src+i, 1)
+			if err != nil {
+				return 0, err
+			}
+			o.charge(3)
+			if err := o.store(dst+i, b, 1); err != nil {
+				return 0, err
+			}
+		}
+		return dst, nil
+	}}
+	t["strlen"] = handler{1, func(o *OS, a []int64) (int64, error) {
+		n := int64(0)
+		for {
+			b, err := o.Space.Load(a[0]+n, 1)
+			if err != nil {
+				return 0, err
+			}
+			o.charge(1)
+			if b == 0 {
+				return n, nil
+			}
+			n++
+		}
+	}}
+	t["strcmp"] = handler{2, func(o *OS, a []int64) (int64, error) {
+		return o.strncmp(a[0], a[1], -1)
+	}}
+	t["strncmp"] = handler{3, func(o *OS, a []int64) (int64, error) {
+		return o.strncmp(a[0], a[1], a[2])
+	}}
+	t["strcpy"] = handler{2, func(o *OS, a []int64) (int64, error) {
+		dst, src := a[0], a[1]
+		for i := int64(0); ; i++ {
+			b, err := o.Space.Load(src+i, 1)
+			if err != nil {
+				return 0, err
+			}
+			o.charge(3)
+			if err := o.store(dst+i, b, 1); err != nil {
+				return 0, err
+			}
+			if b == 0 {
+				return dst, nil
+			}
+		}
+	}}
+	t["atoi"] = handler{1, func(o *OS, a []int64) (int64, error) {
+		s, err := o.Space.ReadCString(a[0], 64)
+		if err != nil {
+			return 0, err
+		}
+		var v int64
+		neg := false
+		for i, ch := range []byte(s) {
+			if i == 0 && ch == '-' {
+				neg = true
+				continue
+			}
+			if ch < '0' || ch > '9' {
+				break
+			}
+			v = v*10 + int64(ch-'0')
+		}
+		if neg {
+			v = -v
+		}
+		return v, nil
+	}}
+
+	// --- sockets -------------------------------------------------------------
+	t["socket"] = handler{0, func(o *OS, a []int64) (int64, error) {
+		fd := o.allocFD(&FD{Kind: FDListener, Listener: &Listener{Opts: map[int64]int64{}}})
+		if fd < 0 {
+			o.Errno = EMFILE
+			return -1, nil
+		}
+		return fd, nil
+	}}
+	t["setsockopt"] = handler{3, func(o *OS, a []int64) (int64, error) {
+		s := o.lookupFD(a[0])
+		if s == nil || s.Kind != FDListener {
+			o.Errno = EBADF
+			return -1, nil
+		}
+		s.Listener.Opts[a[1]] = a[2]
+		return 0, nil
+	}}
+	t["getsockopt"] = handler{2, func(o *OS, a []int64) (int64, error) {
+		s := o.lookupFD(a[0])
+		if s == nil || s.Kind != FDListener {
+			o.Errno = EBADF
+			return -1, nil
+		}
+		return s.Listener.Opts[a[1]], nil
+	}}
+	t["bind"] = handler{2, func(o *OS, a []int64) (int64, error) {
+		s := o.lookupFD(a[0])
+		if s == nil || s.Kind != FDListener {
+			o.Errno = EBADF
+			return -1, nil
+		}
+		port := a[1]
+		if _, taken := o.ports[port]; taken {
+			o.Errno = EADDRINUSE
+			return -1, nil
+		}
+		s.Listener.Port = port
+		o.ports[port] = s.Listener
+		return 0, nil
+	}}
+	t["listen"] = handler{2, func(o *OS, a []int64) (int64, error) {
+		s := o.lookupFD(a[0])
+		if s == nil || s.Kind != FDListener {
+			o.Errno = EBADF
+			return -1, nil
+		}
+		s.Listener.backlog = int(a[1])
+		return 0, nil
+	}}
+	t["accept"] = handler{1, func(o *OS, a []int64) (int64, error) {
+		s := o.lookupFD(a[0])
+		if s == nil || s.Kind != FDListener {
+			o.Errno = EBADF
+			return -1, nil
+		}
+		if len(s.Listener.queue) == 0 {
+			o.Errno = EAGAIN
+			return -1, nil
+		}
+		c := s.Listener.queue[0]
+		s.Listener.queue = s.Listener.queue[1:]
+		fd := o.allocFD(&FD{Kind: FDConn, Conn: c})
+		if fd < 0 {
+			o.Errno = EMFILE
+			return -1, nil
+		}
+		return fd, nil
+	}}
+	t["read"] = handler{3, func(o *OS, a []int64) (int64, error) {
+		return o.doRead(a[0], a[1], a[2])
+	}}
+	t["recv"] = handler{3, func(o *OS, a []int64) (int64, error) {
+		return o.doRead(a[0], a[1], a[2])
+	}}
+	t["write"] = handler{3, func(o *OS, a []int64) (int64, error) {
+		return o.doWrite(a[0], a[1], a[2])
+	}}
+	t["send"] = handler{3, func(o *OS, a []int64) (int64, error) {
+		return o.doWrite(a[0], a[1], a[2])
+	}}
+	t["close"] = handler{1, func(o *OS, a []int64) (int64, error) {
+		if !o.CloseFD(a[0]) {
+			o.Errno = EBADF
+			return -1, nil
+		}
+		return 0, nil
+	}}
+	t["shutdown"] = handler{2, func(o *OS, a []int64) (int64, error) {
+		s := o.lookupFD(a[0])
+		if s == nil || s.Kind != FDConn {
+			o.Errno = EBADF
+			return -1, nil
+		}
+		s.Conn.CloseServer()
+		return 0, nil
+	}}
+	t["fcntl"] = handler{3, func(o *OS, a []int64) (int64, error) {
+		s := o.lookupFD(a[0])
+		if s == nil {
+			o.Errno = EBADF
+			return -1, nil
+		}
+		switch a[1] {
+		case FSetFl:
+			s.NonBlock = a[2] != 0
+			return 0, nil
+		case FGetFl:
+			if s.NonBlock {
+				return 1, nil
+			}
+			return 0, nil
+		default:
+			o.Errno = EINVAL
+			return -1, nil
+		}
+	}}
+
+	// --- epoll ---------------------------------------------------------------
+	t["epoll_create"] = handler{0, func(o *OS, a []int64) (int64, error) {
+		fd := o.allocFD(&FD{Kind: FDEpoll, Epoll: &Epoll{watched: map[int64]bool{}}})
+		if fd < 0 {
+			o.Errno = EMFILE
+			return -1, nil
+		}
+		return fd, nil
+	}}
+	t["epoll_ctl"] = handler{3, func(o *OS, a []int64) (int64, error) {
+		s := o.lookupFD(a[0])
+		if s == nil || s.Kind != FDEpoll {
+			o.Errno = EBADF
+			return -1, nil
+		}
+		switch a[1] {
+		case EpollCtlAdd:
+			if o.lookupFD(a[2]) == nil {
+				o.Errno = EBADF
+				return -1, nil
+			}
+			s.Epoll.watched[a[2]] = true
+		case EpollCtlDel:
+			delete(s.Epoll.watched, a[2])
+		default:
+			o.Errno = EINVAL
+			return -1, nil
+		}
+		return 0, nil
+	}}
+	t["epoll_wait"] = handler{3, func(o *OS, a []int64) (int64, error) {
+		s := o.lookupFD(a[0])
+		if s == nil || s.Kind != FDEpoll {
+			o.Errno = EBADF
+			return -1, nil
+		}
+		if a[2] <= 0 {
+			o.Errno = EINVAL
+			return -1, nil
+		}
+		ready := o.readyFDs(s.Epoll)
+		if len(ready) == 0 {
+			return 0, ErrBlocked
+		}
+		n := int64(len(ready))
+		if n > a[2] {
+			n = a[2]
+		}
+		for i := int64(0); i < n; i++ {
+			if err := o.store(a[1]+i*8, ready[i], 8); err != nil {
+				return 0, err
+			}
+		}
+		return n, nil
+	}}
+
+	// --- files ---------------------------------------------------------------
+	t["open"] = handler{2, func(o *OS, a []int64) (int64, error) {
+		return o.doOpen(a[0], a[1])
+	}}
+	t["open64"] = handler{2, func(o *OS, a []int64) (int64, error) {
+		return o.doOpen(a[0], a[1])
+	}}
+	t["fstat"] = handler{2, func(o *OS, a []int64) (int64, error) {
+		s := o.lookupFD(a[0])
+		if s == nil || s.Kind != FDFile || s.File == nil {
+			o.Errno = EBADF
+			return -1, nil
+		}
+		if err := o.store(a[1], int64(len(s.File.File.Data)), 8); err != nil {
+			return 0, err
+		}
+		if err := o.store(a[1]+8, s.File.File.Mode, 8); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}}
+	t["stat"] = handler{2, func(o *OS, a []int64) (int64, error) {
+		path, err := o.Space.ReadCString(a[0], 256)
+		if err != nil {
+			return 0, err
+		}
+		f := o.fs.Lookup(path)
+		if f == nil {
+			o.Errno = ENOENT
+			return -1, nil
+		}
+		if err := o.store(a[1], int64(len(f.Data)), 8); err != nil {
+			return 0, err
+		}
+		if err := o.store(a[1]+8, f.Mode, 8); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}}
+	t["pread"] = handler{4, func(o *OS, a []int64) (int64, error) {
+		s := o.lookupFD(a[0])
+		if s == nil || s.Kind != FDFile || s.File == nil {
+			o.Errno = EBADF
+			return -1, nil
+		}
+		off, n := a[3], a[2]
+		data := s.File.File.Data
+		if off < 0 || n < 0 {
+			o.Errno = EINVAL
+			return -1, nil
+		}
+		if off >= int64(len(data)) {
+			return 0, nil
+		}
+		end := off + n
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		if err := o.writeBytes(a[1], data[off:end]); err != nil {
+			return 0, err
+		}
+		return end - off, nil
+	}}
+	t["pwrite"] = handler{4, func(o *OS, a []int64) (int64, error) {
+		s := o.lookupFD(a[0])
+		if s == nil || s.Kind != FDFile || s.File == nil {
+			o.Errno = EBADF
+			return -1, nil
+		}
+		if a[2] < 0 || a[3] < 0 {
+			o.Errno = EINVAL
+			return -1, nil
+		}
+		buf, err := o.Space.ReadBytes(a[1], a[2])
+		if err != nil {
+			return 0, err
+		}
+		f := s.File.File
+		off := a[3]
+		for int64(len(f.Data)) < off+a[2] {
+			f.Data = append(f.Data, 0)
+		}
+		copy(f.Data[off:], buf)
+		o.fs.WriteLog = append(o.fs.WriteLog, fmt.Sprintf("pwrite %s %d@%d", f.Name, a[2], off))
+		return a[2], nil
+	}}
+	t["lseek"] = handler{3, func(o *OS, a []int64) (int64, error) {
+		s := o.lookupFD(a[0])
+		if s == nil || s.Kind != FDFile || s.File == nil {
+			o.Errno = EBADF
+			return -1, nil
+		}
+		f := s.File
+		switch a[2] {
+		case SeekSet:
+			f.Offset = a[1]
+		case SeekCur:
+			f.Offset += a[1]
+		case SeekEnd:
+			f.Offset = int64(len(f.File.Data)) + a[1]
+		default:
+			o.Errno = EINVAL
+			return -1, nil
+		}
+		if f.Offset < 0 {
+			f.Offset = 0
+			o.Errno = EINVAL
+			return -1, nil
+		}
+		return f.Offset, nil
+	}}
+	t["unlink"] = handler{1, func(o *OS, a []int64) (int64, error) {
+		path, err := o.Space.ReadCString(a[0], 256)
+		if err != nil {
+			return 0, err
+		}
+		if !o.fs.Remove(path) {
+			o.Errno = ENOENT
+			return -1, nil
+		}
+		o.fs.WriteLog = append(o.fs.WriteLog, "unlink "+path)
+		return 0, nil
+	}}
+	t["rename"] = handler{2, func(o *OS, a []int64) (int64, error) {
+		from, err := o.Space.ReadCString(a[0], 256)
+		if err != nil {
+			return 0, err
+		}
+		to, err := o.Space.ReadCString(a[1], 256)
+		if err != nil {
+			return 0, err
+		}
+		if !o.fs.Rename(from, to) {
+			o.Errno = ENOENT
+			return -1, nil
+		}
+		o.fs.WriteLog = append(o.fs.WriteLog, "rename "+from+" "+to)
+		return 0, nil
+	}}
+	t["fsync"] = handler{1, func(o *OS, a []int64) (int64, error) {
+		s := o.lookupFD(a[0])
+		if s == nil || s.Kind != FDFile || s.File == nil {
+			o.Errno = EBADF
+			return -1, nil
+		}
+		o.fs.WriteLog = append(o.fs.WriteLog, "fsync "+s.File.File.Name)
+		return 0, nil
+	}}
+
+	// --- misc ----------------------------------------------------------------
+	t["getpid"] = handler{0, func(o *OS, a []int64) (int64, error) {
+		return o.pid, nil
+	}}
+	t["errno"] = handler{0, func(o *OS, a []int64) (int64, error) {
+		return o.Errno, nil
+	}}
+	t["htons"] = handler{1, func(o *OS, a []int64) (int64, error) {
+		v := a[0] & 0xffff
+		return (v>>8 | v<<8) & 0xffff, nil
+	}}
+	t["ntohl"] = handler{1, func(o *OS, a []int64) (int64, error) {
+		v := uint32(a[0])
+		return int64(v>>24 | (v>>8)&0xff00 | (v<<8)&0xff0000 | v<<24), nil
+	}}
+	t["time"] = handler{0, func(o *OS, a []int64) (int64, error) {
+		o.clock += 1000
+		return o.clock / 1_000_000_000, nil
+	}}
+	t["clock_gettime"] = handler{0, func(o *OS, a []int64) (int64, error) {
+		o.clock += 1000
+		return o.clock, nil
+	}}
+	t["gettimeofday"] = handler{0, func(o *OS, a []int64) (int64, error) {
+		o.clock += 1000
+		return o.clock / 1000, nil
+	}}
+	t["usleep"] = handler{1, func(o *OS, a []int64) (int64, error) {
+		o.clock += a[0] * 1000
+		return 0, nil
+	}}
+	t["puts"] = handler{1, func(o *OS, a []int64) (int64, error) {
+		s, err := o.Space.ReadCString(a[0], 4096)
+		if err != nil {
+			return 0, err
+		}
+		o.stdout = append(o.stdout, s...)
+		o.stdout = append(o.stdout, '\n')
+		return int64(len(s)) + 1, nil
+	}}
+	t["printf"] = handler{1, func(o *OS, a []int64) (int64, error) {
+		s, err := o.Space.ReadCString(a[0], 4096)
+		if err != nil {
+			return 0, err
+		}
+		o.stdout = append(o.stdout, s...)
+		return int64(len(s)), nil
+	}}
+	t["putint"] = handler{1, func(o *OS, a []int64) (int64, error) {
+		s := fmt.Sprintf("%d", a[0])
+		o.stdout = append(o.stdout, s...)
+		return int64(len(s)), nil
+	}}
+
+	return t
+}
+
+func (o *OS) alloc(size int64) (int64, error) {
+	if o.oomNow() {
+		o.Errno = ENOMEM
+		return 0, nil
+	}
+	addr := o.heap.Alloc(size)
+	if addr == 0 {
+		o.Errno = ENOMEM
+	}
+	return addr, nil
+}
+
+// oomNow consumes one tick of the OOMAfter countdown and reports whether
+// this allocation should fail.
+func (o *OS) oomNow() bool {
+	if o.OOMAfter > 0 {
+		o.OOMAfter--
+		return o.OOMAfter == 0
+	}
+	return false
+}
+
+func (o *OS) strncmp(p, q, n int64) (int64, error) {
+	for i := int64(0); n < 0 || i < n; i++ {
+		o.charge(2)
+		a, err := o.Space.Load(p+i, 1)
+		if err != nil {
+			return 0, err
+		}
+		b, err := o.Space.Load(q+i, 1)
+		if err != nil {
+			return 0, err
+		}
+		if a != b {
+			if a < b {
+				return -1, nil
+			}
+			return 1, nil
+		}
+		if a == 0 {
+			return 0, nil
+		}
+	}
+	return 0, nil
+}
+
+func (o *OS) doRead(fd, buf, n int64) (int64, error) {
+	s := o.lookupFD(fd)
+	if s == nil {
+		o.Errno = EBADF
+		return -1, nil
+	}
+	if n < 0 {
+		o.Errno = EINVAL
+		return -1, nil
+	}
+	switch s.Kind {
+	case FDConn:
+		c := s.Conn
+		if len(c.in) == 0 {
+			if c.clientClosed {
+				return 0, nil // EOF
+			}
+			o.Errno = EAGAIN
+			return -1, nil
+		}
+		take := n
+		if take > int64(len(c.in)) {
+			take = int64(len(c.in))
+		}
+		data := c.in[:take]
+		if err := o.writeBytes(buf, data); err != nil {
+			return 0, err
+		}
+		o.lastRead = &ReadRecord{FD: fd, Data: append([]byte(nil), data...)}
+		c.in = c.in[take:]
+		return take, nil
+	case FDFile:
+		f := s.File
+		if f == nil {
+			o.Errno = EBADF
+			return -1, nil
+		}
+		data := f.File.Data
+		if f.Offset >= int64(len(data)) {
+			return 0, nil
+		}
+		end := f.Offset + n
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		chunk := data[f.Offset:end]
+		if err := o.writeBytes(buf, chunk); err != nil {
+			return 0, err
+		}
+		o.lastRead = &ReadRecord{FD: fd, Data: append([]byte(nil), chunk...)}
+		got := end - f.Offset
+		f.Offset = end
+		return got, nil
+	default:
+		o.Errno = EBADF
+		return -1, nil
+	}
+}
+
+func (o *OS) doWrite(fd, buf, n int64) (int64, error) {
+	s := o.lookupFD(fd)
+	if s == nil {
+		o.Errno = EBADF
+		return -1, nil
+	}
+	if n < 0 {
+		o.Errno = EINVAL
+		return -1, nil
+	}
+	data, err := o.Space.ReadBytes(buf, n)
+	if err != nil {
+		return 0, err
+	}
+	o.charge(n)
+	switch s.Kind {
+	case FDConn:
+		c := s.Conn
+		if c.serverClosed {
+			o.Errno = EPIPE
+			return -1, nil
+		}
+		c.out = append(c.out, data...)
+		return n, nil
+	case FDFile:
+		if fd <= 2 || s.File == nil {
+			o.stdout = append(o.stdout, data...)
+			return n, nil
+		}
+		f := s.File
+		file := f.File
+		if f.Flags&OAppend != 0 {
+			f.Offset = int64(len(file.Data))
+		}
+		for int64(len(file.Data)) < f.Offset+n {
+			file.Data = append(file.Data, 0)
+		}
+		copy(file.Data[f.Offset:], data)
+		f.Offset += n
+		o.fs.WriteLog = append(o.fs.WriteLog, fmt.Sprintf("write %s %d", file.Name, n))
+		return n, nil
+	default:
+		o.Errno = EBADF
+		return -1, nil
+	}
+}
+
+func (o *OS) doOpen(pathAddr, flags int64) (int64, error) {
+	path, err := o.Space.ReadCString(pathAddr, 256)
+	if err != nil {
+		return 0, err
+	}
+	f := o.fs.Lookup(path)
+	if f == nil {
+		if flags&OCreat == 0 {
+			o.Errno = ENOENT
+			return -1, nil
+		}
+		f = o.fs.Add(path, nil)
+		o.fs.WriteLog = append(o.fs.WriteLog, "creat "+path)
+	}
+	if flags&OTrunc != 0 {
+		f.Data = nil
+		o.fs.WriteLog = append(o.fs.WriteLog, "trunc "+path)
+	}
+	fd := o.allocFD(&FD{Kind: FDFile, File: &OpenFile{File: f, Flags: flags}})
+	if fd < 0 {
+		o.Errno = EMFILE
+		return -1, nil
+	}
+	return fd, nil
+}

@@ -1,0 +1,260 @@
+// Package libsim is the simulated operating system and C library that
+// protected programs run against.
+//
+// Library calls are the heart of FIRestarter: they are the only way a
+// program interacts with its environment, they report errors through
+// documented return values and errno, and they define the boundaries of the
+// crash transactions. This package provides executable semantics for the
+// calls the example servers use — file descriptors, TCP-style sockets with
+// an accept queue and byte streams, epoll, an in-memory filesystem, a heap
+// allocator, time — plus the Go-side hooks the recovery runtime needs to
+// run compensation actions (close an fd, free a block, restore a file
+// offset) when it injects a fault.
+//
+// All writes the library performs into application memory (read(2) filling
+// a buffer, memset, memcpy, ...) go through a pluggable store function so
+// that the active crash transaction captures them: in HTM mode they join
+// the hardware write set (and can abort it — the paper's Fig. 3 shows
+// exactly this for post-malloc initialization), in STM mode they are undo-
+// logged, and on rollback they are reverted like any program store.
+package libsim
+
+import (
+	"fmt"
+
+	"github.com/firestarter-go/firestarter/internal/mem"
+)
+
+// Errno values (Linux numbering) reported by simulated calls.
+const (
+	ENOENT     = 2
+	EINTR      = 4
+	EBADF      = 9
+	EAGAIN     = 11
+	ENOMEM     = 12
+	EACCES     = 13
+	EFAULT     = 14
+	EINVAL     = 22
+	EMFILE     = 24
+	ENOSPC     = 28
+	EPIPE      = 32
+	ENOTCONN   = 107
+	EADDRINUSE = 98
+	ECONNRESET = 104
+)
+
+// FDKind distinguishes descriptor flavours in the fd table.
+type FDKind int
+
+// Descriptor kinds.
+const (
+	FDFree FDKind = iota
+	FDFile
+	FDListener
+	FDConn
+	FDEpoll
+	FDEventFD
+	FDPipe
+)
+
+// FD is one slot in the descriptor table.
+type FD struct {
+	Kind     FDKind
+	File     *OpenFile
+	Listener *Listener
+	Conn     *Conn
+	Epoll    *Epoll
+	NonBlock bool
+}
+
+// StoreFunc writes into application memory on behalf of a library call.
+// The recovery runtime points it at the active transaction so library
+// writes are checkpointed like program stores.
+type StoreFunc func(addr, val int64, width int) error
+
+// ErrBlocked is returned by a call that would block (e.g. epoll_wait with
+// nothing ready); the interpreter yields to the workload driver and retries
+// the call on resume.
+var ErrBlocked = fmt.Errorf("libsim: call would block")
+
+// OS is a simulated operating system instance bound to one address space.
+// It is single-threaded, like the paper's protected servers (§VII).
+type OS struct {
+	Space *mem.Space
+	Errno int64
+
+	fds    []*FD
+	heap   *Heap
+	fs     *FS
+	clock  int64 // nanoseconds, advanced by Tick and time calls
+	pid    int64
+	stdout []byte // bytes written to fd 1/2 (program log)
+
+	store     StoreFunc
+	deferFree DeferFreeFunc
+	lastRead  *ReadRecord
+	cycles    *int64
+
+	// ports maps bound port → listener for the client side (netsim).
+	ports map[int64]*Listener
+
+	// OOMAfter, when positive, makes the allocator fail with ENOMEM
+	// after that many more successful allocations (fault-injection aid).
+	OOMAfter int64
+
+	// Trace, when non-nil, receives one line per library call (used by
+	// the profiling experiments).
+	Trace func(name string)
+}
+
+// New returns an OS bound to the given address space.
+func New(space *mem.Space) *OS {
+	o := &OS{
+		Space: space,
+		heap:  newHeap(space),
+		fs:    NewFS(),
+		pid:   4242,
+		ports: make(map[int64]*Listener),
+	}
+	o.store = space.Store
+	// Reserve stdin/stdout/stderr so application fds start at 3.
+	o.fds = []*FD{{Kind: FDFile}, {Kind: FDFile}, {Kind: FDFile}}
+	return o
+}
+
+// FS returns the in-memory filesystem (for preloading a document root).
+func (o *OS) FS() *FS { return o.fs }
+
+// Heap exposes the allocator (for tests and compensation actions).
+func (o *OS) Heap() *Heap { return o.heap }
+
+// SetCycleSink points the library's cost accounting at the machine's
+// cycle counter, so bulk operations (memcpy, read, pread, ...) cost the
+// same under every runtime. A nil sink disables charging.
+func (o *OS) SetCycleSink(c *int64) { o.cycles = c }
+
+// charge adds n cycles of library-internal work.
+func (o *OS) charge(n int64) {
+	if o.cycles != nil {
+		*o.cycles += n
+	}
+}
+
+// SetStore installs the transaction-aware store function. A nil store
+// restores direct writes.
+func (o *OS) SetStore(s StoreFunc) {
+	if s == nil {
+		o.store = o.Space.Store
+		return
+	}
+	o.store = s
+}
+
+// Stdout returns everything the program wrote to stdout/stderr.
+func (o *OS) Stdout() string { return string(o.stdout) }
+
+// StdoutLen returns the current length of the program's output; the
+// recovery runtime snapshots it at transaction begin so log lines written
+// by embedded printf/puts calls can be compensated on rollback.
+func (o *OS) StdoutLen() int { return len(o.stdout) }
+
+// TruncateStdout discards output written after position n (rollback
+// compensation for embedded output calls).
+func (o *OS) TruncateStdout(n int) {
+	if n >= 0 && n < len(o.stdout) {
+		o.stdout = o.stdout[:n]
+	}
+}
+
+// Pid returns the simulated process id.
+func (o *OS) Pid() int64 { return o.pid }
+
+// Now returns the simulated clock in nanoseconds.
+func (o *OS) Now() int64 { return o.clock }
+
+// AdvanceClock moves the simulated clock forward.
+func (o *OS) AdvanceClock(ns int64) { o.clock += ns }
+
+// allocFD finds the lowest free descriptor slot, appends if necessary.
+func (o *OS) allocFD(fd *FD) int64 {
+	for i, s := range o.fds {
+		if s.Kind == FDFree {
+			o.fds[i] = fd
+			return int64(i)
+		}
+	}
+	if len(o.fds) >= 1024 {
+		return -1
+	}
+	o.fds = append(o.fds, fd)
+	return int64(len(o.fds) - 1)
+}
+
+// lookupFD returns the descriptor or nil.
+func (o *OS) lookupFD(fd int64) *FD {
+	if fd < 0 || fd >= int64(len(o.fds)) {
+		return nil
+	}
+	s := o.fds[fd]
+	if s.Kind == FDFree {
+		return nil
+	}
+	return s
+}
+
+// CloseFD closes a descriptor Go-side (used by compensation actions). It
+// returns false for an invalid descriptor.
+func (o *OS) CloseFD(fd int64) bool {
+	s := o.lookupFD(fd)
+	if s == nil {
+		return false
+	}
+	switch s.Kind {
+	case FDListener:
+		delete(o.ports, s.Listener.Port)
+		s.Listener.closed = true
+	case FDConn:
+		s.Conn.CloseServer()
+	}
+	if fd >= 3 {
+		o.fds[fd] = &FD{Kind: FDFree}
+	}
+	return true
+}
+
+// OpenFDs counts live descriptors (excluding std streams); tests use it to
+// detect descriptor leaks across recovery.
+func (o *OS) OpenFDs() int {
+	n := 0
+	for i, s := range o.fds {
+		if i >= 3 && s.Kind != FDFree {
+			n++
+		}
+	}
+	return n
+}
+
+// writeBytes pushes a byte slice into application memory through the
+// transaction-aware store, in 8-byte words where possible (modelling the
+// word-granular store instrumentation real compiler passes emit), with
+// byte stores at the unaligned tail.
+func (o *OS) writeBytes(addr int64, data []byte) error {
+	i := 0
+	for ; i+8 <= len(data); i += 8 {
+		var w int64
+		for j := 7; j >= 0; j-- {
+			w = w<<8 | int64(data[i+j])
+		}
+		o.charge(2)
+		if err := o.store(addr+int64(i), w, 8); err != nil {
+			return err
+		}
+	}
+	for ; i < len(data); i++ {
+		o.charge(2)
+		if err := o.store(addr+int64(i), int64(data[i]), 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package libsim
+
+// Listener is a bound, listening socket with an accept queue.
+type Listener struct {
+	Port    int64
+	backlog int
+	queue   []*Conn
+	closed  bool
+
+	// Opts records setsockopt settings (so tests can assert on them and
+	// compensation can be observed).
+	Opts map[int64]int64
+}
+
+// Pending returns the number of connections waiting to be accepted.
+func (l *Listener) Pending() int { return len(l.queue) }
+
+// Conn is one established connection. The server side reads from in and
+// writes to out; the client endpoint (package netsim) does the reverse.
+type Conn struct {
+	in, out      []byte
+	clientClosed bool // client sent FIN: reads drain then return 0
+	serverClosed bool // server closed its fd
+}
+
+// CloseServer closes the server side of the connection.
+func (c *Conn) CloseServer() { c.serverClosed = true }
+
+// ServerClosed reports whether the server closed its end.
+func (c *Conn) ServerClosed() bool { return c.serverClosed }
+
+// ClientDeliver appends bytes arriving from the client (netsim side).
+func (c *Conn) ClientDeliver(data []byte) { c.in = append(c.in, data...) }
+
+// ClientClose marks the client end closed (FIN).
+func (c *Conn) ClientClose() { c.clientClosed = true }
+
+// ClientTake drains and returns everything the server has written
+// (netsim side).
+func (c *Conn) ClientTake() []byte {
+	out := c.out
+	c.out = nil
+	return out
+}
+
+// Readable reports whether a server-side read would make progress: data is
+// queued, or the client closed (EOF is readable).
+func (c *Conn) Readable() bool { return len(c.in) > 0 || c.clientClosed }
+
+// InboundLen returns queued unread bytes (tests).
+func (c *Conn) InboundLen() int { return len(c.in) }
+
+// Connect establishes a client connection to a bound port, Go-side. It
+// returns the connection to drive from the client end, or nil if no
+// listener is bound or the accept queue is full.
+func (o *OS) Connect(port int64) *Conn {
+	l, ok := o.ports[port]
+	if !ok || l.closed {
+		return nil
+	}
+	if l.backlog > 0 && len(l.queue) >= l.backlog {
+		return nil
+	}
+	c := &Conn{}
+	l.queue = append(l.queue, c)
+	return c
+}
+
+// ListenerOn returns the listener bound to port, or nil (tests).
+func (o *OS) ListenerOn(port int64) *Listener { return o.ports[port] }
+
+// Unbind releases a bound port without closing the socket's descriptor —
+// the compensation action for bind(2), which must revert the binding while
+// leaving the fd for the application's own error handling to close.
+func (o *OS) Unbind(port int64) bool {
+	l, ok := o.ports[port]
+	if !ok {
+		return false
+	}
+	l.Port = 0
+	delete(o.ports, port)
+	return true
+}
+
+// PortOfFD returns the bound port of a listener descriptor, or -1.
+func (o *OS) PortOfFD(fd int64) int64 {
+	s := o.lookupFD(fd)
+	if s == nil || s.Kind != FDListener {
+		return -1
+	}
+	return s.Listener.Port
+}
+
+// SockOutLen returns the bytes queued toward the client on a connection
+// descriptor, or -1 for non-connection descriptors. Together with
+// TruncateSockOut it implements the paper's proposed write-masking
+// extension (§V-A): a socket write's network-visible effect can be
+// retracted while the bytes are still in flight, letting write/send join
+// the recoverable classes.
+func (o *OS) SockOutLen(fd int64) int64 {
+	s := o.lookupFD(fd)
+	if s == nil || s.Kind != FDConn {
+		return -1
+	}
+	return int64(len(s.Conn.out))
+}
+
+// TruncateSockOut drops bytes queued after position n on a connection
+// (the compensation action for a masked write).
+func (o *OS) TruncateSockOut(fd, n int64) bool {
+	s := o.lookupFD(fd)
+	if s == nil || s.Kind != FDConn {
+		return false
+	}
+	if n >= 0 && n < int64(len(s.Conn.out)) {
+		s.Conn.out = s.Conn.out[:n]
+	}
+	return true
+}
+
+// Epoll is an epoll instance: a set of watched descriptors.
+type Epoll struct {
+	watched map[int64]bool
+}
+
+// readyFDs returns watched descriptors that are currently readable, in
+// ascending fd order (deterministic).
+func (o *OS) readyFDs(ep *Epoll) []int64 {
+	var ready []int64
+	for fd := range ep.watched {
+		s := o.lookupFD(fd)
+		if s == nil {
+			continue
+		}
+		switch s.Kind {
+		case FDListener:
+			if len(s.Listener.queue) > 0 {
+				ready = append(ready, fd)
+			}
+		case FDConn:
+			if s.Conn.Readable() {
+				ready = append(ready, fd)
+			}
+		case FDEventFD:
+			ready = append(ready, fd)
+		}
+	}
+	// Insertion sort: ready lists are tiny.
+	for i := 1; i < len(ready); i++ {
+		for j := i; j > 0 && ready[j] < ready[j-1]; j-- {
+			ready[j], ready[j-1] = ready[j-1], ready[j]
+		}
+	}
+	return ready
+}

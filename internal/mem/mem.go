@@ -1,0 +1,258 @@
+// Package mem implements the simulated 64-bit address space that protected
+// programs execute against.
+//
+// The space is paged (4 KiB pages) and sparse: pages materialize on Map and
+// any access to an unmapped page raises ErrUnmapped, which the interpreter
+// converts into a fail-stop crash (the SIGSEGV of the paper's fault model).
+// Three conventional segments are laid out by Layout: globals, a heap
+// managed by the allocator in package libsim, and a downward-growing stack.
+//
+// The address space also keeps the resident-set accounting used by the
+// Fig. 9 memory-overhead experiment.
+package mem
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// PageSize is the size of a simulated page in bytes.
+const PageSize = 4096
+
+// Conventional segment base addresses. Address 0 is never mapped so null
+// dereferences always trap.
+const (
+	GlobalBase = 0x0001_0000
+	HeapBase   = 0x1000_0000
+	HeapLimit  = 0x5000_0000
+	StackTop   = 0x7fff_f000 // stack grows down from here
+	StackLimit = 0x7ff0_0000 // lowest mappable stack address
+)
+
+// ErrUnmapped is returned for any access touching an unmapped page. The
+// interpreter turns it into a fail-stop trap.
+var ErrUnmapped = errors.New("mem: access to unmapped address")
+
+// ErrBadRange is returned for zero/negative-length or overflowing ranges.
+var ErrBadRange = errors.New("mem: invalid address range")
+
+// AccessError describes a faulting access; it wraps ErrUnmapped so callers
+// can match with errors.Is while still recovering the faulting address.
+type AccessError struct {
+	Addr  int64
+	Width int
+	Write bool
+}
+
+// Error implements error.
+func (e *AccessError) Error() string {
+	kind := "read"
+	if e.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("mem: %s of %d bytes at unmapped address %#x", kind, e.Width, e.Addr)
+}
+
+// Unwrap makes errors.Is(err, ErrUnmapped) hold.
+func (e *AccessError) Unwrap() error { return ErrUnmapped }
+
+// Space is a sparse paged address space. The zero value is ready to use.
+// Space is not safe for concurrent use; the simulation is single-threaded,
+// matching the paper's fault model (§VII defers multithreading).
+type Space struct {
+	pages map[int64]*[PageSize]byte
+
+	// peakPages tracks the high-water mark of mapped pages for RSS
+	// accounting (Fig. 9).
+	peakPages int
+}
+
+// NewSpace returns an empty address space.
+func NewSpace() *Space {
+	return &Space{pages: make(map[int64]*[PageSize]byte)}
+}
+
+// Map materializes all pages covering [addr, addr+size). Already-mapped
+// pages are left untouched. size must be positive.
+func (s *Space) Map(addr, size int64) error {
+	if size <= 0 || addr < 0 || addr+size < addr {
+		return fmt.Errorf("%w: map [%#x, +%d)", ErrBadRange, addr, size)
+	}
+	if s.pages == nil {
+		s.pages = make(map[int64]*[PageSize]byte)
+	}
+	first := addr / PageSize
+	last := (addr + size - 1) / PageSize
+	for p := first; p <= last; p++ {
+		if _, ok := s.pages[p]; !ok {
+			s.pages[p] = new([PageSize]byte)
+		}
+	}
+	if len(s.pages) > s.peakPages {
+		s.peakPages = len(s.pages)
+	}
+	return nil
+}
+
+// Unmap removes all pages fully contained in [addr, addr+size). Partial
+// pages at the edges are kept mapped (mirroring munmap page rounding).
+func (s *Space) Unmap(addr, size int64) error {
+	if size <= 0 || addr < 0 || addr+size < addr {
+		return fmt.Errorf("%w: unmap [%#x, +%d)", ErrBadRange, addr, size)
+	}
+	first := (addr + PageSize - 1) / PageSize
+	last := (addr + size) / PageSize // exclusive
+	for p := first; p < last; p++ {
+		delete(s.pages, p)
+	}
+	return nil
+}
+
+// Mapped reports whether every byte of [addr, addr+size) is mapped.
+func (s *Space) Mapped(addr, size int64) bool {
+	if size <= 0 || addr < 0 || addr+size < addr {
+		return false
+	}
+	first := addr / PageSize
+	last := (addr + size - 1) / PageSize
+	for p := first; p <= last; p++ {
+		if _, ok := s.pages[p]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// MappedPages returns the number of currently mapped pages.
+func (s *Space) MappedPages() int { return len(s.pages) }
+
+// PeakPages returns the high-water mark of mapped pages.
+func (s *Space) PeakPages() int { return s.peakPages }
+
+// RSS returns the current resident set size in bytes.
+func (s *Space) RSS() int64 { return int64(len(s.pages)) * PageSize }
+
+// Load reads width (1, 2, 4 or 8) bytes at addr, zero-extending to int64.
+func (s *Space) Load(addr int64, width int) (int64, error) {
+	var buf [8]byte
+	if err := s.read(addr, buf[:width]); err != nil {
+		return 0, &AccessError{Addr: addr, Width: width}
+	}
+	switch width {
+	case 1:
+		return int64(buf[0]), nil
+	case 2:
+		return int64(binary.LittleEndian.Uint16(buf[:2])), nil
+	case 4:
+		return int64(binary.LittleEndian.Uint32(buf[:4])), nil
+	case 8:
+		return int64(binary.LittleEndian.Uint64(buf[:8])), nil
+	default:
+		return 0, fmt.Errorf("%w: load width %d", ErrBadRange, width)
+	}
+}
+
+// Store writes the low width bytes of val at addr.
+func (s *Space) Store(addr int64, val int64, width int) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(val))
+	switch width {
+	case 1, 2, 4, 8:
+	default:
+		return fmt.Errorf("%w: store width %d", ErrBadRange, width)
+	}
+	if err := s.write(addr, buf[:width]); err != nil {
+		return &AccessError{Addr: addr, Width: width, Write: true}
+	}
+	return nil
+}
+
+// ReadBytes copies size bytes starting at addr into a fresh slice.
+func (s *Space) ReadBytes(addr, size int64) ([]byte, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("%w: read %d bytes", ErrBadRange, size)
+	}
+	out := make([]byte, size)
+	if err := s.read(addr, out); err != nil {
+		return nil, &AccessError{Addr: addr, Width: int(size)}
+	}
+	return out, nil
+}
+
+// WriteBytes copies data into the space starting at addr.
+func (s *Space) WriteBytes(addr int64, data []byte) error {
+	if err := s.write(addr, data); err != nil {
+		return &AccessError{Addr: addr, Width: len(data), Write: true}
+	}
+	return nil
+}
+
+// ReadCString reads a NUL-terminated string starting at addr, up to max
+// bytes (a safety bound against runaway reads of corrupted memory).
+func (s *Space) ReadCString(addr int64, max int) (string, error) {
+	out := make([]byte, 0, 32)
+	for i := 0; i < max; i++ {
+		b, err := s.Load(addr+int64(i), 1)
+		if err != nil {
+			return "", err
+		}
+		if b == 0 {
+			return string(out), nil
+		}
+		out = append(out, byte(b))
+	}
+	return "", fmt.Errorf("mem: unterminated string at %#x (limit %d)", addr, max)
+}
+
+func (s *Space) read(addr int64, dst []byte) error {
+	if addr < 0 {
+		return ErrUnmapped
+	}
+	for len(dst) > 0 {
+		page, ok := s.pages[addr/PageSize]
+		if !ok {
+			return ErrUnmapped
+		}
+		off := int(addr % PageSize)
+		n := copy(dst, page[off:])
+		dst = dst[n:]
+		addr += int64(n)
+	}
+	return nil
+}
+
+func (s *Space) write(addr int64, src []byte) error {
+	if addr < 0 {
+		return ErrUnmapped
+	}
+	for len(src) > 0 {
+		page, ok := s.pages[addr/PageSize]
+		if !ok {
+			return ErrUnmapped
+		}
+		off := int(addr % PageSize)
+		n := copy(page[off:], src)
+		src = src[n:]
+		addr += int64(n)
+	}
+	return nil
+}
+
+// CacheLineSize is the cache-line granularity (64 B) the HTM model tracks
+// write sets at.
+const CacheLineSize = 64
+
+// LineAddr returns addr rounded down to its cache line.
+func LineAddr(addr int64) int64 { return addr &^ (CacheLineSize - 1) }
+
+// LinesTouched returns the cache lines covered by an access of width bytes
+// at addr (one or two lines; simulated accesses are at most 8 bytes).
+func LinesTouched(addr int64, width int) (first, second int64, spans bool) {
+	first = LineAddr(addr)
+	last := LineAddr(addr + int64(width) - 1)
+	if last != first {
+		return first, last, true
+	}
+	return first, 0, false
+}

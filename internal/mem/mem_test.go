@@ -1,0 +1,235 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapAndAccess(t *testing.T) {
+	s := NewSpace()
+	if err := s.Map(GlobalBase, 100); err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	if err := s.Store(GlobalBase+8, 0x1122334455667788, 8); err != nil {
+		t.Fatalf("Store: %v", err)
+	}
+	v, err := s.Load(GlobalBase+8, 8)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if v != 0x1122334455667788 {
+		t.Fatalf("Load = %#x", v)
+	}
+}
+
+func TestLoadWidthsZeroExtend(t *testing.T) {
+	s := NewSpace()
+	if err := s.Map(HeapBase, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store(HeapBase, -1, 8); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		width int
+		want  int64
+	}{
+		{1, 0xff},
+		{2, 0xffff},
+		{4, 0xffffffff},
+		{8, -1},
+	}
+	for _, tt := range tests {
+		got, err := s.Load(HeapBase, tt.width)
+		if err != nil {
+			t.Fatalf("Load width %d: %v", tt.width, err)
+		}
+		if got != tt.want {
+			t.Errorf("Load width %d = %#x, want %#x", tt.width, got, tt.want)
+		}
+	}
+}
+
+func TestUnmappedAccessTraps(t *testing.T) {
+	s := NewSpace()
+	if _, err := s.Load(0, 8); !errors.Is(err, ErrUnmapped) {
+		t.Errorf("null load error = %v, want ErrUnmapped", err)
+	}
+	if err := s.Store(0x123456, 1, 8); !errors.Is(err, ErrUnmapped) {
+		t.Errorf("wild store error = %v, want ErrUnmapped", err)
+	}
+	var ae *AccessError
+	err := s.Store(0x40, 1, 4)
+	if !errors.As(err, &ae) {
+		t.Fatalf("error %v is not an AccessError", err)
+	}
+	if ae.Addr != 0x40 || !ae.Write || ae.Width != 4 {
+		t.Errorf("AccessError = %+v", ae)
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	s := NewSpace()
+	addr := int64(GlobalBase + PageSize - 4)
+	if err := s.Map(GlobalBase, 2*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store(addr, 0x0123456789abcdef, 8); err != nil {
+		t.Fatalf("cross-page store: %v", err)
+	}
+	v, err := s.Load(addr, 8)
+	if err != nil {
+		t.Fatalf("cross-page load: %v", err)
+	}
+	if v != 0x0123456789abcdef {
+		t.Fatalf("cross-page roundtrip = %#x", v)
+	}
+}
+
+func TestCrossPageIntoUnmappedFails(t *testing.T) {
+	s := NewSpace()
+	if err := s.Map(GlobalBase, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	addr := int64(GlobalBase + PageSize - 4)
+	if err := s.Store(addr, 1, 8); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("store spilling into unmapped page: err = %v, want ErrUnmapped", err)
+	}
+}
+
+func TestUnmapRemovesWholePagesOnly(t *testing.T) {
+	s := NewSpace()
+	if err := s.Map(HeapBase, 3*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	// Unmap a range that only fully covers the middle page.
+	if err := s.Unmap(HeapBase+100, 2*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Mapped(HeapBase, PageSize) {
+		t.Error("first (partially covered) page was unmapped")
+	}
+	if s.Mapped(HeapBase+PageSize, PageSize) {
+		t.Error("fully covered middle page still mapped")
+	}
+	if !s.Mapped(HeapBase+2*PageSize, PageSize) {
+		t.Error("last (partially covered) page was unmapped")
+	}
+}
+
+func TestBadRanges(t *testing.T) {
+	s := NewSpace()
+	if err := s.Map(100, 0); !errors.Is(err, ErrBadRange) {
+		t.Errorf("Map size 0: %v", err)
+	}
+	if err := s.Map(-5, 10); !errors.Is(err, ErrBadRange) {
+		t.Errorf("Map negative: %v", err)
+	}
+	if err := s.Unmap(100, -1); !errors.Is(err, ErrBadRange) {
+		t.Errorf("Unmap negative: %v", err)
+	}
+	if s.Mapped(100, 0) {
+		t.Error("Mapped(size 0) = true")
+	}
+}
+
+func TestRSSAccounting(t *testing.T) {
+	s := NewSpace()
+	if err := s.Map(HeapBase, 4*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.RSS(); got != 4*PageSize {
+		t.Errorf("RSS = %d, want %d", got, 4*PageSize)
+	}
+	if err := s.Unmap(HeapBase, 4*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.RSS(); got != 0 {
+		t.Errorf("RSS after unmap = %d, want 0", got)
+	}
+	if got := s.PeakPages(); got != 4 {
+		t.Errorf("PeakPages = %d, want 4", got)
+	}
+}
+
+func TestReadWriteBytes(t *testing.T) {
+	s := NewSpace()
+	if err := s.Map(GlobalBase, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("hello, firestarter")
+	if err := s.WriteBytes(GlobalBase+10, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadBytes(GlobalBase+10, int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("ReadBytes = %q", got)
+	}
+}
+
+func TestReadCString(t *testing.T) {
+	s := NewSpace()
+	if err := s.Map(GlobalBase, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteBytes(GlobalBase, append([]byte("abc"), 0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadCString(GlobalBase, 100)
+	if err != nil || got != "abc" {
+		t.Fatalf("ReadCString = %q, %v", got, err)
+	}
+	if _, err := s.ReadCString(GlobalBase, 2); err == nil {
+		t.Error("ReadCString within limit 2 should fail (no NUL)")
+	}
+}
+
+func TestStoreLoadRoundtripProperty(t *testing.T) {
+	s := NewSpace()
+	if err := s.Map(HeapBase, 16*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	f := func(off uint16, val int64) bool {
+		addr := HeapBase + int64(off)
+		if err := s.Store(addr, val, 8); err != nil {
+			return false
+		}
+		got, err := s.Load(addr, 8)
+		return err == nil && got == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLineHelpers(t *testing.T) {
+	if LineAddr(0) != 0 || LineAddr(63) != 0 || LineAddr(64) != 64 || LineAddr(130) != 128 {
+		t.Error("LineAddr rounding wrong")
+	}
+	first, second, spans := LinesTouched(60, 8)
+	if !spans || first != 0 || second != 64 {
+		t.Errorf("LinesTouched(60,8) = %d,%d,%v", first, second, spans)
+	}
+	first, _, spans = LinesTouched(64, 8)
+	if spans || first != 64 {
+		t.Errorf("LinesTouched(64,8) = %d,%v", first, spans)
+	}
+}
+
+func TestZeroValueSpaceUsable(t *testing.T) {
+	var s Space
+	if err := s.Map(GlobalBase, 8); err != nil {
+		t.Fatalf("zero-value Map: %v", err)
+	}
+	if err := s.Store(GlobalBase, 7, 8); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Load(GlobalBase, 8)
+	if err != nil || v != 7 {
+		t.Fatalf("zero-value roundtrip = %d, %v", v, err)
+	}
+}

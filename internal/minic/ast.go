@@ -1,0 +1,250 @@
+package minic
+
+// TypeKind enumerates mini-C types.
+type TypeKind int
+
+// Type kinds.
+const (
+	KindInt TypeKind = iota + 1
+	KindChar
+	KindVoid
+	KindPtr
+	KindArray
+	KindStruct
+)
+
+// Type is a mini-C type. Types are compared structurally.
+type Type struct {
+	Kind       TypeKind
+	Elem       *Type // for Ptr and Array
+	N          int64 // for Array
+	StructName string
+}
+
+var (
+	typeInt  = &Type{Kind: KindInt}
+	typeChar = &Type{Kind: KindChar}
+	typeVoid = &Type{Kind: KindVoid}
+)
+
+func ptrTo(t *Type) *Type { return &Type{Kind: KindPtr, Elem: t} }
+
+// isScalar reports whether values of this type fit a register.
+func (t *Type) isScalar() bool {
+	switch t.Kind {
+	case KindInt, KindChar, KindPtr:
+		return true
+	}
+	return false
+}
+
+// width returns the memory access width for scalar loads/stores.
+func (t *Type) width() int {
+	if t.Kind == KindChar {
+		return 1
+	}
+	return 8
+}
+
+func (t *Type) String() string {
+	switch t.Kind {
+	case KindInt:
+		return "int"
+	case KindChar:
+		return "char"
+	case KindVoid:
+		return "void"
+	case KindPtr:
+		return t.Elem.String() + "*"
+	case KindArray:
+		return t.Elem.String() + "[]"
+	case KindStruct:
+		return "struct " + t.StructName
+	default:
+		return "?"
+	}
+}
+
+// --- expressions -----------------------------------------------------------
+
+type expr interface{ exprLine() int }
+
+type intLit struct {
+	line int
+	v    int64
+}
+
+type strLit struct {
+	line int
+	s    string
+}
+
+type identExpr struct {
+	line int
+	name string
+}
+
+type unaryExpr struct {
+	line int
+	op   string // - ! * & ~
+	x    expr
+}
+
+type binaryExpr struct {
+	line int
+	op   string
+	x, y expr
+}
+
+type assignExpr struct {
+	line int
+	op   string // = += -= *= /= %= &= |= ^= <<= >>=
+	lhs  expr
+	rhs  expr
+}
+
+type callExpr struct {
+	line int
+	name string
+	args []expr
+}
+
+type indexExpr struct {
+	line int
+	base expr
+	idx  expr
+}
+
+type fieldExpr struct {
+	line  int
+	base  expr
+	field string
+}
+
+type sizeofExpr struct {
+	line int
+	typ  *Type
+}
+
+type incDecExpr struct {
+	line int
+	op   string // "++" or "--"
+	lhs  expr
+}
+
+func (e *intLit) exprLine() int     { return e.line }
+func (e *strLit) exprLine() int     { return e.line }
+func (e *identExpr) exprLine() int  { return e.line }
+func (e *unaryExpr) exprLine() int  { return e.line }
+func (e *binaryExpr) exprLine() int { return e.line }
+func (e *assignExpr) exprLine() int { return e.line }
+func (e *callExpr) exprLine() int   { return e.line }
+func (e *indexExpr) exprLine() int  { return e.line }
+func (e *fieldExpr) exprLine() int  { return e.line }
+func (e *sizeofExpr) exprLine() int { return e.line }
+func (e *incDecExpr) exprLine() int { return e.line }
+
+// --- statements --------------------------------------------------------------
+
+type stmt interface{ stmtLine() int }
+
+type declStmt struct {
+	line int
+	typ  *Type
+	name string
+	init expr // nil when absent
+}
+
+type exprStmt struct {
+	line int
+	e    expr
+}
+
+type ifStmt struct {
+	line int
+	cond expr
+	then *blockStmt
+	els  stmt // *blockStmt, *ifStmt or nil
+}
+
+type whileStmt struct {
+	line int
+	cond expr
+	body *blockStmt
+}
+
+type forStmt struct {
+	line int
+	init stmt // declStmt or exprStmt or nil
+	cond expr // nil = true
+	post expr // nil
+	body *blockStmt
+}
+
+type breakStmt struct{ line int }
+type continueStmt struct{ line int }
+
+type returnStmt struct {
+	line int
+	e    expr // nil for void
+}
+
+type blockStmt struct {
+	line  int
+	stmts []stmt
+}
+
+type assertStmt struct {
+	line int
+	e    expr
+}
+
+func (s *declStmt) stmtLine() int     { return s.line }
+func (s *exprStmt) stmtLine() int     { return s.line }
+func (s *ifStmt) stmtLine() int       { return s.line }
+func (s *whileStmt) stmtLine() int    { return s.line }
+func (s *forStmt) stmtLine() int      { return s.line }
+func (s *breakStmt) stmtLine() int    { return s.line }
+func (s *continueStmt) stmtLine() int { return s.line }
+func (s *returnStmt) stmtLine() int   { return s.line }
+func (s *blockStmt) stmtLine() int    { return s.line }
+func (s *assertStmt) stmtLine() int   { return s.line }
+
+// --- top level ---------------------------------------------------------------
+
+type structField struct {
+	typ  *Type
+	name string
+}
+
+type structDef struct {
+	line   int
+	name   string
+	fields []structField
+}
+
+type funcParam struct {
+	typ  *Type
+	name string
+}
+
+type funcDef struct {
+	line   int
+	ret    *Type
+	name   string
+	params []funcParam
+	body   *blockStmt
+}
+
+type globalDef struct {
+	line int
+	typ  *Type
+	name string
+	init expr // constant int or string literal; nil for zero
+}
+
+type file struct {
+	structs []*structDef
+	globals []*globalDef
+	funcs   []*funcDef
+}

@@ -1,0 +1,771 @@
+package minic
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/firestarter-go/firestarter/internal/ir"
+)
+
+// Config controls compilation.
+type Config struct {
+	// KnownLib, when non-nil, validates library call names: calls to
+	// undeclared functions not accepted by KnownLib are compile errors.
+	// Pass libsim.Known to catch typos in the example applications.
+	KnownLib func(name string) bool
+}
+
+// Compile translates mini-C source into an IR program and validates it.
+func Compile(src string, cfg Config) (*ir.Program, error) {
+	p := newParser(src)
+	f := p.parseFile()
+	errs := append(p.lex.errs, p.errs...)
+	if len(errs) > 0 {
+		return nil, errs
+	}
+	c := &compiler{
+		cfg:     cfg,
+		prog:    ir.NewProgram(),
+		structs: map[string]*structLayout{},
+		funcs:   map[string]*funcDef{},
+		globals: map[string]*Type{},
+		strs:    map[string]string{},
+	}
+	c.compileFile(f)
+	if len(c.errs) > 0 {
+		return nil, c.errs
+	}
+	if err := c.prog.Validate(); err != nil {
+		return nil, fmt.Errorf("minic: generated invalid IR (compiler bug): %w", err)
+	}
+	return c.prog, nil
+}
+
+type fieldInfo struct {
+	off int64
+	typ *Type
+}
+
+type structLayout struct {
+	size   int64
+	fields map[string]fieldInfo
+	order  []string
+}
+
+type compiler struct {
+	cfg     Config
+	prog    *ir.Program
+	structs map[string]*structLayout
+	funcs   map[string]*funcDef
+	globals map[string]*Type
+	strs    map[string]string // literal → global name
+	errs    ErrorList
+
+	// per-function state
+	b      *ir.Builder
+	fn     *funcDef
+	scopes []map[string]*local
+	loops  []loopCtx
+}
+
+type local struct {
+	typ      *Type
+	reg      int
+	frameOff int64
+	isFrame  bool
+}
+
+type loopCtx struct {
+	breakTo    *ir.Block
+	continueTo *ir.Block
+}
+
+func (c *compiler) errorf(line int, format string, args ...any) {
+	if len(c.errs) < 50 {
+		c.errs = append(c.errs, &Error{Line: line, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+// sizeOf returns a type's in-memory size in bytes.
+func (c *compiler) sizeOf(line int, t *Type) int64 {
+	switch t.Kind {
+	case KindInt, KindPtr:
+		return 8
+	case KindChar:
+		return 1
+	case KindVoid:
+		return 0
+	case KindArray:
+		return c.sizeOf(line, t.Elem) * t.N
+	case KindStruct:
+		sl := c.structs[t.StructName]
+		if sl == nil {
+			c.errorf(line, "undefined struct %q", t.StructName)
+			return 8
+		}
+		return sl.size
+	default:
+		return 8
+	}
+}
+
+func (c *compiler) compileFile(f *file) {
+	// Struct layouts first (definition order; forward references to
+	// undefined structs by value are errors).
+	for _, sd := range f.structs {
+		if _, dup := c.structs[sd.name]; dup {
+			c.errorf(sd.line, "struct %q redefined", sd.name)
+			continue
+		}
+		sl := &structLayout{fields: map[string]fieldInfo{}}
+		for _, fd := range sd.fields {
+			if _, dup := sl.fields[fd.name]; dup {
+				c.errorf(sd.line, "field %q duplicated in struct %q", fd.name, sd.name)
+				continue
+			}
+			sl.fields[fd.name] = fieldInfo{off: sl.size, typ: fd.typ}
+			sl.order = append(sl.order, fd.name)
+			sl.size += c.sizeOf(sd.line, fd.typ)
+		}
+		if sl.size == 0 {
+			sl.size = 8
+		}
+		c.structs[sd.name] = sl
+	}
+
+	// Globals.
+	for _, g := range f.globals {
+		if _, dup := c.globals[g.name]; dup {
+			c.errorf(g.line, "global %q redefined", g.name)
+			continue
+		}
+		if g.typ.Kind == KindStruct {
+			c.errorf(g.line, "struct values are not supported; use a pointer")
+			continue
+		}
+		size := c.sizeOf(g.line, g.typ)
+		var data []byte
+		switch init := g.init.(type) {
+		case nil:
+		case *intLit:
+			data = encodeScalar(init.v, size)
+		case *unaryExpr:
+			if lit, ok := init.x.(*intLit); ok && init.op == "-" {
+				data = encodeScalar(-lit.v, size)
+			} else {
+				c.errorf(g.line, "global initializer must be a constant")
+			}
+		case *strLit:
+			if g.typ.Kind == KindArray && g.typ.Elem.Kind == KindChar {
+				if int64(len(init.s))+1 > size {
+					c.errorf(g.line, "string initializer longer than array")
+				} else {
+					data = append([]byte(init.s), 0)
+				}
+			} else {
+				c.errorf(g.line, "string initializer requires a char array; pointer globals must be initialized in main")
+			}
+		default:
+			c.errorf(g.line, "global initializer must be a constant")
+		}
+		c.prog.AddGlobal(g.name, size, data)
+		c.globals[g.name] = g.typ
+	}
+
+	// Function signatures (so forward calls resolve).
+	for _, fd := range f.funcs {
+		if _, dup := c.funcs[fd.name]; dup {
+			c.errorf(fd.line, "function %q redefined", fd.name)
+			continue
+		}
+		for _, prm := range fd.params {
+			if !prm.typ.isScalar() {
+				c.errorf(fd.line, "parameter %q: only scalar parameters are supported", prm.name)
+			}
+		}
+		c.funcs[fd.name] = fd
+	}
+
+	for _, fd := range f.funcs {
+		c.compileFunc(fd)
+	}
+
+	if c.funcs["main"] == nil {
+		c.errorf(1, "no main function defined")
+	}
+}
+
+func encodeScalar(v, size int64) []byte {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	if size > 8 {
+		size = 8
+	}
+	return append([]byte(nil), buf[:size]...)
+}
+
+func (c *compiler) compileFunc(fd *funcDef) {
+	c.b = ir.NewBuilder(fd.name, len(fd.params))
+	c.fn = fd
+	c.scopes = []map[string]*local{{}}
+	c.loops = nil
+
+	for i, prm := range fd.params {
+		c.scopes[0][prm.name] = &local{typ: prm.typ, reg: i}
+	}
+	c.genBlock(fd.body)
+	// Ensure the last emission path is terminated.
+	if c.b.Cur.Terminator() == nil {
+		if fd.ret.Kind == KindVoid {
+			c.b.RetVoid()
+		} else {
+			z := c.b.Const(0)
+			c.b.Ret(z)
+		}
+	}
+	c.prog.AddFunc(c.b.F)
+}
+
+func (c *compiler) pushScope() { c.scopes = append(c.scopes, map[string]*local{}) }
+func (c *compiler) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *compiler) lookup(name string) *local {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if l, ok := c.scopes[i][name]; ok {
+			return l
+		}
+	}
+	return nil
+}
+
+func (c *compiler) declare(line int, name string, l *local) {
+	scope := c.scopes[len(c.scopes)-1]
+	if _, dup := scope[name]; dup {
+		c.errorf(line, "variable %q redeclared", name)
+	}
+	scope[name] = l
+}
+
+// --- statements ---------------------------------------------------------------
+
+func (c *compiler) genBlock(b *blockStmt) {
+	c.pushScope()
+	for _, s := range b.stmts {
+		c.genStmt(s)
+	}
+	c.popScope()
+}
+
+func (c *compiler) genStmt(s stmt) {
+	switch s := s.(type) {
+	case *blockStmt:
+		c.genBlock(s)
+	case *declStmt:
+		c.genDecl(s)
+	case *exprStmt:
+		c.genExpr(s.e)
+	case *ifStmt:
+		c.genIf(s)
+	case *whileStmt:
+		c.genWhile(s)
+	case *forStmt:
+		c.genFor(s)
+	case *breakStmt:
+		if len(c.loops) == 0 {
+			c.errorf(s.line, "break outside loop")
+			return
+		}
+		c.b.Jmp(c.loops[len(c.loops)-1].breakTo)
+		c.b.Block("after.break")
+	case *continueStmt:
+		if len(c.loops) == 0 {
+			c.errorf(s.line, "continue outside loop")
+			return
+		}
+		c.b.Jmp(c.loops[len(c.loops)-1].continueTo)
+		c.b.Block("after.continue")
+	case *returnStmt:
+		if s.e == nil {
+			if c.fn.ret.Kind != KindVoid {
+				c.errorf(s.line, "missing return value in %q", c.fn.name)
+			}
+			c.b.RetVoid()
+		} else {
+			if c.fn.ret.Kind == KindVoid {
+				c.errorf(s.line, "void function %q returns a value", c.fn.name)
+			}
+			r, _ := c.genExpr(s.e)
+			c.b.Ret(r)
+		}
+		c.b.Block("after.return")
+	case *assertStmt:
+		cond, _ := c.genExpr(s.e)
+		okBlk := c.b.F.NewBlock("assert.ok")
+		failBlk := c.b.F.NewBlock("assert.fail")
+		c.b.Br(cond, okBlk, failBlk)
+		c.b.SetBlock(failBlk)
+		c.b.Trap(ir.TrapAssert)
+		c.b.SetBlock(okBlk)
+	default:
+		c.errorf(s.stmtLine(), "unsupported statement")
+	}
+}
+
+func (c *compiler) genDecl(d *declStmt) {
+	switch d.typ.Kind {
+	case KindStruct:
+		c.errorf(d.line, "struct values are not supported; use a pointer")
+		return
+	case KindVoid:
+		c.errorf(d.line, "cannot declare void variable %q", d.name)
+		return
+	case KindArray:
+		off := c.b.F.FrameSize
+		size := c.sizeOf(d.line, d.typ)
+		// Reserve by emitting a frame-address instruction the register
+		// of which becomes the array's base (decayed pointer value).
+		reg := c.b.FrameAddr(off, size)
+		c.declare(d.line, d.name, &local{typ: d.typ, reg: reg, frameOff: off, isFrame: true})
+		if d.init != nil {
+			c.errorf(d.line, "array initializers are not supported")
+		}
+		return
+	}
+	reg := c.b.F.NewReg()
+	c.declare(d.line, d.name, &local{typ: d.typ, reg: reg})
+	if d.init != nil {
+		v, _ := c.genExpr(d.init)
+		c.b.Mov(reg, v)
+	} else {
+		c.b.ConstInto(reg, 0)
+	}
+}
+
+func (c *compiler) genIf(s *ifStmt) {
+	cond, _ := c.genExpr(s.cond)
+	thenBlk := c.b.F.NewBlock("if.then")
+	var elseBlk *ir.Block
+	mergeBlk := c.b.F.NewBlock("if.end")
+	if s.els != nil {
+		elseBlk = c.b.F.NewBlock("if.else")
+		c.b.Br(cond, thenBlk, elseBlk)
+	} else {
+		c.b.Br(cond, thenBlk, mergeBlk)
+	}
+	c.b.SetBlock(thenBlk)
+	c.genBlock(s.then)
+	if c.b.Cur.Terminator() == nil {
+		c.b.Jmp(mergeBlk)
+	}
+	if s.els != nil {
+		c.b.SetBlock(elseBlk)
+		c.genStmt(s.els)
+		if c.b.Cur.Terminator() == nil {
+			c.b.Jmp(mergeBlk)
+		}
+	}
+	c.b.SetBlock(mergeBlk)
+}
+
+func (c *compiler) genWhile(s *whileStmt) {
+	condBlk := c.b.F.NewBlock("while.cond")
+	bodyBlk := c.b.F.NewBlock("while.body")
+	endBlk := c.b.F.NewBlock("while.end")
+	c.b.Jmp(condBlk)
+	c.b.SetBlock(condBlk)
+	cond, _ := c.genExpr(s.cond)
+	c.b.Br(cond, bodyBlk, endBlk)
+	c.b.SetBlock(bodyBlk)
+	c.loops = append(c.loops, loopCtx{breakTo: endBlk, continueTo: condBlk})
+	c.genBlock(s.body)
+	c.loops = c.loops[:len(c.loops)-1]
+	if c.b.Cur.Terminator() == nil {
+		c.b.Jmp(condBlk)
+	}
+	c.b.SetBlock(endBlk)
+}
+
+func (c *compiler) genFor(s *forStmt) {
+	c.pushScope() // the init declaration scopes to the loop
+	if s.init != nil {
+		c.genStmt(s.init)
+	}
+	condBlk := c.b.F.NewBlock("for.cond")
+	bodyBlk := c.b.F.NewBlock("for.body")
+	postBlk := c.b.F.NewBlock("for.post")
+	endBlk := c.b.F.NewBlock("for.end")
+	c.b.Jmp(condBlk)
+	c.b.SetBlock(condBlk)
+	if s.cond != nil {
+		cond, _ := c.genExpr(s.cond)
+		c.b.Br(cond, bodyBlk, endBlk)
+	} else {
+		c.b.Jmp(bodyBlk)
+	}
+	c.b.SetBlock(bodyBlk)
+	c.loops = append(c.loops, loopCtx{breakTo: endBlk, continueTo: postBlk})
+	c.genBlock(s.body)
+	c.loops = c.loops[:len(c.loops)-1]
+	if c.b.Cur.Terminator() == nil {
+		c.b.Jmp(postBlk)
+	}
+	c.b.SetBlock(postBlk)
+	if s.post != nil {
+		c.genExpr(s.post)
+	}
+	c.b.Jmp(condBlk)
+	c.b.SetBlock(endBlk)
+	c.popScope()
+}
+
+// --- lvalues -------------------------------------------------------------------
+
+// lvalue describes an assignable location: either a virtual register or a
+// memory address held in a register.
+type lvalue struct {
+	typ   *Type
+	isReg bool
+	reg   int // value register when isReg, address register otherwise
+}
+
+func (c *compiler) genLvalue(e expr) (lvalue, bool) {
+	switch e := e.(type) {
+	case *identExpr:
+		if l := c.lookup(e.name); l != nil {
+			if l.isFrame {
+				c.errorf(e.line, "array %q is not assignable", e.name)
+				return lvalue{typ: typeInt, isReg: true, reg: l.reg}, false
+			}
+			return lvalue{typ: l.typ, isReg: true, reg: l.reg}, true
+		}
+		if gt, ok := c.globals[e.name]; ok {
+			if gt.Kind == KindArray {
+				c.errorf(e.line, "array %q is not assignable", e.name)
+				return lvalue{typ: typeInt, isReg: true, reg: 0}, false
+			}
+			addr := c.b.GlobalAddr(e.name)
+			return lvalue{typ: gt, reg: addr}, true
+		}
+		c.errorf(e.line, "undefined variable %q", e.name)
+		return lvalue{typ: typeInt, isReg: true, reg: c.b.Const(0)}, false
+	case *unaryExpr:
+		if e.op != "*" {
+			break
+		}
+		v, t := c.genExpr(e.x)
+		if t.Kind != KindPtr {
+			c.errorf(e.line, "cannot dereference non-pointer type %s", t)
+			return lvalue{typ: typeInt, reg: v}, false
+		}
+		return lvalue{typ: t.Elem, reg: v}, true
+	case *indexExpr:
+		base, bt := c.genExpr(e.base)
+		var elem *Type
+		switch bt.Kind {
+		case KindPtr:
+			elem = bt.Elem
+		case KindArray:
+			elem = bt.Elem
+		default:
+			c.errorf(e.line, "cannot index type %s", bt)
+			return lvalue{typ: typeInt, reg: base}, false
+		}
+		idx, _ := c.genExpr(e.idx)
+		size := c.sizeOf(e.line, elem)
+		var off int
+		if size == 1 {
+			off = idx
+		} else {
+			sz := c.b.Const(size)
+			off = c.b.Bin(ir.BinMul, idx, sz)
+		}
+		addr := c.b.Bin(ir.BinAdd, base, off)
+		if elem.Kind == KindArray || elem.Kind == KindStruct {
+			// Aggregate element: the "lvalue" is its address (decay).
+			return lvalue{typ: elem, reg: addr}, true
+		}
+		return lvalue{typ: elem, reg: addr}, true
+	case *fieldExpr:
+		base, bt := c.genExpr(e.base)
+		if bt.Kind != KindPtr || bt.Elem.Kind != KindStruct {
+			c.errorf(e.line, "-> requires a struct pointer, have %s", bt)
+			return lvalue{typ: typeInt, reg: base}, false
+		}
+		sl := c.structs[bt.Elem.StructName]
+		if sl == nil {
+			c.errorf(e.line, "undefined struct %q", bt.Elem.StructName)
+			return lvalue{typ: typeInt, reg: base}, false
+		}
+		fi, ok := sl.fields[e.field]
+		if !ok {
+			c.errorf(e.line, "struct %q has no field %q", bt.Elem.StructName, e.field)
+			return lvalue{typ: typeInt, reg: base}, false
+		}
+		var addr int
+		if fi.off == 0 {
+			addr = base
+		} else {
+			off := c.b.Const(fi.off)
+			addr = c.b.Bin(ir.BinAdd, base, off)
+		}
+		return lvalue{typ: fi.typ, reg: addr}, true
+	}
+	c.errorf(e.exprLine(), "expression is not assignable")
+	return lvalue{typ: typeInt, isReg: true, reg: c.b.Const(0)}, false
+}
+
+// loadLv reads an lvalue's current value into a register.
+func (c *compiler) loadLv(lv lvalue) (int, *Type) {
+	if lv.isReg {
+		return lv.reg, lv.typ
+	}
+	switch lv.typ.Kind {
+	case KindArray:
+		// Array lvalue decays to its address.
+		return lv.reg, ptrTo(lv.typ.Elem)
+	case KindStruct:
+		return lv.reg, ptrTo(lv.typ)
+	}
+	return c.b.Load(lv.reg, 0, lv.typ.width()), lv.typ
+}
+
+// storeLv writes a value into an lvalue.
+func (c *compiler) storeLv(lv lvalue, val int) {
+	if lv.isReg {
+		c.b.Mov(lv.reg, val)
+		return
+	}
+	c.b.Store(lv.reg, 0, val, lv.typ.width())
+}
+
+// --- expressions -----------------------------------------------------------------
+
+func (c *compiler) genExpr(e expr) (int, *Type) {
+	switch e := e.(type) {
+	case *intLit:
+		return c.b.Const(e.v), typeInt
+	case *strLit:
+		name := c.internString(e.s)
+		return c.b.GlobalAddr(name), ptrTo(typeChar)
+	case *identExpr:
+		if l := c.lookup(e.name); l != nil {
+			if l.isFrame {
+				// Array decays to pointer; its base register was
+				// computed at declaration.
+				return l.reg, ptrTo(l.typ.Elem)
+			}
+			return l.reg, l.typ
+		}
+		if gt, ok := c.globals[e.name]; ok {
+			addr := c.b.GlobalAddr(e.name)
+			if gt.Kind == KindArray {
+				return addr, ptrTo(gt.Elem)
+			}
+			return c.b.Load(addr, 0, gt.width()), gt
+		}
+		c.errorf(e.line, "undefined variable %q", e.name)
+		return c.b.Const(0), typeInt
+	case *sizeofExpr:
+		return c.b.Const(c.sizeOf(e.line, e.typ)), typeInt
+	case *unaryExpr:
+		return c.genUnary(e)
+	case *binaryExpr:
+		return c.genBinary(e)
+	case *assignExpr:
+		return c.genAssign(e)
+	case *callExpr:
+		return c.genCall(e)
+	case *indexExpr, *fieldExpr:
+		lv, _ := c.genLvalue(e)
+		return c.loadLv(lv)
+	case *incDecExpr:
+		lv, ok := c.genLvalue(e.lhs)
+		if !ok {
+			return c.b.Const(0), typeInt
+		}
+		old, t := c.loadLv(lv)
+		step := int64(1)
+		if t.Kind == KindPtr {
+			step = c.sizeOf(e.line, t.Elem)
+		}
+		stepReg := c.b.Const(step)
+		op := ir.BinAdd
+		if e.op == "--" {
+			op = ir.BinSub
+		}
+		nv := c.b.Bin(op, old, stepReg)
+		c.storeLv(lv, nv)
+		return nv, t
+	}
+	c.errorf(e.exprLine(), "unsupported expression")
+	return c.b.Const(0), typeInt
+}
+
+func (c *compiler) genUnary(e *unaryExpr) (int, *Type) {
+	switch e.op {
+	case "-":
+		v, _ := c.genExpr(e.x)
+		return c.b.Neg(v), typeInt
+	case "!":
+		v, _ := c.genExpr(e.x)
+		return c.b.Not(v), typeInt
+	case "~":
+		v, _ := c.genExpr(e.x)
+		m1 := c.b.Const(-1)
+		return c.b.Bin(ir.BinXor, v, m1), typeInt
+	case "*":
+		lv, _ := c.genLvalue(e)
+		return c.loadLv(lv)
+	case "&":
+		lv, ok := c.genLvalue(e.x)
+		if !ok {
+			return c.b.Const(0), typeInt
+		}
+		if lv.isReg {
+			c.errorf(e.line, "cannot take the address of a register variable")
+			return c.b.Const(0), typeInt
+		}
+		return lv.reg, ptrTo(lv.typ)
+	}
+	c.errorf(e.line, "unsupported unary operator %q", e.op)
+	return c.b.Const(0), typeInt
+}
+
+var binOpOf = map[string]ir.BinKind{
+	"+": ir.BinAdd, "-": ir.BinSub, "*": ir.BinMul, "/": ir.BinDiv,
+	"%": ir.BinRem, "&": ir.BinAnd, "|": ir.BinOr, "^": ir.BinXor,
+	"<<": ir.BinShl, ">>": ir.BinShr, "==": ir.BinEq, "!=": ir.BinNe,
+	"<": ir.BinLt, "<=": ir.BinLe, ">": ir.BinGt, ">=": ir.BinGe,
+}
+
+func (c *compiler) genBinary(e *binaryExpr) (int, *Type) {
+	switch e.op {
+	case "&&", "||":
+		return c.genShortCircuit(e)
+	}
+	x, tx := c.genExpr(e.x)
+	y, ty := c.genExpr(e.y)
+	op := binOpOf[e.op]
+
+	// Pointer arithmetic scaling.
+	if e.op == "+" || e.op == "-" {
+		switch {
+		case tx.Kind == KindPtr && ty.Kind != KindPtr:
+			size := c.sizeOf(e.line, tx.Elem)
+			if size != 1 {
+				sz := c.b.Const(size)
+				y = c.b.Bin(ir.BinMul, y, sz)
+			}
+			return c.b.Bin(op, x, y), tx
+		case ty.Kind == KindPtr && tx.Kind != KindPtr && e.op == "+":
+			size := c.sizeOf(e.line, ty.Elem)
+			if size != 1 {
+				sz := c.b.Const(size)
+				x = c.b.Bin(ir.BinMul, x, sz)
+			}
+			return c.b.Bin(op, x, y), ty
+		case tx.Kind == KindPtr && ty.Kind == KindPtr && e.op == "-":
+			diff := c.b.Bin(ir.BinSub, x, y)
+			size := c.sizeOf(e.line, tx.Elem)
+			if size != 1 {
+				sz := c.b.Const(size)
+				diff = c.b.Bin(ir.BinDiv, diff, sz)
+			}
+			return diff, typeInt
+		}
+	}
+	return c.b.Bin(op, x, y), typeInt
+}
+
+func (c *compiler) genShortCircuit(e *binaryExpr) (int, *Type) {
+	res := c.b.F.NewReg()
+	evalY := c.b.F.NewBlock("sc.rhs")
+	short := c.b.F.NewBlock("sc.short")
+	done := c.b.F.NewBlock("sc.done")
+
+	x, _ := c.genExpr(e.x)
+	if e.op == "&&" {
+		c.b.Br(x, evalY, short) // false → short-circuit 0
+	} else {
+		c.b.Br(x, short, evalY) // true → short-circuit 1
+	}
+
+	c.b.SetBlock(evalY)
+	y, _ := c.genExpr(e.y)
+	z := c.b.Const(0)
+	norm := c.b.Bin(ir.BinNe, y, z)
+	c.b.Mov(res, norm)
+	c.b.Jmp(done)
+
+	c.b.SetBlock(short)
+	if e.op == "&&" {
+		c.b.ConstInto(res, 0)
+	} else {
+		c.b.ConstInto(res, 1)
+	}
+	c.b.Jmp(done)
+
+	c.b.SetBlock(done)
+	return res, typeInt
+}
+
+func (c *compiler) genAssign(e *assignExpr) (int, *Type) {
+	lv, ok := c.genLvalue(e.lhs)
+	if !ok {
+		c.genExpr(e.rhs)
+		return c.b.Const(0), typeInt
+	}
+	if e.op == "=" {
+		v, _ := c.genExpr(e.rhs)
+		c.storeLv(lv, v)
+		return v, lv.typ
+	}
+	// Compound assignment: load, apply, store.
+	old, t := c.loadLv(lv)
+	rhs, tr := c.genExpr(e.rhs)
+	op := binOpOf[e.op[:len(e.op)-1]]
+	if (e.op == "+=" || e.op == "-=") && t.Kind == KindPtr && tr.Kind != KindPtr {
+		size := c.sizeOf(e.line, t.Elem)
+		if size != 1 {
+			sz := c.b.Const(size)
+			rhs = c.b.Bin(ir.BinMul, rhs, sz)
+		}
+	}
+	nv := c.b.Bin(op, old, rhs)
+	c.storeLv(lv, nv)
+	return nv, lv.typ
+}
+
+func (c *compiler) genCall(e *callExpr) (int, *Type) {
+	args := make([]int, len(e.args))
+	for i, a := range e.args {
+		args[i], _ = c.genExpr(a)
+	}
+	if fd, ok := c.funcs[e.name]; ok {
+		if len(args) != len(fd.params) {
+			c.errorf(e.line, "call to %q with %d args, want %d", e.name, len(args), len(fd.params))
+			return c.b.Const(0), typeInt
+		}
+		r := c.b.Call(e.name, args...)
+		if fd.ret.Kind == KindVoid {
+			return r, typeVoid
+		}
+		return r, fd.ret
+	}
+	// Library call.
+	if c.cfg.KnownLib != nil && !c.cfg.KnownLib(e.name) {
+		c.errorf(e.line, "call to undefined function %q (not a known library call)", e.name)
+		return c.b.Const(0), typeInt
+	}
+	return c.b.Lib(e.name, args...), typeInt
+}
+
+func (c *compiler) internString(s string) string {
+	if name, ok := c.strs[s]; ok {
+		return name
+	}
+	name := fmt.Sprintf(".str%d", len(c.strs))
+	c.prog.AddGlobal(name, int64(len(s))+1, append([]byte(s), 0))
+	c.strs[s] = name
+	return name
+}

@@ -1,0 +1,111 @@
+package minic
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestCompileNeverPanics feeds the compiler adversarial inputs: mutated
+// valid programs, truncations, and random token soup. Whatever the input,
+// Compile must return (program, nil) or (nil, error) — never panic.
+func TestCompileNeverPanics(t *testing.T) {
+	seed := `
+struct s { int a; char b[8]; struct s *next; };
+int g = 5;
+char msg[16] = "hello";
+int f(int x, char *p) {
+	if (x > 0 && p[0] != 0) { return f(x - 1, p + 1); }
+	return g;
+}
+int main() {
+	struct s *n = malloc(sizeof(struct s));
+	if (!n) { return -1; }
+	for (int i = 0; i < 8; i++) { n->b[i] = 'a' + i; }
+	int r = f(3, msg) + strlen(msg);
+	free(n);
+	return r;
+}`
+	rng := rand.New(rand.NewSource(99))
+	tokens := []string{
+		"int", "char", "struct", "if", "while", "for", "return", "{", "}",
+		"(", ")", "[", "]", ";", "*", "&", "->", "==", "=", "+", "-",
+		"x", "main", "0", "42", `"str"`, "'c'", "sizeof", "NULL", "/*", "*/",
+	}
+
+	check := func(src string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Compile panicked on %q: %v", truncate(src), r)
+			}
+		}()
+		prog, err := Compile(src, Config{})
+		if prog == nil && err == nil {
+			t.Fatalf("Compile(%q) returned neither program nor error", truncate(src))
+		}
+	}
+
+	// Truncations of a valid program.
+	for i := 0; i < len(seed); i += 17 {
+		check(seed[:i])
+	}
+	// Byte mutations.
+	for i := 0; i < 200; i++ {
+		b := []byte(seed)
+		for j := 0; j < 5; j++ {
+			b[rng.Intn(len(b))] = byte(rng.Intn(128))
+		}
+		check(string(b))
+	}
+	// Random token soup.
+	for i := 0; i < 200; i++ {
+		var sb strings.Builder
+		n := rng.Intn(60)
+		for j := 0; j < n; j++ {
+			sb.WriteString(tokens[rng.Intn(len(tokens))])
+			sb.WriteByte(' ')
+		}
+		check(sb.String())
+	}
+	// Deep nesting (parser recursion).
+	check("int main() { return " + strings.Repeat("(", 200) + "1" + strings.Repeat(")", 200) + "; }")
+	check("int main() " + strings.Repeat("{ if (1) ", 100) + "return 0;" + strings.Repeat(" }", 101))
+}
+
+func truncate(s string) string {
+	if len(s) > 120 {
+		return s[:120] + "..."
+	}
+	return s
+}
+
+// FuzzCompile is the native fuzz target (go test -fuzz=FuzzCompile
+// ./internal/minic); in normal test runs it exercises the seed corpus.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		"",
+		"int main() { return 0; }",
+		"int main() { return x; }",
+		"struct s { int a; }; int main() { struct s *p = NULL; return p->a; }",
+		`char g[4] = "abc"; int main() { return g[0]; }`,
+		"int f(int n) { if (n < 2) { return n; } return f(n-1) + f(n-2); } int main() { return f(5); }",
+		"int main() { for (int i = 0; i < 10; i++) { if (i == 3) { break; } } return 0; }",
+		"int main() { /* unterminated",
+		"int main() { \"unterminated",
+		"int main() { int a = 1 ++--->> 2; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Compile(src, Config{})
+		if prog == nil && err == nil {
+			t.Fatal("Compile returned neither program nor error")
+		}
+		if prog != nil {
+			if verr := prog.Validate(); verr != nil {
+				t.Fatalf("Compile accepted %q but produced invalid IR: %v", truncate(src), verr)
+			}
+		}
+	})
+}

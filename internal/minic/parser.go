@@ -1,0 +1,523 @@
+package minic
+
+import "fmt"
+
+type parser struct {
+	lex  *lexer
+	tok  token
+	peek *token
+	errs ErrorList
+
+	structNames map[string]bool
+}
+
+func newParser(src string) *parser {
+	p := &parser{lex: newLexer(src), structNames: map[string]bool{}}
+	p.tok = p.lex.next()
+	return p
+}
+
+func (p *parser) errorf(line int, format string, args ...any) {
+	if len(p.errs) < 50 {
+		p.errs = append(p.errs, &Error{Line: line, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+func (p *parser) next() {
+	if p.peek != nil {
+		p.tok = *p.peek
+		p.peek = nil
+		return
+	}
+	p.tok = p.lex.next()
+}
+
+func (p *parser) peekTok() token {
+	if p.peek == nil {
+		t := p.lex.next()
+		p.peek = &t
+	}
+	return *p.peek
+}
+
+func (p *parser) isPunct(s string) bool {
+	return p.tok.kind == tokPunct && p.tok.lit == s
+}
+
+func (p *parser) isKeyword(s string) bool {
+	return p.tok.kind == tokKeyword && p.tok.lit == s
+}
+
+func (p *parser) expect(s string) bool {
+	if p.isPunct(s) || p.isKeyword(s) {
+		p.next()
+		return true
+	}
+	p.errorf(p.tok.line, "expected %q, found %s", s, p.tok)
+	return false
+}
+
+// sync skips tokens until a likely statement boundary, for error recovery.
+func (p *parser) sync() {
+	for p.tok.kind != tokEOF && !p.isPunct(";") && !p.isPunct("}") {
+		p.next()
+	}
+	if p.isPunct(";") {
+		p.next()
+	}
+}
+
+// atType reports whether the current token starts a type.
+func (p *parser) atType() bool {
+	return p.isKeyword("int") || p.isKeyword("char") || p.isKeyword("void") ||
+		p.isKeyword("struct")
+}
+
+// parseType parses a base type and any pointer suffixes.
+func (p *parser) parseType() *Type {
+	var t *Type
+	switch {
+	case p.isKeyword("int"):
+		t = typeInt
+		p.next()
+	case p.isKeyword("char"):
+		t = typeChar
+		p.next()
+	case p.isKeyword("void"):
+		t = typeVoid
+		p.next()
+	case p.isKeyword("struct"):
+		p.next()
+		if p.tok.kind != tokIdent {
+			p.errorf(p.tok.line, "expected struct name, found %s", p.tok)
+			return typeInt
+		}
+		name := p.tok.lit
+		p.next()
+		t = &Type{Kind: KindStruct, StructName: name}
+	default:
+		p.errorf(p.tok.line, "expected type, found %s", p.tok)
+		return typeInt
+	}
+	for p.isPunct("*") {
+		t = ptrTo(t)
+		p.next()
+	}
+	return t
+}
+
+// parseFile parses a whole translation unit.
+func (p *parser) parseFile() *file {
+	f := &file{}
+	for p.tok.kind != tokEOF {
+		switch {
+		case p.isKeyword("struct") && p.peekIsStructDef():
+			if sd := p.parseStructDef(); sd != nil {
+				f.structs = append(f.structs, sd)
+				p.structNames[sd.name] = true
+			}
+		case p.atType():
+			p.parseTopDecl(f)
+		default:
+			p.errorf(p.tok.line, "expected declaration, found %s", p.tok)
+			p.next()
+		}
+	}
+	return f
+}
+
+// peekIsStructDef distinguishes `struct s { ... };` from `struct s *v;`.
+func (p *parser) peekIsStructDef() bool {
+	// current token is "struct"; we need the token after the name.
+	// Use the single-token lookahead: if the name is followed by "{"
+	// it is a definition. We can only peek one token, so look at the
+	// name first.
+	if p.peekTok().kind != tokIdent {
+		return false
+	}
+	// Temporarily cannot double-peek; rely on structNames: a definition
+	// introduces a new name or redefines; a use of an unknown struct
+	// name before definition is an error anyway. Heuristic: treat as a
+	// definition if the struct name has not been declared yet.
+	return !p.structNames[p.peekTok().lit]
+}
+
+func (p *parser) parseStructDef() *structDef {
+	line := p.tok.line
+	p.expect("struct")
+	if p.tok.kind != tokIdent {
+		p.errorf(p.tok.line, "expected struct name")
+		p.sync()
+		return nil
+	}
+	sd := &structDef{line: line, name: p.tok.lit}
+	p.next()
+	if !p.expect("{") {
+		p.sync()
+		return nil
+	}
+	for !p.isPunct("}") && p.tok.kind != tokEOF {
+		ft := p.parseType()
+		if p.tok.kind != tokIdent {
+			p.errorf(p.tok.line, "expected field name, found %s", p.tok)
+			p.sync()
+			continue
+		}
+		name := p.tok.lit
+		p.next()
+		if p.isPunct("[") {
+			p.next()
+			if p.tok.kind != tokInt {
+				p.errorf(p.tok.line, "array size must be an integer literal")
+			} else {
+				ft = &Type{Kind: KindArray, Elem: ft, N: p.tok.val}
+				p.next()
+			}
+			p.expect("]")
+		}
+		sd.fields = append(sd.fields, structField{typ: ft, name: name})
+		p.expect(";")
+	}
+	p.expect("}")
+	p.expect(";")
+	return sd
+}
+
+// parseTopDecl parses a global variable or function definition.
+func (p *parser) parseTopDecl(f *file) {
+	line := p.tok.line
+	typ := p.parseType()
+	if p.tok.kind != tokIdent {
+		p.errorf(p.tok.line, "expected name, found %s", p.tok)
+		p.sync()
+		return
+	}
+	name := p.tok.lit
+	p.next()
+
+	if p.isPunct("(") {
+		fd := &funcDef{line: line, ret: typ, name: name}
+		p.next()
+		for !p.isPunct(")") && p.tok.kind != tokEOF {
+			pt := p.parseType()
+			if p.tok.kind != tokIdent {
+				p.errorf(p.tok.line, "expected parameter name, found %s", p.tok)
+				break
+			}
+			fd.params = append(fd.params, funcParam{typ: pt, name: p.tok.lit})
+			p.next()
+			if p.isPunct(",") {
+				p.next()
+			}
+		}
+		p.expect(")")
+		fd.body = p.parseBlock()
+		f.funcs = append(f.funcs, fd)
+		return
+	}
+
+	// Global variable.
+	g := &globalDef{line: line, typ: typ, name: name}
+	if p.isPunct("[") {
+		p.next()
+		if p.tok.kind != tokInt {
+			p.errorf(p.tok.line, "array size must be an integer literal")
+		} else {
+			g.typ = &Type{Kind: KindArray, Elem: typ, N: p.tok.val}
+			p.next()
+		}
+		p.expect("]")
+	}
+	if p.isPunct("=") {
+		p.next()
+		g.init = p.parseExpr()
+	}
+	p.expect(";")
+	f.globals = append(f.globals, g)
+}
+
+func (p *parser) parseBlock() *blockStmt {
+	b := &blockStmt{line: p.tok.line}
+	if !p.expect("{") {
+		p.sync()
+		return b
+	}
+	for !p.isPunct("}") && p.tok.kind != tokEOF {
+		b.stmts = append(b.stmts, p.parseStmt())
+	}
+	p.expect("}")
+	return b
+}
+
+func (p *parser) parseStmt() stmt {
+	line := p.tok.line
+	switch {
+	case p.isPunct("{"):
+		return p.parseBlock()
+	case p.atType():
+		return p.parseDecl()
+	case p.isKeyword("if"):
+		return p.parseIf()
+	case p.isKeyword("while"):
+		p.next()
+		p.expect("(")
+		cond := p.parseExpr()
+		p.expect(")")
+		return &whileStmt{line: line, cond: cond, body: p.blockOrSingle()}
+	case p.isKeyword("for"):
+		return p.parseFor()
+	case p.isKeyword("break"):
+		p.next()
+		p.expect(";")
+		return &breakStmt{line: line}
+	case p.isKeyword("continue"):
+		p.next()
+		p.expect(";")
+		return &continueStmt{line: line}
+	case p.isKeyword("return"):
+		p.next()
+		var e expr
+		if !p.isPunct(";") {
+			e = p.parseExpr()
+		}
+		p.expect(";")
+		return &returnStmt{line: line, e: e}
+	case p.isKeyword("assert"):
+		p.next()
+		p.expect("(")
+		e := p.parseExpr()
+		p.expect(")")
+		p.expect(";")
+		return &assertStmt{line: line, e: e}
+	case p.isPunct(";"):
+		p.next()
+		return &blockStmt{line: line}
+	default:
+		e := p.parseExpr()
+		p.expect(";")
+		return &exprStmt{line: line, e: e}
+	}
+}
+
+func (p *parser) blockOrSingle() *blockStmt {
+	if p.isPunct("{") {
+		return p.parseBlock()
+	}
+	s := p.parseStmt()
+	return &blockStmt{line: s.stmtLine(), stmts: []stmt{s}}
+}
+
+func (p *parser) parseDecl() stmt {
+	line := p.tok.line
+	typ := p.parseType()
+	if p.tok.kind != tokIdent {
+		p.errorf(p.tok.line, "expected variable name, found %s", p.tok)
+		p.sync()
+		return &blockStmt{line: line}
+	}
+	name := p.tok.lit
+	p.next()
+	if p.isPunct("[") {
+		p.next()
+		if p.tok.kind != tokInt {
+			p.errorf(p.tok.line, "array size must be an integer literal")
+		} else {
+			typ = &Type{Kind: KindArray, Elem: typ, N: p.tok.val}
+			p.next()
+		}
+		p.expect("]")
+	}
+	d := &declStmt{line: line, typ: typ, name: name}
+	if p.isPunct("=") {
+		p.next()
+		d.init = p.parseExpr()
+	}
+	p.expect(";")
+	return d
+}
+
+func (p *parser) parseIf() stmt {
+	line := p.tok.line
+	p.expect("if")
+	p.expect("(")
+	cond := p.parseExpr()
+	p.expect(")")
+	then := p.blockOrSingle()
+	var els stmt
+	if p.isKeyword("else") {
+		p.next()
+		if p.isKeyword("if") {
+			els = p.parseIf()
+		} else {
+			els = p.blockOrSingle()
+		}
+	}
+	return &ifStmt{line: line, cond: cond, then: then, els: els}
+}
+
+func (p *parser) parseFor() stmt {
+	line := p.tok.line
+	p.expect("for")
+	p.expect("(")
+	f := &forStmt{line: line}
+	if !p.isPunct(";") {
+		if p.atType() {
+			f.init = p.parseDecl() // consumes the ';'
+		} else {
+			f.init = &exprStmt{line: p.tok.line, e: p.parseExpr()}
+			p.expect(";")
+		}
+	} else {
+		p.next()
+	}
+	if !p.isPunct(";") {
+		f.cond = p.parseExpr()
+	}
+	p.expect(";")
+	if !p.isPunct(")") {
+		f.post = p.parseExpr()
+	}
+	p.expect(")")
+	f.body = p.blockOrSingle()
+	return f
+}
+
+// --- expressions (precedence climbing) ---------------------------------------
+
+var binPrec = map[string]int{
+	"||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+var assignOps = map[string]bool{
+	"=": true, "+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"&=": true, "|=": true, "^=": true, "<<=": true, ">>=": true,
+}
+
+// parseExpr parses an assignment expression (right-associative).
+func (p *parser) parseExpr() expr {
+	lhs := p.parseBinary(1)
+	if p.tok.kind == tokPunct && assignOps[p.tok.lit] {
+		op := p.tok.lit
+		line := p.tok.line
+		p.next()
+		rhs := p.parseExpr()
+		return &assignExpr{line: line, op: op, lhs: lhs, rhs: rhs}
+	}
+	return lhs
+}
+
+func (p *parser) parseBinary(minPrec int) expr {
+	lhs := p.parseUnary()
+	for {
+		if p.tok.kind != tokPunct {
+			return lhs
+		}
+		prec, ok := binPrec[p.tok.lit]
+		if !ok || prec < minPrec {
+			return lhs
+		}
+		op := p.tok.lit
+		line := p.tok.line
+		p.next()
+		rhs := p.parseBinary(prec + 1)
+		lhs = &binaryExpr{line: line, op: op, x: lhs, y: rhs}
+	}
+}
+
+func (p *parser) parseUnary() expr {
+	line := p.tok.line
+	if p.tok.kind == tokPunct {
+		switch p.tok.lit {
+		case "-", "!", "*", "&", "~":
+			op := p.tok.lit
+			p.next()
+			return &unaryExpr{line: line, op: op, x: p.parseUnary()}
+		}
+	}
+	if p.isKeyword("sizeof") {
+		p.next()
+		p.expect("(")
+		t := p.parseType()
+		p.expect(")")
+		return &sizeofExpr{line: line, typ: t}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() expr {
+	e := p.parsePrimary()
+	for {
+		line := p.tok.line
+		switch {
+		case p.isPunct("["):
+			p.next()
+			idx := p.parseExpr()
+			p.expect("]")
+			e = &indexExpr{line: line, base: e, idx: idx}
+		case p.isPunct("->"):
+			p.next()
+			if p.tok.kind != tokIdent {
+				p.errorf(p.tok.line, "expected field name after ->")
+				return e
+			}
+			e = &fieldExpr{line: line, base: e, field: p.tok.lit}
+			p.next()
+		case p.isPunct("++"), p.isPunct("--"):
+			op := p.tok.lit
+			p.next()
+			e = &incDecExpr{line: line, op: op, lhs: e}
+		default:
+			return e
+		}
+	}
+}
+
+func (p *parser) parsePrimary() expr {
+	line := p.tok.line
+	switch p.tok.kind {
+	case tokInt, tokChar:
+		v := p.tok.val
+		p.next()
+		return &intLit{line: line, v: v}
+	case tokString:
+		s := p.tok.lit
+		p.next()
+		return &strLit{line: line, s: s}
+	case tokIdent:
+		name := p.tok.lit
+		p.next()
+		if p.isPunct("(") {
+			p.next()
+			c := &callExpr{line: line, name: name}
+			for !p.isPunct(")") && p.tok.kind != tokEOF {
+				c.args = append(c.args, p.parseExpr())
+				if p.isPunct(",") {
+					p.next()
+				}
+			}
+			p.expect(")")
+			return c
+		}
+		return &identExpr{line: line, name: name}
+	case tokKeyword:
+		if p.tok.lit == "NULL" {
+			p.next()
+			return &intLit{line: line, v: 0}
+		}
+	case tokPunct:
+		if p.tok.lit == "(" {
+			p.next()
+			e := p.parseExpr()
+			p.expect(")")
+			return e
+		}
+	}
+	p.errorf(line, "expected expression, found %s", p.tok)
+	p.next()
+	return &intLit{line: line, v: 0}
+}

@@ -1,0 +1,278 @@
+// Package minic implements the miniature C-like language the example
+// servers are written in, compiled to the IR of package ir.
+//
+// The language is the subset of C the paper's target applications need to
+// be expressed faithfully:
+//
+//	int, char, void, pointers, fixed-size arrays, structs
+//	globals, string literals, sizeof, NULL
+//	if/else, while, for, break, continue, return, assert
+//	assignment (including the C idiom `if ((rc = call()) == -1)`),
+//	short-circuit && and ||, pointer arithmetic, a[i], p->f, i++
+//
+// Calls to undeclared functions compile to library calls (ir.OpLib) — the
+// seams FIRestarter instruments. Calls to functions defined in the same
+// program compile to direct calls.
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota + 1
+	tokIdent
+	tokInt
+	tokChar
+	tokString
+	tokPunct // operators and punctuation, the text is in lit
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"int": true, "char": true, "void": true, "struct": true,
+	"if": true, "else": true, "while": true, "for": true,
+	"break": true, "continue": true, "return": true,
+	"sizeof": true, "assert": true, "NULL": true,
+}
+
+type token struct {
+	kind tokKind
+	lit  string
+	val  int64 // for tokInt / tokChar
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of file"
+	case tokInt:
+		return fmt.Sprintf("integer %d", t.val)
+	case tokString:
+		return fmt.Sprintf("string %q", t.lit)
+	default:
+		return fmt.Sprintf("%q", t.lit)
+	}
+}
+
+// Error is a compilation diagnostic with a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+// ErrorList aggregates diagnostics.
+type ErrorList []*Error
+
+// Error implements error.
+func (l ErrorList) Error() string {
+	if len(l) == 0 {
+		return "no errors"
+	}
+	msgs := make([]string, 0, len(l))
+	for i, e := range l {
+		if i == 10 {
+			msgs = append(msgs, fmt.Sprintf("... and %d more", len(l)-10))
+			break
+		}
+		msgs = append(msgs, e.Error())
+	}
+	return "minic: " + strings.Join(msgs, "; ")
+}
+
+// multi-character operators, longest first so the lexer is greedy.
+var operators = []string{
+	"<<=", ">>=", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+	"&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+	"+", "-", "*", "/", "%", "&", "|", "^", "!", "~", "<", ">", "=",
+	"(", ")", "{", "}", "[", "]", ";", ",", ".",
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	errs ErrorList
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1}
+}
+
+func (l *lexer) errorf(format string, args ...any) {
+	l.errs = append(l.errs, &Error{Line: l.line, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *lexer) next() token {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line}
+	}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		if keywords[word] {
+			return token{kind: tokKeyword, lit: word, line: l.line}
+		}
+		return token{kind: tokIdent, lit: word, line: l.line}
+	case c >= '0' && c <= '9':
+		return l.lexNumber()
+	case c == '\'':
+		return l.lexChar()
+	case c == '"':
+		return l.lexString()
+	}
+	for _, op := range operators {
+		if strings.HasPrefix(l.src[l.pos:], op) {
+			l.pos += len(op)
+			return token{kind: tokPunct, lit: op, line: l.line}
+		}
+	}
+	l.errorf("unexpected character %q", c)
+	l.pos++
+	return l.next()
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case strings.HasPrefix(l.src[l.pos:], "//"):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case strings.HasPrefix(l.src[l.pos:], "/*"):
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.errorf("unterminated block comment")
+				l.pos = len(l.src)
+				return
+			}
+			l.line += strings.Count(l.src[l.pos:l.pos+2+end+2], "\n")
+			l.pos += 2 + end + 2
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) lexNumber() token {
+	start := l.pos
+	base := int64(10)
+	if strings.HasPrefix(l.src[l.pos:], "0x") || strings.HasPrefix(l.src[l.pos:], "0X") {
+		base = 16
+		l.pos += 2
+	}
+	var v int64
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		var d int64
+		switch {
+		case c >= '0' && c <= '9':
+			d = int64(c - '0')
+		case base == 16 && c >= 'a' && c <= 'f':
+			d = int64(c-'a') + 10
+		case base == 16 && c >= 'A' && c <= 'F':
+			d = int64(c-'A') + 10
+		default:
+			goto done
+		}
+		v = v*base + d
+		l.pos++
+	}
+done:
+	return token{kind: tokInt, lit: l.src[start:l.pos], val: v, line: l.line}
+}
+
+func (l *lexer) lexChar() token {
+	l.pos++ // opening quote
+	if l.pos >= len(l.src) {
+		l.errorf("unterminated character literal")
+		return token{kind: tokChar, line: l.line}
+	}
+	var v int64
+	if l.src[l.pos] == '\\' {
+		l.pos++
+		v = int64(unescape(l.src[l.pos]))
+		l.pos++
+	} else {
+		v = int64(l.src[l.pos])
+		l.pos++
+	}
+	if l.pos >= len(l.src) || l.src[l.pos] != '\'' {
+		l.errorf("unterminated character literal")
+	} else {
+		l.pos++
+	}
+	return token{kind: tokChar, val: v, line: l.line}
+}
+
+func (l *lexer) lexString() token {
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) && l.src[l.pos] != '"' {
+		c := l.src[l.pos]
+		if c == '\n' {
+			break
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			sb.WriteByte(unescape(l.src[l.pos+1]))
+			l.pos += 2
+			continue
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	if l.pos >= len(l.src) || l.src[l.pos] != '"' {
+		l.errorf("unterminated string literal")
+	} else {
+		l.pos++
+	}
+	return token{kind: tokString, lit: sb.String(), line: l.line}
+}
+
+func unescape(c byte) byte {
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	case '\\':
+		return '\\'
+	case '\'':
+		return '\''
+	case '"':
+		return '"'
+	default:
+		return c
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

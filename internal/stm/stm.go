@@ -1,0 +1,132 @@
+// Package stm implements the undo-log-based software transactional memory
+// FIRestarter falls back to when hardware transactions abort (§IV-A of the
+// paper, after Vogt et al.'s lightweight memory checkpointing design).
+//
+// Every store inside an STM-instrumented region first appends the
+// destination's old value to the undo log, then performs the store. To roll
+// back, the log is walked in reverse, restoring each location. Unlike the
+// HTM model, the log is unbounded — STM transactions never abort for
+// capacity reasons, which is exactly why it maximizes the recovery surface
+// at a per-store instrumentation cost the paper's Fig. 7 quantifies.
+package stm
+
+import (
+	"fmt"
+
+	"github.com/firestarter-go/firestarter/internal/mem"
+)
+
+// entry is one undo record: enough to restore a single store.
+type entry struct {
+	addr  int64
+	old   int64
+	width int
+}
+
+// Stats aggregates undo-log behaviour for the memory-overhead experiment.
+type Stats struct {
+	Begins      int64
+	Commits     int64
+	Rollbacks   int64
+	TotalStores int64
+	PeakLogLen  int
+}
+
+// Log is a software transaction's undo log attached to an address space.
+// The zero value is not usable; create with New. A Log is reused across
+// transactions (Begin resets it) to avoid per-transaction allocation.
+type Log struct {
+	space   *mem.Space
+	entries []entry
+	active  bool
+	stats   Stats
+}
+
+// New returns an undo log bound to the given address space.
+func New(space *mem.Space) *Log {
+	return &Log{space: space, entries: make([]entry, 0, 256)}
+}
+
+// Stats returns a snapshot of accumulated statistics.
+func (l *Log) Stats() Stats { return l.stats }
+
+// ResetStats zeroes accumulated statistics.
+func (l *Log) ResetStats() { l.stats = Stats{} }
+
+// Active reports whether a transaction is in progress.
+func (l *Log) Active() bool { return l.active }
+
+// Len returns the current number of undo entries.
+func (l *Log) Len() int { return len(l.entries) }
+
+// Begin starts a software transaction. Beginning while one is active is a
+// programming error in the runtime and panics.
+func (l *Log) Begin() {
+	if l.active {
+		panic("stm: nested Begin")
+	}
+	l.entries = l.entries[:0]
+	l.active = true
+	l.stats.Begins++
+}
+
+// Store logs the old value at addr and then performs the store. A store to
+// unmapped memory returns the access error without growing the log (the
+// crash handler will roll back what is logged so far).
+func (l *Log) Store(addr, val int64, width int) error {
+	if !l.active {
+		return fmt.Errorf("stm: store outside transaction")
+	}
+	old, err := l.space.Load(addr, width)
+	if err != nil {
+		return err
+	}
+	l.entries = append(l.entries, entry{addr: addr, old: old, width: width})
+	l.stats.TotalStores++
+	if len(l.entries) > l.stats.PeakLogLen {
+		l.stats.PeakLogLen = len(l.entries)
+	}
+	return l.space.Store(addr, val, width)
+}
+
+// Commit ends the transaction, making all stores permanent.
+func (l *Log) Commit() error {
+	if !l.active {
+		return fmt.Errorf("stm: commit outside transaction")
+	}
+	l.active = false
+	l.entries = l.entries[:0]
+	l.stats.Commits++
+	return nil
+}
+
+// Rollback walks the undo log in reverse, restoring every modified
+// location, and ends the transaction. Restores to memory the program
+// unmapped mid-transaction are skipped (compensation actions own that
+// state). It returns the number of entries undone.
+func (l *Log) Rollback() (int, error) {
+	if !l.active {
+		return 0, fmt.Errorf("stm: rollback outside transaction")
+	}
+	n := len(l.entries)
+	for i := n - 1; i >= 0; i-- {
+		e := l.entries[i]
+		if !l.space.Mapped(e.addr, int64(e.width)) {
+			continue
+		}
+		if err := l.space.Store(e.addr, e.old, e.width); err != nil {
+			return n - 1 - i, fmt.Errorf("stm: rollback store at %#x: %w", e.addr, err)
+		}
+	}
+	l.active = false
+	l.entries = l.entries[:0]
+	l.stats.Rollbacks++
+	return n, nil
+}
+
+// MemoryBytes estimates the log's current memory footprint, charged to the
+// simulated RSS for the Fig. 9 experiment (each entry is 24 bytes: address,
+// old value, width word).
+func (l *Log) MemoryBytes() int64 {
+	return int64(cap(l.entries)) * 24
+}

@@ -1,0 +1,416 @@
+// Package workload drives the simulated servers with closed-loop client
+// load — the analog of the paper's wrk / ApacheBench / redis-benchmark /
+// pgbench drivers — and validates responses.
+//
+// The driver interleaves with the single-threaded machine: it delivers
+// request bytes into the simulated connections, runs the machine until it
+// blocks in epoll_wait (or crashes), then drains and validates responses.
+// Throughput is measured in cost-model cycles per completed request, which
+// is deterministic and host-independent.
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"github.com/firestarter-go/firestarter/internal/interp"
+	"github.com/firestarter-go/firestarter/internal/libsim"
+)
+
+// Generator produces and validates protocol traffic.
+type Generator interface {
+	// Next returns the next request for client i.
+	Next(i int, rng *rand.Rand) []byte
+
+	// Split returns the length of the first complete response in buf, or
+	// 0 if more bytes are needed.
+	Split(buf []byte) int
+
+	// Check validates a response to the given request.
+	Check(req, resp []byte) bool
+}
+
+// Result summarizes one driven run.
+type Result struct {
+	Completed  int
+	BadResp    int
+	ServerDied bool
+	TrapCode   int64
+	Cycles     int64 // machine cycles consumed during the run
+	Steps      int64
+	Stalled    bool // driver gave up waiting for progress
+}
+
+// CyclesPerRequest is the throughput metric (lower is better).
+func (r Result) CyclesPerRequest() float64 {
+	if r.Completed == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Completed)
+}
+
+// Driver drives one machine with concurrent simulated clients.
+type Driver struct {
+	OS          *libsim.OS
+	M           *interp.Machine
+	Port        int64
+	Gen         Generator
+	Concurrency int
+	Seed        int64
+
+	// StepBudget bounds each machine slice (default 2M instructions).
+	StepBudget int64
+}
+
+type clientState struct {
+	conn    *libsim.Conn
+	req     []byte
+	resp    []byte
+	pending bool
+}
+
+// Run completes `total` requests (or stops early on server death / stall).
+// The server must already be running (or runnable); the driver first runs
+// the machine until it blocks so startup completes.
+func (d *Driver) Run(total int) Result {
+	if d.Concurrency <= 0 {
+		d.Concurrency = 4
+	}
+	if d.StepBudget <= 0 {
+		d.StepBudget = 2_000_000
+	}
+	rng := rand.New(rand.NewSource(d.Seed))
+	var res Result
+
+	startCycles := d.M.Cycles
+	startSteps := d.M.Steps
+
+	// Let the server finish startup and block on epoll_wait.
+	if !d.slice(&res) {
+		res.Cycles = d.M.Cycles - startCycles
+		res.Steps = d.M.Steps - startSteps
+		return res
+	}
+
+	clients := make([]*clientState, d.Concurrency)
+	for i := range clients {
+		clients[i] = &clientState{}
+	}
+
+	idle := 0
+	for res.Completed+res.BadResp < total {
+		progressed := false
+		// Feed requests.
+		for i, c := range clients {
+			if c.conn == nil || c.conn.ServerClosed() {
+				c.conn = d.OS.Connect(d.Port)
+				c.resp = nil
+				c.pending = false
+				if c.conn == nil {
+					continue // port not bound (yet) or backlog full
+				}
+			}
+			if !c.pending {
+				c.req = d.Gen.Next(i, rng)
+				c.conn.ClientDeliver(c.req)
+				c.pending = true
+				progressed = true
+			}
+		}
+
+		if !d.slice(&res) {
+			break
+		}
+
+		// Drain responses.
+		for _, c := range clients {
+			if c.conn == nil {
+				continue
+			}
+			if out := c.conn.ClientTake(); len(out) > 0 {
+				c.resp = append(c.resp, out...)
+				progressed = true
+			}
+			for c.pending {
+				n := d.Gen.Split(c.resp)
+				if n == 0 {
+					break
+				}
+				resp := c.resp[:n]
+				c.resp = append([]byte(nil), c.resp[n:]...)
+				if d.Gen.Check(c.req, resp) {
+					res.Completed++
+				} else {
+					res.BadResp++
+				}
+				c.pending = false
+			}
+			if c.conn.ServerClosed() && c.pending {
+				// Connection died mid-request (server error path):
+				// count and reconnect on the next round.
+				res.BadResp++
+				c.pending = false
+				progressed = true
+			}
+		}
+
+		if progressed {
+			idle = 0
+		} else {
+			idle++
+			if idle > 10 {
+				res.Stalled = true
+				break
+			}
+		}
+	}
+	res.Cycles = d.M.Cycles - startCycles
+	res.Steps = d.M.Steps - startSteps
+	return res
+}
+
+// slice runs the machine until it blocks; returns false when the server
+// died or exited.
+func (d *Driver) slice(res *Result) bool {
+	for {
+		out := d.M.Run(d.StepBudget)
+		switch out.Kind {
+		case interp.OutBlocked:
+			return true
+		case interp.OutStepLimit:
+			// Long-running slice (an accept/handle burst); treat like a
+			// block so the driver can drain and keep feeding.
+			return true
+		case interp.OutTrapped:
+			res.ServerDied = true
+			res.TrapCode = out.Code
+			return false
+		case interp.OutExited:
+			return false
+		default:
+			return false
+		}
+	}
+}
+
+// --- HTTP ---------------------------------------------------------------------
+
+// HTTPPath describes one weighted request target.
+type HTTPPath struct {
+	Path   string
+	Status int // expected status code
+}
+
+// HTTPGen generates keep-alive HTTP/1.1 traffic over a path mix.
+type HTTPGen struct {
+	Paths []HTTPPath
+	last  map[int]HTTPPath
+}
+
+// DefaultHTTPMix is the standard static-file mix used by the web server
+// benchmarks (ApacheBench/wrk analog).
+func DefaultHTTPMix() *HTTPGen {
+	return &HTTPGen{Paths: []HTTPPath{
+		{Path: "/", Status: 200},
+		{Path: "/index.html", Status: 200},
+		{Path: "/about.html", Status: 200},
+		{Path: "/small.txt", Status: 200},
+		// The medium transfer dominates the byte volume (listed thrice
+		// to weight it), and — because its post-malloc initialization
+		// fits the modelled L1 — it is where HTM checkpointing pays.
+		{Path: "/data.bin", Status: 200},
+		{Path: "/data.bin", Status: 200},
+		{Path: "/data.bin", Status: 200},
+		{Path: "/missing.html", Status: 404},
+	}}
+}
+
+// TestSuiteHTTPMix adds the feature paths (SSI, WebDAV, big files) so the
+// profiled surface resembles a standard test-suite run (Table III/IV).
+func TestSuiteHTTPMix() *HTTPGen {
+	g := DefaultHTTPMix()
+	g.Paths = append(g.Paths,
+		HTTPPath{Path: "/ssi", Status: 200},
+		HTTPPath{Path: "/big.bin", Status: 200},
+	)
+	return g
+}
+
+// Next implements Generator.
+func (g *HTTPGen) Next(i int, rng *rand.Rand) []byte {
+	p := g.Paths[rng.Intn(len(g.Paths))]
+	if g.last == nil {
+		g.last = map[int]HTTPPath{}
+	}
+	g.last[i] = p
+	return []byte("GET " + p.Path + " HTTP/1.1\r\nHost: sim\r\n\r\n")
+}
+
+// Split implements Generator: HTTP framing via Content-Length.
+func (g *HTTPGen) Split(buf []byte) int {
+	head := bytes.Index(buf, []byte("\r\n\r\n"))
+	if head < 0 {
+		return 0
+	}
+	bodyStart := head + 4
+	cl := 0
+	for _, line := range bytes.Split(buf[:head], []byte("\r\n")) {
+		if v, ok := bytes.CutPrefix(line, []byte("Content-Length: ")); ok {
+			n, err := strconv.Atoi(string(v))
+			if err != nil {
+				return 0
+			}
+			cl = n
+		}
+	}
+	if len(buf) < bodyStart+cl {
+		return 0
+	}
+	return bodyStart + cl
+}
+
+// Check implements Generator: the status line must match the expected
+// status for the requested path.
+func (g *HTTPGen) Check(req, resp []byte) bool {
+	var path []byte
+	if parts := bytes.SplitN(req, []byte(" "), 3); len(parts) == 3 {
+		path = parts[1]
+	}
+	want := 200
+	for _, p := range g.Paths {
+		if string(path) == p.Path {
+			want = p.Status
+			break
+		}
+	}
+	return bytes.HasPrefix(resp, []byte(fmt.Sprintf("HTTP/1.1 %d", want)))
+}
+
+// --- Redis ----------------------------------------------------------------------
+
+// RedisGen alternates SET and GET over a small key space (the paper's
+// SET/GET workload).
+type RedisGen struct {
+	Keys int
+	seq  int
+	vals map[string]string
+	last map[int]string // client → last request kind+key
+}
+
+// Next implements Generator: a SET/GET-dominated mix with the secondary
+// commands (INCR, EXISTS, DEL) redis-benchmark also exercises.
+func (g *RedisGen) Next(i int, rng *rand.Rand) []byte {
+	if g.Keys <= 0 {
+		g.Keys = 16
+	}
+	if g.vals == nil {
+		g.vals = map[string]string{}
+		g.last = map[int]string{}
+	}
+	g.seq++
+	key := fmt.Sprintf("k%d", rng.Intn(g.Keys))
+	switch g.seq % 8 {
+	case 1, 3, 5:
+		val := fmt.Sprintf("v%d", g.seq)
+		g.vals[key] = val
+		return []byte("SET " + key + " " + val + "\n")
+	case 7:
+		return []byte("INCR ctr" + key + "\n")
+	case 2:
+		return []byte("EXISTS " + key + "\n")
+	case 4:
+		return []byte("DEL " + key + "\n")
+	default:
+		return []byte("GET " + key + "\n")
+	}
+}
+
+// Split implements Generator: newline framing.
+func (g *RedisGen) Split(buf []byte) int {
+	if i := bytes.IndexByte(buf, '\n'); i >= 0 {
+		return i + 1
+	}
+	return 0
+}
+
+// Check implements Generator.
+func (g *RedisGen) Check(req, resp []byte) bool {
+	switch {
+	case bytes.HasPrefix(req, []byte("SET ")):
+		return bytes.Equal(resp, []byte("+OK\n"))
+	case bytes.HasPrefix(req, []byte("GET ")):
+		// Either $-1 (miss) or $<value>; interleaved clients race on the
+		// key space, so any well-formed reply is accepted.
+		return bytes.HasPrefix(resp, []byte("$"))
+	case bytes.HasPrefix(req, []byte("INCR ")),
+		bytes.HasPrefix(req, []byte("EXISTS ")),
+		bytes.HasPrefix(req, []byte("DEL ")):
+		return bytes.HasPrefix(resp, []byte(":"))
+	default:
+		return false
+	}
+}
+
+// --- SQL-ish (PostgreSQL analog) ---------------------------------------------------
+
+// SQLGen drives the PostgreSQL analog with INSERT/SELECT statements.
+type SQLGen struct {
+	Keys int
+	seq  int
+}
+
+// Next implements Generator: INSERT/SELECT-dominated with occasional
+// DELETE and COUNT statements.
+func (g *SQLGen) Next(i int, rng *rand.Rand) []byte {
+	if g.Keys <= 0 {
+		g.Keys = 16
+	}
+	g.seq++
+	key := rng.Intn(g.Keys)
+	switch g.seq % 8 {
+	case 1, 3, 5:
+		return []byte(fmt.Sprintf("INSERT %d %d\n", key, g.seq))
+	case 6:
+		return []byte(fmt.Sprintf("DELETE %d\n", key))
+	case 7:
+		return []byte("COUNT\n")
+	default:
+		return []byte(fmt.Sprintf("SELECT %d\n", key))
+	}
+}
+
+// Split implements Generator.
+func (g *SQLGen) Split(buf []byte) int {
+	if i := bytes.IndexByte(buf, '\n'); i >= 0 {
+		return i + 1
+	}
+	return 0
+}
+
+// Check implements Generator.
+func (g *SQLGen) Check(req, resp []byte) bool {
+	switch {
+	case bytes.HasPrefix(req, []byte("INSERT")):
+		return bytes.Equal(resp, []byte("OK\n"))
+	case bytes.HasPrefix(req, []byte("DELETE")):
+		return bytes.Equal(resp, []byte("OK\n")) || bytes.Equal(resp, []byte("NONE\n"))
+	case bytes.HasPrefix(req, []byte("COUNT")):
+		return bytes.HasPrefix(resp, []byte("COUNT "))
+	default:
+		return bytes.HasPrefix(resp, []byte("ROW ")) || bytes.Equal(resp, []byte("NONE\n"))
+	}
+}
+
+// ForProtocol returns the standard generator for an app protocol.
+func ForProtocol(proto string) Generator {
+	switch proto {
+	case "redis":
+		return &RedisGen{}
+	case "sql":
+		return &SQLGen{}
+	default:
+		return TestSuiteHTTPMix()
+	}
+}

@@ -1,0 +1,319 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/firestarter-go/firestarter/internal/interp"
+	"github.com/firestarter-go/firestarter/internal/libsim"
+	"github.com/firestarter-go/firestarter/internal/mem"
+	"github.com/firestarter-go/firestarter/internal/minic"
+)
+
+func TestHTTPSplit(t *testing.T) {
+	g := DefaultHTTPMix()
+	full := []byte("HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhello")
+	tests := []struct {
+		name string
+		buf  []byte
+		want int
+	}{
+		{"empty", nil, 0},
+		{"headers only", []byte("HTTP/1.1 200 OK\r\n"), 0},
+		{"header complete body missing", []byte("HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhe"), 0},
+		{"exact", full, len(full)},
+		{"with trailing next response", append(append([]byte{}, full...), "HTTP/1.1 404"...), len(full)},
+		{"zero length body", []byte("HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n"), 38},
+	}
+	for _, tt := range tests {
+		if got := g.Split(tt.buf); got != tt.want {
+			t.Errorf("%s: Split = %d, want %d", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestHTTPCheck(t *testing.T) {
+	g := DefaultHTTPMix()
+	req := []byte("GET /missing.html HTTP/1.1\r\n\r\n")
+	if !g.Check(req, []byte("HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n")) {
+		t.Error("404 for /missing.html rejected")
+	}
+	if g.Check(req, []byte("HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n")) {
+		t.Error("200 for /missing.html accepted")
+	}
+	ok := []byte("GET /index.html HTTP/1.1\r\n\r\n")
+	if !g.Check(ok, []byte("HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi")) {
+		t.Error("200 for /index.html rejected")
+	}
+}
+
+func TestHTTPNextIsWellFormed(t *testing.T) {
+	g := TestSuiteHTTPMix()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		req := string(g.Next(0, rng))
+		if !strings.HasPrefix(req, "GET /") || !strings.HasSuffix(req, "\r\n\r\n") {
+			t.Fatalf("malformed request %q", req)
+		}
+	}
+}
+
+func TestRedisGen(t *testing.T) {
+	g := &RedisGen{Keys: 4}
+	rng := rand.New(rand.NewSource(2))
+	counts := map[string]int{}
+	for i := 0; i < 40; i++ {
+		req := g.Next(0, rng)
+		cmd, _, _ := strings.Cut(string(req), " ")
+		cmd = strings.TrimSuffix(cmd, "\n")
+		counts[cmd]++
+		switch cmd {
+		case "SET":
+			if !g.Check(req, []byte("+OK\n")) {
+				t.Errorf("SET response rejected")
+			}
+			if g.Check(req, []byte("-ERR\n")) {
+				t.Errorf("SET error accepted")
+			}
+		case "GET":
+			if !g.Check(req, []byte("$v1\n")) || !g.Check(req, []byte("$-1\n")) {
+				t.Errorf("GET responses rejected")
+			}
+		case "INCR", "EXISTS", "DEL":
+			if !g.Check(req, []byte(":1\n")) {
+				t.Errorf("%s response rejected", cmd)
+			}
+			if g.Check(req, []byte("+OK\n")) {
+				t.Errorf("%s accepted +OK", cmd)
+			}
+		default:
+			t.Fatalf("unexpected request %q", req)
+		}
+	}
+	for _, cmd := range []string{"SET", "GET", "INCR", "EXISTS", "DEL"} {
+		if counts[cmd] == 0 {
+			t.Errorf("mix missing %s", cmd)
+		}
+	}
+	if g.Split([]byte("+OK")) != 0 || g.Split([]byte("+OK\nrest")) != 4 {
+		t.Error("redis framing wrong")
+	}
+}
+
+func TestSQLGen(t *testing.T) {
+	g := &SQLGen{Keys: 4}
+	rng := rand.New(rand.NewSource(3))
+	ins := g.Next(0, rng)
+	if !strings.HasPrefix(string(ins), "INSERT ") {
+		t.Fatalf("first = %q", ins)
+	}
+	if !g.Check(ins, []byte("OK\n")) || g.Check(ins, []byte("ERR\n")) {
+		t.Error("INSERT validation wrong")
+	}
+	sel := g.Next(0, rng)
+	if !strings.HasPrefix(string(sel), "SELECT ") {
+		t.Fatalf("second = %q", sel)
+	}
+	if !g.Check(sel, []byte("ROW 9\n")) || !g.Check(sel, []byte("NONE\n")) {
+		t.Error("SELECT validation wrong")
+	}
+	// The extended statements appear and validate.
+	sawDel, sawCount := false, false
+	for i := 0; i < 20; i++ {
+		req := g.Next(0, rng)
+		if strings.HasPrefix(string(req), "DELETE ") {
+			sawDel = true
+			if !g.Check(req, []byte("OK\n")) || !g.Check(req, []byte("NONE\n")) {
+				t.Error("DELETE validation wrong")
+			}
+		}
+		if strings.HasPrefix(string(req), "COUNT") {
+			sawCount = true
+			if !g.Check(req, []byte("COUNT 4\n")) || g.Check(req, []byte("ROW x\n")) {
+				t.Error("COUNT validation wrong")
+			}
+		}
+	}
+	if !sawDel || !sawCount {
+		t.Errorf("mix missing DELETE/COUNT: %v %v", sawDel, sawCount)
+	}
+}
+
+func TestForProtocol(t *testing.T) {
+	if _, ok := ForProtocol("redis").(*RedisGen); !ok {
+		t.Error("redis generator wrong type")
+	}
+	if _, ok := ForProtocol("sql").(*SQLGen); !ok {
+		t.Error("sql generator wrong type")
+	}
+	if _, ok := ForProtocol("http").(*HTTPGen); !ok {
+		t.Error("http generator wrong type")
+	}
+}
+
+// echoSrc is a minimal line-echo server used to exercise the driver.
+const echoSrc = `
+int g_conns[64];
+struct c { int fd; int rlen; char rbuf[256]; };
+int main() {
+	int s = socket();
+	if (bind(s, 9000) == -1) { return 1; }
+	if (listen(s, 16) == -1) { return 2; }
+	int ep = epoll_create();
+	epoll_ctl(ep, 1, s);
+	int events[8];
+	while (1) {
+		int n = epoll_wait(ep, events, 8);
+		if (n < 0) { continue; }
+		for (int i = 0; i < n; i++) {
+			int fd = events[i];
+			if (fd == s) {
+				int nf = accept(s);
+				if (nf < 0) { continue; }
+				struct c *cc = calloc(1, sizeof(struct c));
+				if (!cc) { close(nf); continue; }
+				cc->fd = nf;
+				g_conns[nf] = cc;
+				epoll_ctl(ep, 1, nf);
+			} else {
+				struct c *cc = g_conns[fd];
+				if (!cc) { continue; }
+				int got = read(fd, cc->rbuf + cc->rlen, 255 - cc->rlen);
+				if (got == 0) {
+					epoll_ctl(ep, 2, fd);
+					close(fd);
+					g_conns[fd] = 0;
+					free(cc);
+					continue;
+				}
+				if (got < 0) { continue; }
+				cc->rlen = cc->rlen + got;
+				int start = 0;
+				for (int j = 0; j < cc->rlen; j++) {
+					if (cc->rbuf[j] == '\n') {
+						write(fd, cc->rbuf + start, j - start + 1);
+						start = j + 1;
+					}
+				}
+				int rest = cc->rlen - start;
+				if (rest > 0 && start > 0) { memcpy(cc->rbuf, cc->rbuf + start, rest); }
+				cc->rlen = rest;
+			}
+		}
+	}
+	return 0;
+}`
+
+// echoGen sends numbered lines and expects them back.
+type echoGen struct{ n int }
+
+func (g *echoGen) Next(i int, rng *rand.Rand) []byte {
+	g.n++
+	return []byte(strings.Repeat("x", g.n%5+1) + "\n")
+}
+func (g *echoGen) Split(buf []byte) int {
+	for i, b := range buf {
+		if b == '\n' {
+			return i + 1
+		}
+	}
+	return 0
+}
+func (g *echoGen) Check(req, resp []byte) bool { return string(req) == string(resp) }
+
+func TestDriverAgainstEchoServer(t *testing.T) {
+	prog, err := minic.Compile(echoSrc, minic.Config{KnownLib: libsim.Known})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := libsim.New(mem.NewSpace())
+	m, err := interp.New(prog, o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Driver{OS: o, M: m, Port: 9000, Gen: &echoGen{}, Concurrency: 3, Seed: 1}
+	res := d.Run(30)
+	if res.ServerDied || res.Stalled {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Completed != 30 || res.BadResp != 0 {
+		t.Fatalf("completed %d bad %d, want 30/0", res.Completed, res.BadResp)
+	}
+	if res.Cycles <= 0 || res.CyclesPerRequest() <= 0 {
+		t.Error("no cycle accounting")
+	}
+}
+
+func TestDriverReportsServerDeath(t *testing.T) {
+	src := `
+int main() {
+	int s = socket();
+	if (bind(s, 9000) == -1) { return 1; }
+	if (listen(s, 16) == -1) { return 2; }
+	int ep = epoll_create();
+	epoll_ctl(ep, 1, s);
+	int events[8];
+	int n = epoll_wait(ep, events, 8);
+	int *p = NULL;
+	*p = n;   // dies on the first event
+	return 0;
+}`
+	prog, err := minic.Compile(src, minic.Config{KnownLib: libsim.Known})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := libsim.New(mem.NewSpace())
+	m, err := interp.New(prog, o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Driver{OS: o, M: m, Port: 9000, Gen: &echoGen{}, Concurrency: 1, Seed: 1}
+	res := d.Run(5)
+	if !res.ServerDied {
+		t.Fatalf("death not reported: %+v", res)
+	}
+}
+
+func TestDriverStallsGracefully(t *testing.T) {
+	// A server that accepts but never answers: the driver must give up
+	// rather than loop forever.
+	src := `
+int main() {
+	int s = socket();
+	if (bind(s, 9000) == -1) { return 1; }
+	if (listen(s, 16) == -1) { return 2; }
+	int ep = epoll_create();
+	epoll_ctl(ep, 1, s);
+	int events[8];
+	while (1) {
+		int n = epoll_wait(ep, events, 8);
+		if (n < 0) { continue; }
+		for (int i = 0; i < n; i++) {
+			if (events[i] == s) {
+				int nf = accept(s);
+				if (nf < 0) { continue; }
+				// accepted, never added to epoll: silence
+			}
+		}
+	}
+	return 0;
+}`
+	prog, err := minic.Compile(src, minic.Config{KnownLib: libsim.Known})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := libsim.New(mem.NewSpace())
+	m, err := interp.New(prog, o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Driver{OS: o, M: m, Port: 9000, Gen: &echoGen{}, Concurrency: 2, Seed: 1}
+	res := d.Run(5)
+	if !res.Stalled {
+		t.Fatalf("stall not detected: %+v", res)
+	}
+	if res.Completed != 0 {
+		t.Fatalf("completed = %d on a mute server", res.Completed)
+	}
+}
