@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench eval examples cover clean
+.PHONY: all build test vet bench bench-smoke eval examples cover clean
 
 all: build vet test
 
@@ -22,6 +22,12 @@ eval:
 # The same experiments as Go benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem
+
+# A fast end-to-end pass over every experiment with a reduced workload —
+# CI smoke coverage for the full firebench surface, parallel harness on.
+bench-smoke:
+	$(GO) run ./cmd/firebench -requests 40 -faults 4 -concurrency 2 -parallel 4 > /dev/null
+	@echo bench-smoke OK
 
 examples:
 	$(GO) run ./examples/quickstart

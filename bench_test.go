@@ -11,6 +11,7 @@ package firestarter_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/firestarter-go/firestarter/internal/bench"
@@ -153,6 +154,25 @@ func BenchmarkFigure7(b *testing.B) {
 		b.ReportMetric(row.FIRestarterPct, row.Server+"_overhead_%")
 	}
 	b.Log("\n" + res.Render())
+}
+
+// BenchmarkFigure7Parallel runs the same campaign with the worker pool
+// sized to the host; output is byte-identical to the serial run (see
+// TestParallelHarnessMatchesSerial), only wall-clock changes.
+func BenchmarkFigure7Parallel(b *testing.B) {
+	r := benchRunner()
+	r.Parallelism = runtime.NumCPU()
+	var res bench.Figure7Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = r.Figure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range res.Rows {
+		b.ReportMetric(row.FIRestarterPct, row.Server+"_overhead_%")
+	}
 }
 
 func BenchmarkFigure8(b *testing.B) {

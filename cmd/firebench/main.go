@@ -4,7 +4,10 @@
 // Usage:
 //
 //	firebench [-experiment all|table2|table3|table4|fig3|fig5|fig6|fig7|fig8|fig9|realworld]
-//	          [-requests N] [-faults N] [-seed N]
+//	          [-requests N] [-faults N] [-seed N] [-parallel N]
+//
+// -parallel fans each campaign's isolated measurement runs across N
+// workers. Output is byte-identical to a serial run for the same seed.
 package main
 
 import (
@@ -27,6 +30,7 @@ func run() int {
 		faults     = flag.Int("faults", 12, "fault-injection experiments per server")
 		seed       = flag.Int64("seed", 1, "seed for workloads, fault plans and the interrupt process")
 		conc       = flag.Int("concurrency", 4, "simulated clients")
+		parallel   = flag.Int("parallel", 1, "worker pool size for measurement runs (1 = serial; results are identical)")
 	)
 	flag.Parse()
 
@@ -35,6 +39,7 @@ func run() int {
 		Concurrency:     *conc,
 		Seed:            *seed,
 		FaultsPerServer: *faults,
+		Parallelism:     *parallel,
 	}
 
 	want := func(name string) bool {

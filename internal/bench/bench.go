@@ -34,6 +34,12 @@ type Runner struct {
 	Seed int64
 	// FaultsPerServer bounds the Table IV fault campaigns (default 12).
 	FaultsPerServer int
+
+	// Parallelism bounds the worker pool the experiment campaigns fan
+	// their isolated measurement runs across. Values <= 1 run serially.
+	// Results are identical either way: every run is hermetically seeded
+	// and results are assembled in job order (see parallel.go).
+	Parallelism int
 }
 
 func (r Runner) withDefaults() Runner {

@@ -163,18 +163,37 @@ type Figure5Result struct {
 func (r Runner) Figure5() (Figure5Result, error) {
 	r = r.withDefaults()
 	var out Figure5Result
-	for _, app := range apps.WebServers() {
-		faults, err := r.planFaults(app, faultinj.FailStop, r.FaultsPerServer)
-		if err != nil {
+	servers := apps.WebServers()
+
+	// Stage 1: plan each server's fault campaign (one profiling run per
+	// server, fanned across the pool).
+	plans := make([][]faultinj.Fault, len(servers))
+	if err := r.forEach(len(servers), func(i int) error {
+		faults, err := r.planFaults(servers[i], faultinj.FailStop, r.FaultsPerServer)
+		plans[i] = faults
+		return err
+	}); err != nil {
+		return out, err
+	}
+
+	for si, app := range servers {
+		faults := plans[si]
+		// Stage 2: one isolated run per fault; samples are merged in
+		// fault-plan order so the distribution is order-stable.
+		perFault := make([][]int64, len(faults))
+		if err := r.forEach(len(faults), func(i int) error {
+			inst, _, err := r.measure(app, bootOpts{fault: &faults[i]})
+			if err != nil {
+				return err
+			}
+			perFault[i] = inst.rt.Stats().LatencyCycles
+			return nil
+		}); err != nil {
 			return out, err
 		}
 		var samples []int64
-		for _, f := range faults {
-			inst, _, err := r.measure(app, bootOpts{fault: &f})
-			if err != nil {
-				return out, err
-			}
-			samples = append(samples, inst.rt.Stats().LatencyCycles...)
+		for _, s := range perFault {
+			samples = append(samples, s...)
 		}
 		row := Figure5Row{Server: app.Name, Samples: len(samples)}
 		if len(samples) > 0 {
@@ -222,26 +241,57 @@ func (r Runner) Figure6() (Figure6Result, error) {
 	out := Figure6Result{Servers: map[string][]Figure6Cell{}}
 	thresholds := []float64{0.01, 0.04, 0.16, 0.64}
 	samples := []int64{2, 8, 32, 128}
-	for _, app := range apps.WebServers() {
-		out.Order = append(out.Order, app.Name)
-		_, vres, err := r.measure(app, bootOpts{vanilla: true})
+	servers := apps.WebServers()
+
+	// Stage 1: vanilla baselines, one per server.
+	bases := make([]float64, len(servers))
+	if err := r.forEach(len(servers), func(i int) error {
+		_, vres, err := r.measure(servers[i], bootOpts{vanilla: true})
 		if err != nil {
-			return out, err
+			return err
 		}
-		base := vres.CyclesPerRequest()
+		bases[i] = vres.CyclesPerRequest()
+		return nil
+	}); err != nil {
+		return out, err
+	}
+
+	// Stage 2: the full θ×S sweep across all servers as one flat job
+	// list; cells land in sweep order per server.
+	type cellJob struct {
+		server int
+		th     float64
+		s      int64
+	}
+	var jobs []cellJob
+	for si := range servers {
 		for _, th := range thresholds {
 			for _, s := range samples {
-				_, res, err := r.measure(app, bootOpts{cfg: perfConfig(core.ModeHybrid, th, s, r.Seed)})
-				if err != nil {
-					return out, err
-				}
-				out.Servers[app.Name] = append(out.Servers[app.Name], Figure6Cell{
-					ThresholdPct:   th * 100,
-					SampleSize:     s,
-					DegradationPct: overheadPct(res.CyclesPerRequest(), base),
-				})
+				jobs = append(jobs, cellJob{server: si, th: th, s: s})
 			}
 		}
+	}
+	cells := make([]Figure6Cell, len(jobs))
+	if err := r.forEach(len(jobs), func(i int) error {
+		j := jobs[i]
+		_, res, err := r.measure(servers[j.server], bootOpts{cfg: perfConfig(core.ModeHybrid, j.th, j.s, r.Seed)})
+		if err != nil {
+			return err
+		}
+		cells[i] = Figure6Cell{
+			ThresholdPct:   j.th * 100,
+			SampleSize:     j.s,
+			DegradationPct: overheadPct(res.CyclesPerRequest(), bases[j.server]),
+		}
+		return nil
+	}); err != nil {
+		return out, err
+	}
+	for i, j := range jobs {
+		out.Servers[servers[j.server].Name] = append(out.Servers[servers[j.server].Name], cells[i])
+	}
+	for _, app := range servers {
+		out.Order = append(out.Order, app.Name)
 	}
 	return out, nil
 }
@@ -311,30 +361,48 @@ type Figure7Result struct {
 func (r Runner) Figure7() (Figure7Result, error) {
 	r = r.withDefaults()
 	var out Figure7Result
-	for _, app := range apps.All() {
-		_, vres, err := r.measure(app, bootOpts{vanilla: true})
-		if err != nil {
-			return out, err
-		}
-		base := vres.CyclesPerRequest()
+	servers := apps.All()
 
-		htmInst, hres, err := r.measure(app, bootOpts{cfg: perfConfig(core.ModeHTMOnly, 0.01, 4, r.Seed)})
-		if err != nil {
-			return out, err
+	// Four isolated runs per server (vanilla + three schemes), all
+	// flattened into one job list; rows assemble in server order below.
+	const variants = 4 // 0: vanilla, 1: HTM-only, 2: STM-only, 3: hybrid
+	type runOut struct {
+		inst *instance
+		cpr  float64
+	}
+	results := make([]runOut, len(servers)*variants)
+	if err := r.forEach(len(results), func(i int) error {
+		app := servers[i/variants]
+		var o bootOpts
+		switch i % variants {
+		case 0:
+			o = bootOpts{vanilla: true}
+		case 1:
+			o = bootOpts{cfg: perfConfig(core.ModeHTMOnly, 0.01, 4, r.Seed)}
+		case 2:
+			o = bootOpts{cfg: perfConfig(core.ModeSTMOnly, 0.01, 4, r.Seed)}
+		case 3:
+			o = bootOpts{cfg: perfConfig(core.ModeHybrid, 0.01, 4, r.Seed)}
 		}
-		_, sres, err := r.measure(app, bootOpts{cfg: perfConfig(core.ModeSTMOnly, 0.01, 4, r.Seed)})
+		inst, res, err := r.measure(app, o)
 		if err != nil {
-			return out, err
+			return err
 		}
-		fsInst, fres, err := r.measure(app, bootOpts{cfg: perfConfig(core.ModeHybrid, 0.01, 4, r.Seed)})
-		if err != nil {
-			return out, err
-		}
+		results[i] = runOut{inst: inst, cpr: res.CyclesPerRequest()}
+		return nil
+	}); err != nil {
+		return out, err
+	}
+
+	for si, app := range servers {
+		base := results[si*variants].cpr
+		htmInst := results[si*variants+1].inst
+		fsInst := results[si*variants+3].inst
 		out.Rows = append(out.Rows, Figure7Row{
 			Server:              app.Name,
-			HTMOnlyPct:          overheadPct(hres.CyclesPerRequest(), base),
-			STMOnlyPct:          overheadPct(sres.CyclesPerRequest(), base),
-			FIRestarterPct:      overheadPct(fres.CyclesPerRequest(), base),
+			HTMOnlyPct:          overheadPct(results[si*variants+1].cpr, base),
+			STMOnlyPct:          overheadPct(results[si*variants+2].cpr, base),
+			FIRestarterPct:      overheadPct(results[si*variants+3].cpr, base),
 			HTMOnlyAbortPct:     100 * htmInst.rt.Stats().HTMAbortRate(),
 			FIRestarterAbortPct: 100 * fsInst.rt.Stats().HTMAbortRate(),
 		})
@@ -406,28 +474,32 @@ func memFootprint(inst *instance) int64 {
 func (r Runner) Figure9() (Figure9Result, error) {
 	r = r.withDefaults()
 	var out Figure9Result
-	for _, app := range apps.All() {
-		vInst, _, err := r.measure(app, bootOpts{vanilla: true})
+	servers := apps.All()
+	modes := []core.Mode{0, core.ModeHTMOnly, core.ModeSTMOnly, core.ModeHybrid} // index 0 = vanilla
+	footprints := make([]int64, len(servers)*len(modes))
+	if err := r.forEach(len(footprints), func(i int) error {
+		app := servers[i/len(modes)]
+		o := bootOpts{vanilla: true}
+		if mi := i % len(modes); mi != 0 {
+			o = bootOpts{cfg: perfConfig(modes[mi], 0.01, 4, r.Seed)}
+		}
+		inst, _, err := r.measure(app, o)
 		if err != nil {
-			return out, err
+			return err
 		}
-		base := float64(memFootprint(vInst))
-		row := Figure9Row{Server: app.Name}
-		for _, v := range []struct {
-			mode core.Mode
-			dst  *float64
-		}{
-			{core.ModeHTMOnly, &row.HTMOnlyPct},
-			{core.ModeSTMOnly, &row.STMOnlyPct},
-			{core.ModeHybrid, &row.FIRestarterPct},
-		} {
-			inst, _, err := r.measure(app, bootOpts{cfg: perfConfig(v.mode, 0.01, 4, r.Seed)})
-			if err != nil {
-				return out, err
-			}
-			*v.dst = overheadPct(float64(memFootprint(inst)), base)
-		}
-		out.Rows = append(out.Rows, row)
+		footprints[i] = memFootprint(inst)
+		return nil
+	}); err != nil {
+		return out, err
+	}
+	for si, app := range servers {
+		base := float64(footprints[si*len(modes)])
+		out.Rows = append(out.Rows, Figure9Row{
+			Server:         app.Name,
+			HTMOnlyPct:     overheadPct(float64(footprints[si*len(modes)+1]), base),
+			STMOnlyPct:     overheadPct(float64(footprints[si*len(modes)+2]), base),
+			FIRestarterPct: overheadPct(float64(footprints[si*len(modes)+3]), base),
+		})
 	}
 	return out, nil
 }

@@ -66,13 +66,16 @@ type TableIIIResult struct {
 func (r Runner) TableIII() (TableIIIResult, error) {
 	r = r.withDefaults()
 	var out TableIIIResult
-	for _, app := range apps.WebServers() {
+	servers := apps.WebServers()
+	rows := make([]TableIIIRow, len(servers))
+	if err := r.forEach(len(servers), func(i int) error {
+		app := servers[i]
 		inst, res, err := r.measure(app, bootOpts{})
 		if err != nil {
-			return out, fmt.Errorf("table III %s: %w", app.Name, err)
+			return fmt.Errorf("table III %s: %w", app.Name, err)
 		}
 		if res.ServerDied {
-			return out, fmt.Errorf("table III %s: server died (trap %d)", app.Name, res.TrapCode)
+			return fmt.Errorf("table III %s: server died (trap %d)", app.Name, res.TrapCode)
 		}
 		st := inst.rt.Stats()
 		gates := len(st.GateSites)
@@ -82,14 +85,18 @@ func (r Runner) TableIII() (TableIIIResult, error) {
 		if total > 0 {
 			pct = 100 * float64(gates) / float64(total)
 		}
-		out.Rows = append(out.Rows, TableIIIRow{
+		rows[i] = TableIIIRow{
 			Server:          app.Name,
 			UniqueTx:        total,
 			EmbeddedCalls:   len(st.EmbedSites),
 			IrrecoverableTx: breaks,
 			RecoverablePct:  pct,
-		})
+		}
+		return nil
+	}); err != nil {
+		return out, err
 	}
+	out.Rows = rows
 	return out, nil
 }
 
@@ -151,46 +158,78 @@ func (r Runner) TableIV() (TableIVResult, error) {
 		if err != nil {
 			return out, fmt.Errorf("table IV %s: %w", app.Name, err)
 		}
-		for _, f := range failStop {
-			inst, res, err := r.measure(app, bootOpts{fault: &f})
+		// Fan the per-fault runs across the pool; the outcomes reduce in
+		// fault-plan order, so counters match the serial campaign.
+		type fsOutcome struct {
+			triggered bool
+			died      bool
+		}
+		fsResults := make([]fsOutcome, len(failStop))
+		if err := r.forEach(len(failStop), func(i int) error {
+			inst, res, err := r.measure(app, bootOpts{fault: &failStop[i]})
 			if err != nil {
-				return out, err
+				return err
 			}
 			st := inst.rt.Stats()
-			triggered := st.Crashes > 0 || st.Unrecovered > 0 || res.ServerDied
-			if !triggered {
+			fsResults[i] = fsOutcome{
+				triggered: st.Crashes > 0 || st.Unrecovered > 0 || res.ServerDied,
+				died:      res.ServerDied,
+			}
+			return nil
+		}); err != nil {
+			return out, err
+		}
+		for _, o := range fsResults {
+			if !o.triggered {
 				continue // the workload never reached the fault
 			}
 			row.FSInjected++
-			if !res.ServerDied {
+			if !o.died {
 				row.FSRecovered++
 			}
 		}
 
-		// Fail-silent faults: mix the HSFI corruption types.
+		// Fail-silent faults: mix the HSFI corruption types. Planning
+		// stays serial (each plan is a profiling run feeding the next
+		// stage); the runs themselves fan out as one flat job list.
 		kinds := []faultinj.Kind{
 			faultinj.FlipBranch, faultinj.CorruptConst,
 			faultinj.WrongOperator, faultinj.OffByOne,
 		}
-		for i, kind := range kinds {
+		var silFaults []faultinj.Fault
+		for _, kind := range kinds {
 			faults, err := r.planFaults(app, kind, r.FaultsPerServer/len(kinds)+1)
 			if err != nil {
 				return out, err
 			}
-			for _, f := range faults {
-				inst, res, err := r.measure(app, bootOpts{fault: &f})
-				if err != nil {
-					return out, err
+			silFaults = append(silFaults, faults...)
+		}
+		type silOutcome struct {
+			crashed bool
+			died    bool
+		}
+		silResults := make([]silOutcome, len(silFaults))
+		if err := r.forEach(len(silFaults), func(i int) error {
+			inst, res, err := r.measure(app, bootOpts{fault: &silFaults[i]})
+			if err != nil {
+				return err
+			}
+			st := inst.rt.Stats()
+			silResults[i] = silOutcome{
+				crashed: st.Crashes > 0 || res.ServerDied,
+				died:    res.ServerDied,
+			}
+			return nil
+		}); err != nil {
+			return out, err
+		}
+		for _, o := range silResults {
+			row.SilInjected++
+			if o.crashed {
+				row.SilTriggered++
+				if !o.died {
+					row.SilRecovered++
 				}
-				row.SilInjected++
-				st := inst.rt.Stats()
-				if st.Crashes > 0 || res.ServerDied {
-					row.SilTriggered++
-					if !res.ServerDied {
-						row.SilRecovered++
-					}
-				}
-				_ = i
 			}
 		}
 		out.Rows = append(out.Rows, row)

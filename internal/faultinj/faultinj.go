@@ -261,6 +261,11 @@ func Apply(prog *ir.Program, f Fault) (*ir.Program, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("faultinj: fault %s broke the program: %w", f, err)
 	}
+	// Keep the planted program pre-resolved: the clone remapped existing
+	// caches, but a FailStop truncation may have synthesized instructions.
+	if err := p.Resolve(); err != nil {
+		return nil, fmt.Errorf("faultinj: resolving planted program: %w", err)
+	}
 	return p, nil
 }
 

@@ -133,6 +133,13 @@ type TSX struct {
 	// asynchronous event; it keeps ticking between transactions, like a
 	// real timer.
 	instrsToIntr int64
+
+	// free parks the last finished Tx for reuse by the next Begin.
+	// Transactions are frequent and short, so recycling the write-set
+	// map, the per-set counters and the line snapshot buffers removes
+	// the model's main allocation churn. Safe because a TSX has at most
+	// one live transaction and a finished Tx refuses further stores.
+	free *Tx
 }
 
 // New returns a TSX model with the given configuration.
@@ -175,12 +182,22 @@ type Tx struct {
 	// perSet counts dirty lines per cache set for associativity aborts.
 	perSet []int8
 
+	// bufs is a free list of line-sized snapshot buffers recycled
+	// across transactions by finish.
+	bufs [][]byte
+
 	done bool
 }
 
 // Begin starts a transaction against the given address space.
 func (t *TSX) Begin(space *mem.Space) *Tx {
 	t.stats.Begins++
+	if tx := t.free; tx != nil {
+		t.free = nil
+		tx.space = space
+		tx.done = false
+		return tx
+	}
 	return &Tx{
 		owner:  t,
 		space:  space,
@@ -232,9 +249,19 @@ func (tx *Tx) touch(line int64) error {
 		tx.rollback(AbortCapacity)
 		return &AbortError{Cause: AbortCapacity}
 	}
-	snap, err := tx.space.ReadBytes(line, mem.CacheLineSize)
-	if err != nil {
-		return err
+	var snap []byte
+	if n := len(tx.bufs); n > 0 {
+		snap = tx.bufs[n-1]
+		tx.bufs = tx.bufs[:n-1]
+		if err := tx.space.ReadInto(line, snap); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		snap, err = tx.space.ReadBytes(line, mem.CacheLineSize)
+		if err != nil {
+			return err
+		}
 	}
 	tx.lines[line] = snap
 	tx.perSet[set]++
@@ -310,7 +337,16 @@ func (tx *Tx) finish() {
 	if n := len(tx.lines); n > tx.owner.stats.PeakWriteLines {
 		tx.owner.stats.PeakWriteLines = n
 	}
-	tx.lines = nil
-	tx.perSet = nil
+	// Recycle in place: snapshot buffers go to the free list, the map
+	// and counters are cleared, and the Tx is parked for the next Begin.
+	for line, snap := range tx.lines {
+		tx.bufs = append(tx.bufs, snap)
+		delete(tx.lines, line)
+	}
+	for i := range tx.perSet {
+		tx.perSet[i] = 0
+	}
+	tx.space = nil
 	tx.done = true
+	tx.owner.free = tx
 }

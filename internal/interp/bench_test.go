@@ -1,0 +1,110 @@
+package interp_test
+
+import (
+	"testing"
+
+	"github.com/firestarter-go/firestarter/internal/interp"
+	"github.com/firestarter-go/firestarter/internal/libsim"
+	"github.com/firestarter-go/firestarter/internal/mem"
+	"github.com/firestarter-go/firestarter/internal/minic"
+)
+
+// benchMachine compiles src and returns a machine ready to run. The
+// benchmark programs loop forever, so each b.N iteration resumes the same
+// machine for a fixed step budget.
+func benchMachine(b *testing.B, src string) *interp.Machine {
+	b.Helper()
+	prog, err := minic.Compile(src, minic.Config{KnownLib: libsim.Known})
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := libsim.New(mem.NewSpace())
+	m, err := interp.New(prog, o, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// stepsPerIter is the instruction budget each benchmark iteration executes.
+const stepsPerIter = 10_000
+
+// BenchmarkCallReturn stresses the call/return path: the fast path must
+// execute OpCall without per-instruction function lookups and without
+// allocating argument or register slices (allocs/op must be ~0).
+func BenchmarkCallReturn(b *testing.B) {
+	m := benchMachine(b, `
+int add3(int a, int b, int c) { return a + b + c; }
+int main() {
+	int s = 0;
+	while (1) { s = add3(s, 1, 2); }
+	return s;
+}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := m.Run(stepsPerIter); out.Kind != interp.OutStepLimit {
+			b.Fatalf("outcome = %v", out.Kind)
+		}
+	}
+	b.ReportMetric(float64(stepsPerIter), "steps/op")
+}
+
+// BenchmarkDeepCalls exercises frame pooling across a deeper stack.
+func BenchmarkDeepCalls(b *testing.B) {
+	m := benchMachine(b, `
+int leaf(int x) { return x + 1; }
+int mid(int x) { return leaf(x) + leaf(x); }
+int outer(int x) { return mid(x) + mid(x); }
+int main() {
+	int s = 0;
+	while (1) { s = outer(s); }
+	return s;
+}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := m.Run(stepsPerIter); out.Kind != interp.OutStepLimit {
+			b.Fatalf("outcome = %v", out.Kind)
+		}
+	}
+	b.ReportMetric(float64(stepsPerIter), "steps/op")
+}
+
+// BenchmarkLibCall stresses the library-call path (argument marshalling
+// must not allocate).
+func BenchmarkLibCall(b *testing.B) {
+	m := benchMachine(b, `
+int main() {
+	int s = 0;
+	while (1) { s = htons(s); }
+	return s;
+}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := m.Run(stepsPerIter); out.Kind != interp.OutStepLimit {
+			b.Fatalf("outcome = %v", out.Kind)
+		}
+	}
+	b.ReportMetric(float64(stepsPerIter), "steps/op")
+}
+
+// BenchmarkGlobalAddr stresses global-address materialization, which the
+// fast path resolves at load time instead of a per-instruction map lookup.
+func BenchmarkGlobalAddr(b *testing.B) {
+	m := benchMachine(b, `
+int counter = 0;
+int main() {
+	while (1) { counter = counter + 1; }
+	return counter;
+}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := m.Run(stepsPerIter); out.Kind != interp.OutStepLimit {
+			b.Fatalf("outcome = %v", out.Kind)
+		}
+	}
+	b.ReportMetric(float64(stepsPerIter), "steps/op")
+}

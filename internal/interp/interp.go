@@ -71,7 +71,9 @@ const (
 type Runtime interface {
 	// LibCall executes a library call. site is the call site's ID (zero
 	// for sites the Library Interface Analyzer did not mark as
-	// transaction boundaries).
+	// transaction boundaries). args is a per-machine scratch buffer valid
+	// only for the duration of the call: implementations that retain
+	// argument values past their return must copy them.
 	LibCall(m *Machine, name string, args []int64, site int) (int64, error)
 
 	// Gate dispatches a transaction entry gate: it decides the variant
@@ -184,7 +186,28 @@ type Machine struct {
 
 	exited   bool
 	exitCode int64
+
+	// argbuf is the scratch arena for marshalling OpCall/OpLib arguments;
+	// it is reused across instructions so the hot path never allocates.
+	// Safe because push copies the values into the callee frame and the
+	// Runtime.LibCall contract forbids retaining the slice.
+	argbuf []int64
+
+	// regPool recycles register slices of popped frames. Slices in the
+	// pool are exclusively machine-owned: Snapshot deep-copies frame
+	// registers, and doReturn/Restore nil out the frame slots they pop so
+	// no stale Frame struct can alias a pooled slice.
+	regPool [][]int64
+
+	// budget is the remaining step budget of the last limited Run; it is
+	// only maintained when Run is given a positive maxSteps (an unlimited
+	// run must not count a budget down — it would underflow on very long
+	// executions).
+	budget int64
 }
+
+// maxRegPool bounds the number of register slices kept for reuse.
+const maxRegPool = 64
 
 // StackBytes is the simulated stack size.
 const StackBytes = 512 * 1024
@@ -194,6 +217,12 @@ const StackBytes = 512 * 1024
 // may be nil, in which case the Direct runtime is used.
 func New(prog *ir.Program, os *libsim.OS, rt Runtime) (*Machine, error) {
 	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	// Load-time name resolution: OpCall/OpGlobalAddr get direct pointers
+	// so the execution loop needs no map lookups. Idempotent — programs
+	// pre-resolved by transform/faultinj are simply re-checked.
+	if err := prog.Resolve(); err != nil {
 		return nil, err
 	}
 	if rt == nil {
@@ -260,13 +289,54 @@ func (m *Machine) pcString() string {
 	return fmt.Sprintf("%s.b%d.%d", f.Fn.Name, f.Blk, f.Idx)
 }
 
+// allocRegs returns a zeroed register file of size n, reusing a pooled
+// slice from a popped frame when one is large enough.
+func (m *Machine) allocRegs(n int) []int64 {
+	if k := len(m.regPool); k > 0 {
+		regs := m.regPool[k-1]
+		m.regPool[k-1] = nil
+		m.regPool = m.regPool[:k-1]
+		if cap(regs) >= n {
+			regs = regs[:n]
+			for i := range regs {
+				regs[i] = 0
+			}
+			return regs
+		}
+	}
+	return make([]int64, n)
+}
+
+// freeRegs returns a popped frame's register slice to the pool. Callers
+// must drop their own reference (the Frame slot) first.
+func (m *Machine) freeRegs(regs []int64) {
+	if regs != nil && len(m.regPool) < maxRegPool {
+		m.regPool = append(m.regPool, regs)
+	}
+}
+
+// marshalArgs gathers argument registers into the machine's scratch
+// arena. The returned slice is valid until the next marshalArgs call:
+// push copies it into the callee frame, and Runtime.LibCall
+// implementations must copy values they retain.
+func (m *Machine) marshalArgs(idx []int, regs []int64) []int64 {
+	if cap(m.argbuf) < len(idx) {
+		m.argbuf = make([]int64, len(idx))
+	}
+	args := m.argbuf[:len(idx)]
+	for i, a := range idx {
+		args[i] = regs[a]
+	}
+	return args
+}
+
 // push enters fn with the given arguments.
 func (m *Machine) push(fn *ir.Func, args []int64, retDst int) error {
 	newSP := (m.sp - fn.FrameSize) &^ 15
 	if newSP < mem.StackTop-StackBytes {
 		return &Trap{Code: ir.TrapBadAccess, Addr: newSP, PC: "stack overflow in " + fn.Name}
 	}
-	regs := make([]int64, fn.NumRegs)
+	regs := m.allocRegs(fn.NumRegs)
 	copy(regs, args)
 	entry := 0
 	if fn.Cloned && m.RT.Variant() == ir.TxSTM {
@@ -290,14 +360,33 @@ func (m *Machine) Snapshot() *Snapshot {
 }
 
 // Restore rewinds the machine to a snapshot. The snapshot's frame data is
-// copied so the same snapshot can be restored repeatedly.
+// copied so the same snapshot can be restored repeatedly; register slices
+// of live frames are reused in place (they are exclusively machine-owned).
 func (m *Machine) Restore(s *Snapshot) {
 	m.sp = s.sp
-	m.frames = m.frames[:0]
+	n := len(s.frames)
+	// Frames above the restored depth release their register files.
+	for i := n; i < len(m.frames); i++ {
+		m.freeRegs(m.frames[i].Regs)
+		m.frames[i] = Frame{}
+	}
+	if cap(m.frames) >= n {
+		m.frames = m.frames[:n]
+	} else {
+		old := m.frames
+		m.frames = make([]Frame, n)
+		copy(m.frames, old)
+	}
 	for i := range s.frames {
+		regs := m.frames[i].Regs
+		if cap(regs) < len(s.frames[i].Regs) {
+			regs = make([]int64, len(s.frames[i].Regs))
+		}
+		regs = regs[:len(s.frames[i].Regs)]
+		copy(regs, s.frames[i].Regs)
 		f := s.frames[i]
-		f.Regs = append([]int64(nil), s.frames[i].Regs...)
-		m.frames = append(m.frames, f)
+		f.Regs = regs
+		m.frames[i] = f
 	}
 }
 
@@ -307,15 +396,23 @@ func (m *Machine) Run(maxSteps int64) Outcome {
 	if m.exited {
 		return Outcome{Kind: OutExited, Code: m.exitCode}
 	}
-	budget := maxSteps
+	// Only track the budget when a limit is set: an unlimited run that
+	// counted down from zero would underflow int64 on very long runs.
+	limited := maxSteps > 0
+	m.budget = 0
+	if limited {
+		m.budget = maxSteps
+	}
 	for {
 		if m.exited {
 			return Outcome{Kind: OutExited, Code: m.exitCode}
 		}
-		if maxSteps > 0 && budget <= 0 {
-			return Outcome{Kind: OutStepLimit}
+		if limited {
+			if m.budget <= 0 {
+				return Outcome{Kind: OutStepLimit}
+			}
+			m.budget--
 		}
-		budget--
 		m.Steps++
 
 		err := m.step()
@@ -409,14 +506,23 @@ func (m *Machine) step() error {
 		f.Regs[in.Dst] = f.FP + in.Imm
 		m.Cycles += CostSimple
 	case ir.OpGlobalAddr:
-		f.Regs[in.Dst] = m.globals[in.Name]
+		if in.Global != nil {
+			f.Regs[in.Dst] = in.Global.Addr
+		} else {
+			f.Regs[in.Dst] = m.globals[in.Name]
+		}
 		m.Cycles += CostSimple
 	case ir.OpCall:
-		callee := m.Prog.Funcs[in.Name]
-		args := make([]int64, len(in.Args))
-		for i, a := range in.Args {
-			args[i] = f.Regs[a]
+		callee := in.Callee
+		if callee == nil {
+			// Slow path for programs mutated after load; an unknown
+			// callee is a simulated crash, never a host nil-deref.
+			callee = m.Prog.Funcs[in.Name]
+			if callee == nil {
+				return m.trapHere(ir.TrapBadCall, 0)
+			}
 		}
+		args := m.marshalArgs(in.Args, f.Regs)
 		m.Cycles += CostCall
 		f.Idx++ // return address: the instruction after the call
 		if err := m.push(callee, args, in.Dst); err != nil {
@@ -425,10 +531,7 @@ func (m *Machine) step() error {
 		}
 		return nil
 	case ir.OpLib:
-		args := make([]int64, len(in.Args))
-		for i, a := range in.Args {
-			args[i] = f.Regs[a]
-		}
+		args := m.marshalArgs(in.Args, f.Regs)
 		m.Cycles += CostLibBase
 		ret, err := m.RT.LibCall(m, in.Name, args, in.Site)
 		if err != nil {
@@ -516,9 +619,15 @@ func (m *Machine) doReturn(in *ir.Instr) error {
 		ret = f.Regs[in.A]
 	}
 	retDst := f.RetDst
-	m.sp = f.FP + f.Fn.FrameSize // not exact (alignment), fixed below
+	m.freeRegs(f.Regs)
+	f.Regs = nil // drop the stale reference so nothing can alias the pool
 	m.frames = m.frames[:len(m.frames)-1]
 	if len(m.frames) == 0 {
+		// Bottom frame: restore the exact pre-push stack pointer. The
+		// old intermediate `f.FP + f.Fn.FrameSize` guess was wrong here
+		// (frame sizes are rounded to 16 at push), leaving sp drifted
+		// at program exit.
+		m.sp = mem.StackTop
 		m.exited = true
 		m.exitCode = ret
 		// Commit any transaction still pending at exit so deferred

@@ -60,6 +60,7 @@ const (
 	TrapAssert    = 2 // application assertion failure
 	TrapDivZero   = 3 // division by zero
 	TrapBadAccess = 4 // set by the interpreter on unmapped memory access
+	TrapBadCall   = 5 // OpCall whose callee cannot be resolved at run time
 )
 
 // BinKind enumerates binary operators for OpBin.
@@ -184,6 +185,15 @@ type Instr struct {
 	// Pos is the source position (line number) carried from the frontend
 	// for diagnostics; zero when synthesized.
 	Pos int
+
+	// Callee (for OpCall) and Global (for OpGlobalAddr) are resolution
+	// caches filled by Program.Resolve so the interpreter's hot loop can
+	// skip per-instruction map lookups. Name stays authoritative: both
+	// pointers must refer to objects of the owning Program (Clone remaps
+	// them), and the interpreter falls back to a by-name lookup — trapping
+	// with TrapBadCall on failure — whenever Callee is nil.
+	Callee *Func
+	Global *Global
 }
 
 // Block is a basic block: a straight-line instruction sequence ending in a
@@ -373,6 +383,38 @@ func (p *Program) Validate() error {
 	return fmt.Errorf("ir: invalid program:\n  %s", strings.Join(problems, "\n  "))
 }
 
+// Resolve fills the per-instruction resolution caches: OpCall gets a
+// direct *Func pointer and OpGlobalAddr a direct *Global pointer, so the
+// interpreter needs no map lookups on the hot path. It is idempotent and
+// cheap; the interpreter runs it at load time, and the transformation and
+// fault-injection passes run it on their outputs so instrumented programs
+// arrive pre-resolved. Resolution never changes observable semantics or
+// the cost model — it only removes lookups.
+func (p *Program) Resolve() error {
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				switch in.Op {
+				case OpCall:
+					callee := p.Funcs[in.Name]
+					if callee == nil {
+						return fmt.Errorf("ir: resolve: call to undefined function %q in %s.b%d", in.Name, f.Name, b.ID)
+					}
+					in.Callee = callee
+				case OpGlobalAddr:
+					g := p.Global(in.Name)
+					if g == nil {
+						return fmt.Errorf("ir: resolve: unknown global %q in %s.b%d", in.Name, f.Name, b.ID)
+					}
+					in.Global = g
+				}
+			}
+		}
+	}
+	return nil
+}
+
 func checkInstr(p *Program, f *Func, in *Instr) error {
 	checkReg := func(r int, what string) error {
 		if r < 0 || r >= f.NumRegs {
@@ -436,14 +478,21 @@ func checkInstr(p *Program, f *Func, in *Instr) error {
 		if err := checkReg(in.Dst, "dst"); err != nil {
 			return err
 		}
-		if p.Global(in.Name) == nil {
+		g := p.Global(in.Name)
+		if g == nil {
 			return fmt.Errorf("unknown global %q", in.Name)
+		}
+		if in.Global != nil && in.Global != g {
+			return fmt.Errorf("stale resolved global for %q (points outside this program)", in.Name)
 		}
 		return nil
 	case OpCall:
 		callee, ok := p.Funcs[in.Name]
 		if !ok {
 			return fmt.Errorf("call to undefined function %q", in.Name)
+		}
+		if in.Callee != nil && in.Callee != callee {
+			return fmt.Errorf("stale resolved callee for %q (points outside this program)", in.Name)
 		}
 		if len(in.Args) != callee.Params {
 			return fmt.Errorf("call to %q with %d args, want %d", in.Name, len(in.Args), callee.Params)
@@ -669,6 +718,23 @@ func (p *Program) Clone() *Program {
 			nf.Blocks[i] = nb
 		}
 		cp.Funcs[name] = nf
+	}
+	// Remap resolution caches: a copied Callee/Global pointer would refer
+	// to the *source* program, so a machine running the clone could execute
+	// the un-transformed (or un-faulted) original code. Point them at the
+	// clone's own objects instead, preserving resolved-ness.
+	for _, nf := range cp.Funcs {
+		for _, nb := range nf.Blocks {
+			for j := range nb.Instrs {
+				in := &nb.Instrs[j]
+				if in.Callee != nil {
+					in.Callee = cp.Funcs[in.Name]
+				}
+				if in.Global != nil {
+					in.Global = cp.Global(in.Name)
+				}
+			}
+		}
 	}
 	return cp
 }

@@ -767,8 +767,14 @@ func (o *OS) doWrite(fd, buf, n int64) (int64, error) {
 		o.Errno = EINVAL
 		return -1, nil
 	}
-	data, err := o.Space.ReadBytes(buf, n)
-	if err != nil {
+	// Every sink below copies the payload out (append or copy into the
+	// target), so a reusable scratch buffer is safe and avoids one
+	// allocation per write call.
+	if int64(cap(o.wscratch)) < n {
+		o.wscratch = make([]byte, n)
+	}
+	data := o.wscratch[:n]
+	if err := o.Space.ReadInto(buf, data); err != nil {
 		return 0, err
 	}
 	o.charge(n)

@@ -20,6 +20,7 @@
 package libsim
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"github.com/firestarter-go/firestarter/internal/mem"
@@ -94,6 +95,7 @@ type OS struct {
 	deferFree DeferFreeFunc
 	lastRead  *ReadRecord
 	cycles    *int64
+	wscratch  []byte // reusable buffer for doWrite payloads (never escapes)
 
 	// ports maps bound port → listener for the client side (netsim).
 	ports map[int64]*Listener
@@ -241,10 +243,7 @@ func (o *OS) OpenFDs() int {
 func (o *OS) writeBytes(addr int64, data []byte) error {
 	i := 0
 	for ; i+8 <= len(data); i += 8 {
-		var w int64
-		for j := 7; j >= 0; j-- {
-			w = w<<8 | int64(data[i+j])
-		}
+		w := int64(binary.LittleEndian.Uint64(data[i : i+8]))
 		o.charge(2)
 		if err := o.store(addr+int64(i), w, 8); err != nil {
 			return err

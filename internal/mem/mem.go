@@ -63,9 +63,38 @@ func (e *AccessError) Unwrap() error { return ErrUnmapped }
 type Space struct {
 	pages map[int64]*[PageSize]byte
 
+	// tlb is a small direct-mapped translation cache in front of the
+	// page map: interpreter memory traffic alternates between a handful
+	// of pages (stack, heap object, globals), so most accesses skip the
+	// map lookup entirely. Entries are invalidated on Unmap; Map only
+	// adds pages, which cannot stale an entry.
+	tlb [tlbSize]tlbEntry
+
 	// peakPages tracks the high-water mark of mapped pages for RSS
 	// accounting (Fig. 9).
 	peakPages int
+}
+
+// tlbSize must be a power of two.
+const tlbSize = 8
+
+type tlbEntry struct {
+	page *[PageSize]byte // nil = invalid
+	idx  int64
+}
+
+// lookup translates a page index, consulting the cache first.
+func (s *Space) lookup(pageIdx int64) *[PageSize]byte {
+	e := &s.tlb[pageIdx&(tlbSize-1)]
+	if e.page != nil && e.idx == pageIdx {
+		return e.page
+	}
+	p, ok := s.pages[pageIdx]
+	if !ok {
+		return nil
+	}
+	e.page, e.idx = p, pageIdx
+	return p
 }
 
 // NewSpace returns an empty address space.
@@ -105,6 +134,10 @@ func (s *Space) Unmap(addr, size int64) error {
 	last := (addr + size) / PageSize // exclusive
 	for p := first; p < last; p++ {
 		delete(s.pages, p)
+		e := &s.tlb[p&(tlbSize-1)]
+		if e.page != nil && e.idx == p {
+			*e = tlbEntry{}
+		}
 	}
 	return nil
 }
@@ -135,33 +168,66 @@ func (s *Space) RSS() int64 { return int64(len(s.pages)) * PageSize }
 
 // Load reads width (1, 2, 4 or 8) bytes at addr, zero-extending to int64.
 func (s *Space) Load(addr int64, width int) (int64, error) {
-	var buf [8]byte
-	if err := s.read(addr, buf[:width]); err != nil {
-		return 0, &AccessError{Addr: addr, Width: width}
+	// Fast path: the access sits inside a single page, which is every
+	// access except the rare page-straddling one (scalars are at most
+	// 8 bytes).
+	if off := addr % PageSize; addr >= 0 && off <= PageSize-int64(width) {
+		page := s.lookup(addr / PageSize)
+		if page == nil {
+			return 0, &AccessError{Addr: addr, Width: width}
+		}
+		switch width {
+		case 1:
+			return int64(page[off]), nil
+		case 2:
+			return int64(binary.LittleEndian.Uint16(page[off : off+2])), nil
+		case 4:
+			return int64(binary.LittleEndian.Uint32(page[off : off+4])), nil
+		case 8:
+			return int64(binary.LittleEndian.Uint64(page[off : off+8])), nil
+		default:
+			return 0, fmt.Errorf("%w: load width %d", ErrBadRange, width)
+		}
 	}
+	var buf [8]byte
 	switch width {
-	case 1:
-		return int64(buf[0]), nil
-	case 2:
-		return int64(binary.LittleEndian.Uint16(buf[:2])), nil
-	case 4:
-		return int64(binary.LittleEndian.Uint32(buf[:4])), nil
-	case 8:
-		return int64(binary.LittleEndian.Uint64(buf[:8])), nil
+	case 1, 2, 4, 8:
 	default:
 		return 0, fmt.Errorf("%w: load width %d", ErrBadRange, width)
 	}
+	if err := s.read(addr, buf[:width]); err != nil {
+		return 0, &AccessError{Addr: addr, Width: width}
+	}
+	return int64(binary.LittleEndian.Uint64(buf[:8])), nil
 }
 
 // Store writes the low width bytes of val at addr.
 func (s *Space) Store(addr int64, val int64, width int) error {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(val))
 	switch width {
 	case 1, 2, 4, 8:
 	default:
 		return fmt.Errorf("%w: store width %d", ErrBadRange, width)
 	}
+	// Fast path: single-page access (see Load).
+	if off := addr % PageSize; addr >= 0 && off <= PageSize-int64(width) {
+		page := s.lookup(addr / PageSize)
+		if page == nil {
+			return &AccessError{Addr: addr, Width: width, Write: true}
+		}
+		switch width {
+		case 1:
+			page[off] = byte(val)
+		case 2:
+			binary.LittleEndian.PutUint16(page[off:off+2], uint16(val))
+		case 4:
+			binary.LittleEndian.PutUint32(page[off:off+4], uint32(val))
+		case 8:
+			binary.LittleEndian.PutUint64(page[off:off+8], uint64(val))
+		}
+		return nil
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(val))
 	if err := s.write(addr, buf[:width]); err != nil {
 		return &AccessError{Addr: addr, Width: width, Write: true}
 	}
@@ -178,6 +244,15 @@ func (s *Space) ReadBytes(addr, size int64) ([]byte, error) {
 		return nil, &AccessError{Addr: addr, Width: int(size)}
 	}
 	return out, nil
+}
+
+// ReadInto copies len(dst) bytes starting at addr into dst. It is the
+// allocation-free variant of ReadBytes for callers that reuse a buffer.
+func (s *Space) ReadInto(addr int64, dst []byte) error {
+	if err := s.read(addr, dst); err != nil {
+		return &AccessError{Addr: addr, Width: len(dst)}
+	}
+	return nil
 }
 
 // WriteBytes copies data into the space starting at addr.
@@ -210,8 +285,8 @@ func (s *Space) read(addr int64, dst []byte) error {
 		return ErrUnmapped
 	}
 	for len(dst) > 0 {
-		page, ok := s.pages[addr/PageSize]
-		if !ok {
+		page := s.lookup(addr / PageSize)
+		if page == nil {
 			return ErrUnmapped
 		}
 		off := int(addr % PageSize)
@@ -227,8 +302,8 @@ func (s *Space) write(addr int64, src []byte) error {
 		return ErrUnmapped
 	}
 	for len(src) > 0 {
-		page, ok := s.pages[addr/PageSize]
-		if !ok {
+		page := s.lookup(addr / PageSize)
+		if page == nil {
 			return ErrUnmapped
 		}
 		off := int(addr % PageSize)

@@ -76,6 +76,11 @@ func Apply(prog *ir.Program, model *libmodel.Model) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("transform: instrumented program invalid: %w", err)
 	}
+	// Pre-resolve call and global references so instrumented programs hit
+	// the interpreter's load-time fast path without another pass.
+	if err := p.Resolve(); err != nil {
+		return nil, fmt.Errorf("transform: resolving instrumented program: %w", err)
+	}
 	return &Result{Prog: p, Analysis: res, Gates: gates, Model: model}, nil
 }
 
