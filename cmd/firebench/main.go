@@ -1,13 +1,16 @@
 // Command firebench regenerates the paper's evaluation: every table and
-// figure of §VI, printed in the paper's layout.
+// figure of §VI, printed in the paper's layout, plus the repo's own
+// extension campaigns.
 //
 // Usage:
 //
-//	firebench [-experiment all|table2|table3|table4|fig3|fig5|fig6|fig7|fig8|fig9|realworld]
+//	firebench [-experiment <name>] [-list]
 //	          [-requests N] [-faults N] [-seed N] [-parallel N]
 //
-// -parallel fans each campaign's isolated measurement runs across N
-// workers. Output is byte-identical to a serial run for the same seed.
+// -list prints the experiment names -experiment accepts (plus "all",
+// the default, which runs every one of them in order). -parallel fans
+// each campaign's isolated measurement runs across N workers; output is
+// byte-identical to a serial run for the same seed.
 package main
 
 import (
@@ -19,20 +22,143 @@ import (
 	"github.com/firestarter-go/firestarter/internal/bench"
 )
 
+// experiment is one runnable entry: name, a one-line description for
+// -list, and the runner returning rendered output.
+type experiment struct {
+	name string
+	desc string
+	run  func(r bench.Runner) (string, error)
+}
+
+// experiments is the single registry every consumer derives from: the
+// -experiment dispatch, the -list output, the error message, and the
+// flag's usage string.
+func experiments() []experiment {
+	// fig7 and fig8 render different series of the same measurement runs;
+	// memoize so `-experiment all` pays for them once.
+	var fig7 *bench.Figure7Result
+	sharedFig7 := func(r bench.Runner) (bench.Figure7Result, error) {
+		if fig7 != nil {
+			return *fig7, nil
+		}
+		res, err := r.Figure7()
+		if err == nil {
+			fig7 = &res
+		}
+		return res, err
+	}
+
+	return []experiment{
+		{"table2", "Table II: the 101 canonical libc functions by recovery class", func(bench.Runner) (string, error) {
+			return bench.TableII().Render(), nil
+		}},
+		{"table3", "Table III: normalized performance overhead per server", func(r bench.Runner) (string, error) {
+			res, err := r.TableIII()
+			return res.Render(), err
+		}},
+		{"table4", "Table IV: fault-injection survival campaigns", func(r bench.Runner) (string, error) {
+			res, err := r.TableIV()
+			return res.Render(), err
+		}},
+		{"fig3", "Figure 3: adaptive-transaction policies on Nginx", func(r bench.Runner) (string, error) {
+			res, err := r.Figure3()
+			return res.Render(), err
+		}},
+		{"fig5", "Figure 5: overhead vs transaction-window length", func(r bench.Runner) (string, error) {
+			res, err := r.Figure5()
+			return res.Render(), err
+		}},
+		{"fig6", "Figure 6: overhead vs abort-rate threshold θ", func(r bench.Runner) (string, error) {
+			res, err := r.Figure6()
+			return res.Render(), err
+		}},
+		{"fig7", "Figure 7: overhead vs working-set footprint", func(r bench.Runner) (string, error) {
+			res, err := sharedFig7(r)
+			return res.Render(), err
+		}},
+		{"fig8", "Figure 8: abort rate vs working-set footprint (same runs as fig7)", func(r bench.Runner) (string, error) {
+			res, err := sharedFig7(r)
+			return res.RenderFigure8(), err
+		}},
+		{"fig9", "Figure 9: throughput under a persistent injected fault", func(r bench.Runner) (string, error) {
+			res, err := r.Figure9()
+			return res.Render(), err
+		}},
+		{"realworld", "§VI-F: the real-world crash case studies", func(r bench.Runner) (string, error) {
+			res, err := r.RealWorld()
+			return res.Render(), err
+		}},
+		{"windows", "transaction-window composition per server", func(r bench.Runner) (string, error) {
+			res, err := r.TxWindows()
+			return res.Render(), err
+		}},
+		{"ablation", "ablations: divert, retry, geometry, masked writes, restart baseline", func(r bench.Runner) (string, error) {
+			var sb strings.Builder
+			d, err := r.AblationDivert()
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(d.Render() + "\n")
+			rt, err := r.AblationRetry()
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(rt.Render() + "\n")
+			g, err := r.AblationGeometry()
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(g.Render() + "\n")
+			mw, err := r.AblationMaskedWrites()
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(mw.Render() + "\n")
+			rb, err := r.AblationRestartBaseline()
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(rb.Render())
+			return sb.String(), nil
+		}},
+		{"threads", "multi-worker scaling and abort-cause breakdown (conflict aborts)", func(r bench.Runner) (string, error) {
+			res, err := r.Threads()
+			return res.Render(), err
+		}},
+	}
+}
+
+func names() []string {
+	var out []string
+	for _, e := range experiments() {
+		out = append(out, e.name)
+	}
+	return out
+}
+
 func main() {
 	os.Exit(run())
 }
 
 func run() int {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run (all, table2, table3, table4, fig3, fig5, fig6, fig7, fig8, fig9, realworld, windows, ablation)")
-		requests   = flag.Int("requests", 300, "requests per measurement run")
-		faults     = flag.Int("faults", 12, "fault-injection experiments per server")
-		seed       = flag.Int64("seed", 1, "seed for workloads, fault plans and the interrupt process")
-		conc       = flag.Int("concurrency", 4, "simulated clients")
-		parallel   = flag.Int("parallel", 1, "worker pool size for measurement runs (1 = serial; results are identical)")
+		experiment = flag.String("experiment", "all",
+			"experiment to run (all, "+strings.Join(names(), ", ")+")")
+		list     = flag.Bool("list", false, "list experiment names and exit")
+		requests = flag.Int("requests", 300, "requests per measurement run")
+		faults   = flag.Int("faults", 12, "fault-injection experiments per server")
+		seed     = flag.Int64("seed", 1, "seed for workloads, fault plans and the interrupt process")
+		conc     = flag.Int("concurrency", 4, "simulated clients")
+		parallel = flag.Int("parallel", 1, "worker pool size for measurement runs (1 = serial; results are identical)")
 	)
 	flag.Parse()
+
+	if *list {
+		for _, e := range experiments() {
+			fmt.Printf("%-10s %s\n", e.name, e.desc)
+		}
+		return 0
+	}
 
 	r := bench.Runner{
 		Requests:        *requests,
@@ -42,129 +168,22 @@ func run() int {
 		Parallelism:     *parallel,
 	}
 
-	want := func(name string) bool {
-		return *experiment == "all" || *experiment == name
-	}
 	ran := false
-	fail := func(name string, err error) int {
-		fmt.Fprintf(os.Stderr, "firebench: %s: %v\n", name, err)
-		return 1
-	}
-
-	if want("table2") {
+	for _, e := range experiments() {
+		if *experiment != "all" && *experiment != e.name {
+			continue
+		}
 		ran = true
-		fmt.Println(bench.TableII().Render())
-	}
-	if want("table3") {
-		ran = true
-		res, err := r.TableIII()
+		out, err := e.run(r)
 		if err != nil {
-			return fail("table3", err)
+			fmt.Fprintf(os.Stderr, "firebench: %s: %v\n", e.name, err)
+			return 1
 		}
-		fmt.Println(res.Render())
-	}
-	if want("table4") {
-		ran = true
-		res, err := r.TableIV()
-		if err != nil {
-			return fail("table4", err)
-		}
-		fmt.Println(res.Render())
-	}
-	if want("fig3") {
-		ran = true
-		res, err := r.Figure3()
-		if err != nil {
-			return fail("fig3", err)
-		}
-		fmt.Println(res.Render())
-	}
-	if want("fig5") {
-		ran = true
-		res, err := r.Figure5()
-		if err != nil {
-			return fail("fig5", err)
-		}
-		fmt.Println(res.Render())
-	}
-	if want("fig6") {
-		ran = true
-		res, err := r.Figure6()
-		if err != nil {
-			return fail("fig6", err)
-		}
-		fmt.Println(res.Render())
-	}
-	if want("fig7") || want("fig8") {
-		ran = true
-		res, err := r.Figure7()
-		if err != nil {
-			return fail("fig7", err)
-		}
-		if want("fig7") {
-			fmt.Println(res.Render())
-		}
-		if want("fig8") {
-			fmt.Println(res.RenderFigure8())
-		}
-	}
-	if want("fig9") {
-		ran = true
-		res, err := r.Figure9()
-		if err != nil {
-			return fail("fig9", err)
-		}
-		fmt.Println(res.Render())
-	}
-	if want("realworld") {
-		ran = true
-		res, err := r.RealWorld()
-		if err != nil {
-			return fail("realworld", err)
-		}
-		fmt.Println(res.Render())
-	}
-	if want("windows") {
-		ran = true
-		res, err := r.TxWindows()
-		if err != nil {
-			return fail("windows", err)
-		}
-		fmt.Println(res.Render())
-	}
-	if want("ablation") {
-		ran = true
-		d, err := r.AblationDivert()
-		if err != nil {
-			return fail("ablation", err)
-		}
-		fmt.Println(d.Render())
-		rt, err := r.AblationRetry()
-		if err != nil {
-			return fail("ablation", err)
-		}
-		fmt.Println(rt.Render())
-		g, err := r.AblationGeometry()
-		if err != nil {
-			return fail("ablation", err)
-		}
-		fmt.Println(g.Render())
-		mw, err := r.AblationMaskedWrites()
-		if err != nil {
-			return fail("ablation", err)
-		}
-		fmt.Println(mw.Render())
-		rb, err := r.AblationRestartBaseline()
-		if err != nil {
-			return fail("ablation", err)
-		}
-		fmt.Println(rb.Render())
+		fmt.Println(out)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "firebench: unknown experiment %q\n", *experiment)
-		fmt.Fprintln(os.Stderr, "available: all, "+strings.Join([]string{
-			"table2", "table3", "table4", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "realworld", "windows", "ablation",
-		}, ", "))
+		fmt.Fprintln(os.Stderr, "available: all, "+strings.Join(names(), ", "))
 		return 2
 	}
 	return 0

@@ -1,0 +1,377 @@
+package apps
+
+import "strings"
+
+// NginxMT returns the multi-worker Nginx analog: the single-worker event
+// loop of Nginx() replicated across N worker threads that share one
+// listening socket (each worker has its own epoll instance watching it,
+// accept-on-wake, like nginx without accept_mutex). Workers share the
+// heap and globals, so the hardened build exercises the concurrency the
+// paper's testbed has: transactions opened at malloc gates in different
+// workers race on shared cache lines — the per-path hit counters all
+// live in one line — and a mutex-protected request counter drives the
+// pthread gates (mutex_lock with its unlock compensation, mutex_unlock as
+// a transaction break).
+//
+// The workers serve forever; the benchmark driver measures a fixed
+// request count and discards the instance, as with a real server under a
+// load generator. workers must be between 1 and 8.
+func NginxMT(workers int) *App {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > 8 {
+		workers = 8
+	}
+	digits := "12345678"
+	return &App{
+		Name:     "nginx-mt",
+		Port:     8080,
+		Protocol: "http",
+		Setup:    docRoot,
+		Source:   strings.ReplaceAll(nginxMTSrc, "@W@", digits[workers-1:workers]),
+	}
+}
+
+const nginxMTSrc = `
+// nginx-mt-sim: master + N worker threads, shared listener.
+
+int g_listen = -1;
+int g_stop = 0;
+int g_nworkers = @W@;
+int g_conns[128];        // fd -> struct conn* (fds are process-global)
+int g_epolls[8];         // per-worker epoll instances
+
+// Shared per-path hit counters: eight adjacent ints, one 64-byte cache
+// line. Every request increments one slot inside the post-malloc
+// transaction, so overlapping transactions in different workers conflict
+// here — the organic source of TSX conflict aborts.
+int g_hits[8];
+
+// Total request counter, guarded by mutex 1.
+int g_total = 0;
+
+struct conn {
+	int fd;
+	int ep;              // owning worker's epoll
+	int rlen;
+	int requests;
+	char rbuf[512];
+};
+
+int append_str(char *dst, int pos, char *s) {
+	int n = strlen(s);
+	memcpy(dst + pos, s, n);
+	return pos + n;
+}
+
+int append_int(char *dst, int pos, int v) {
+	char tmp[24];
+	int i = 0;
+	if (v == 0) {
+		dst[pos] = '0';
+		return pos + 1;
+	}
+	while (v > 0) {
+		tmp[i] = '0' + v % 10;
+		v /= 10;
+		i++;
+	}
+	while (i > 0) {
+		i--;
+		dst[pos] = tmp[i];
+		pos++;
+	}
+	return pos;
+}
+
+int send_all(int fd, char *buf, int n) {
+	int sent = write(fd, buf, n);
+	if (sent < 0) {
+		puts("write failed");
+		return -1;
+	}
+	return sent;
+}
+
+int send_response(int fd, int code, char *body, int blen) {
+	char hdr[256];
+	int pos = 0;
+	if (code == 200) {
+		pos = append_str(hdr, pos, "HTTP/1.1 200 OK\r\nContent-Length: ");
+	} else if (code == 404) {
+		pos = append_str(hdr, pos, "HTTP/1.1 404 Not Found\r\nContent-Length: ");
+	} else {
+		pos = append_str(hdr, pos, "HTTP/1.1 500 Internal Server Error\r\nContent-Length: ");
+	}
+	pos = append_int(hdr, pos, blen);
+	pos = append_str(hdr, pos, "\r\n\r\n");
+	if (send_all(fd, hdr, pos) < 0) { return -1; }
+	if (blen > 0) {
+		if (send_all(fd, body, blen) < 0) { return -1; }
+	}
+	return 0;
+}
+
+int send_error(int fd, int code) {
+	char body[64];
+	int pos = 0;
+	if (code == 404) {
+		pos = append_str(body, pos, "<html>404 not found</html>");
+	} else {
+		pos = append_str(body, pos, "<html>500 internal error</html>");
+	}
+	return send_response(fd, code, body, pos);
+}
+
+// serve_static maps the URL path onto /www and streams the file. The
+// checked malloc opens the crash transaction; the hit-counter store right
+// after it is the cross-worker conflict point, and the memset keeps the
+// transaction live long enough to be preempted mid-flight.
+int serve_static(int fd, char *path) {
+	char full[256];
+	int pos = append_str(full, 0, "/www");
+	if (strcmp(path, "/") == 0) {
+		pos = append_str(full, pos, "/index.html");
+	} else {
+		pos = append_str(full, pos, path);
+	}
+	full[pos] = 0;
+	int h = pos % 8;
+
+	int f = open(full, 0);
+	if (f < 0) {
+		return send_error(fd, 404);
+	}
+	int st[2];
+	if (fstat(f, st) == -1) {
+		puts("fstat failed");
+		close(f);
+		return send_error(fd, 500);
+	}
+	int size = st[0];
+	char *body = malloc(size + 1);
+	if (!body) {
+		puts("malloc failed, aborting request");
+		close(f);
+		return send_error(fd, 500);
+	}
+	g_hits[h] = g_hits[h] + 1;
+	memset(body, 0, size + 1);
+	int got = pread(f, body, size, 0);
+	if (got < 0) {
+		puts("pread failed");
+		free(body);
+		close(f);
+		return send_error(fd, 500);
+	}
+	close(f);
+	int rc = send_response(fd, 200, body, got);
+	free(body);
+	return rc;
+}
+
+// serve_ssi: as in the single-worker analog (§VI-F case study target).
+int serve_ssi(int fd) {
+	char full[32];
+	int pos = append_str(full, 0, "/www/ssi.shtml");
+	full[pos] = 0;
+	int f = open(full, 0);
+	if (f < 0) {
+		return send_error(fd, 404);
+	}
+	int st[2];
+	if (fstat(f, st) == -1) {
+		close(f);
+		return send_error(fd, 500);
+	}
+	int size = st[0];
+	char *body = malloc(size + 64);
+	if (!body) {
+		puts("malloc failed, aborting request");
+		close(f);
+		return send_error(fd, 500);
+	}
+	int got = pread(f, body, size, 0);
+	if (got < 0) {
+		free(body);
+		close(f);
+		return send_response(fd, 200, body, 0);
+	}
+	char varbuf[16];
+	int vlen = pread(f, varbuf, 6, 13);
+	if (vlen < 0) {
+		free(body);
+		close(f);
+		return send_response(fd, 200, body, 0);
+	}
+	memcpy(body + got, varbuf, vlen);
+	close(f);
+	int rc = send_response(fd, 200, body, got + vlen);
+	free(body);
+	return rc;
+}
+
+int handle_request(int fd, char *req) {
+	// Parse "GET <path> HTTP/1.1".
+	int i = 0;
+	while (req[i] != ' ' && req[i] != 0) { i++; }
+	if (req[i] == 0) { return send_error(fd, 500); }
+	i++;
+	int start = i;
+	while (req[i] != ' ' && req[i] != 0) { i++; }
+	if (req[i] == 0) { return send_error(fd, 500); }
+	req[i] = 0;
+	char *path = req + start;
+	// Shared request statistics under the lock (nginx's shared-memory
+	// stats zone analog).
+	if (mutex_lock(1) == 0) {
+		g_total = g_total + 1;
+		if (mutex_unlock(1) != 0) {
+			puts("mutex_unlock failed");
+		}
+	}
+	if (strncmp(path, "/ssi", 4) == 0) {
+		return serve_ssi(fd);
+	}
+	return serve_static(fd, path);
+}
+
+void close_conn(struct conn *c) {
+	int fd = c->fd;
+	epoll_ctl(c->ep, 2, fd);
+	close(fd);
+	g_conns[fd] = 0;
+	free(c);
+}
+
+void on_readable(struct conn *c) {
+	int n = read(c->fd, c->rbuf + c->rlen, 511 - c->rlen);
+	if (n == 0) {
+		close_conn(c);
+		return;
+	}
+	if (n < 0) {
+		if (errno() == 11) { return; }   // EAGAIN
+		puts("read failed");
+		close_conn(c);
+		return;
+	}
+	c->rlen = c->rlen + n;
+	c->rbuf[c->rlen] = 0;
+	if (c->rlen < 4) { return; }
+	int e = c->rlen;
+	if (c->rbuf[e-4] != '\r' || c->rbuf[e-3] != '\n' || c->rbuf[e-2] != '\r' || c->rbuf[e-1] != '\n') {
+		return;
+	}
+	if (handle_request(c->fd, c->rbuf) < 0) {
+		close_conn(c);
+		return;
+	}
+	c->requests = c->requests + 1;
+	c->rlen = 0;                      // keep-alive
+}
+
+// on_accept takes ONE connection per epoll wake (no accept loop): the
+// accepting worker goes on to serve the request, and the next pending
+// connection wakes whichever worker the scheduler runs next — the load
+// spreads without an accept mutex.
+void on_accept(int ep) {
+	int fd = accept(g_listen);
+	if (fd < 0) { return; }            // EAGAIN: another worker won the race
+	if (fd >= 128) { close(fd); return; }
+	struct conn *c = malloc(sizeof(struct conn));
+	if (!c) {
+		puts("malloc failed, rejecting connection");
+		close(fd);
+		return;
+	}
+	c->fd = fd;
+	c->ep = ep;
+	c->rlen = 0;
+	c->requests = 0;
+	g_conns[fd] = c;
+	fcntl(fd, 4, 1);
+	if (epoll_ctl(ep, 1, fd) == -1) {
+		puts("epoll_ctl failed");
+		close(fd);
+		g_conns[fd] = 0;
+		free(c);
+		return;
+	}
+}
+
+int worker(int wid) {
+	int ep = epoll_create();
+	if (ep == -1) {
+		puts("epoll_create failed");
+		return 1;
+	}
+	g_epolls[wid] = ep;
+	if (epoll_ctl(ep, 1, g_listen) == -1) {
+		puts("epoll_ctl listener failed");
+		return 1;
+	}
+	int events[16];
+	while (!g_stop) {
+		int n = epoll_wait(ep, events, 16);
+		if (n < 0) { continue; }       // critical path: retry
+		for (int i = 0; i < n; i++) {
+			int fd = events[i];
+			if (fd == g_listen) {
+				on_accept(ep);
+			} else {
+				struct conn *c = g_conns[fd];
+				if (c) { on_readable(c); }
+			}
+		}
+	}
+	return 0;
+}
+
+int main() {
+	int s = socket();
+	if (s == -1) {
+		puts("socket() failed");
+		return 1;
+	}
+	int reuseaddr = 1;
+	if (setsockopt(s, 2, reuseaddr) == -1) {
+		puts("setsockopt() failed");
+		close(s);
+		return 1;
+	}
+	if (bind(s, 8080) == -1) {
+		puts("bind() failed");
+		close(s);
+		return 1;
+	}
+	if (listen(s, 64) == -1) {
+		puts("listen() failed");
+		close(s);
+		return 1;
+	}
+	g_listen = s;
+	puts("nginx-mt-sim: ready");
+
+	int tids[8];
+	int w = 0;
+	while (w < g_nworkers) {
+		int t = thread_create("worker", w);
+		if (t < 0) {
+			puts("thread_create failed");
+			return 1;
+		}
+		tids[w] = t;
+		w = w + 1;
+	}
+	w = 0;
+	while (w < g_nworkers) {
+		if (thread_join(tids[w]) != 0) {
+			puts("thread_join failed");
+		}
+		w = w + 1;
+	}
+	return 0;
+}
+`

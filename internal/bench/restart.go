@@ -72,10 +72,17 @@ func (r Runner) AblationRestartBaseline() (RestartResult, error) {
 		if res.ServerDied {
 			restartRow.Restarts++
 			restartRow.StateLost++
-			// Every in-flight request on every connection dies with the
-			// process; the driver's outstanding requests count as failed.
-			restartRow.Failed += r.Concurrency
-			remaining -= r.Concurrency
+			// Every in-flight request dies with the process — the
+			// requests actually outstanding at the crash, not the full
+			// client pool (near the end of the campaign fewer than
+			// Concurrency are in flight), and never more than the
+			// campaign still owes.
+			lost := res.Outstanding
+			if lost > remaining {
+				lost = remaining
+			}
+			restartRow.Failed += lost
+			remaining -= lost
 			continue
 		}
 		break

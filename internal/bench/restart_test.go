@@ -1,0 +1,29 @@
+package bench
+
+import "testing"
+
+// TestRestartBaselineDoesNotOvercountLostRequests is the regression test
+// for the vanilla strategy's crash accounting: a crash used to charge the
+// full client pool (r.Concurrency) as failed even when fewer requests
+// were outstanding or the campaign owed fewer, driving `remaining`
+// negative and inflating Failed past the request budget. With
+// Requests=20, Concurrency=8, Seed=1 the server dies when only 4
+// requests remain, so the old code reports Completed+Failed = 24 > 20.
+func TestRestartBaselineDoesNotOvercountLostRequests(t *testing.T) {
+	r := Runner{Requests: 20, Concurrency: 8, Seed: 1}
+	res, err := r.AblationRestartBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Rows[0]
+	if v.Restarts < 1 {
+		t.Fatalf("scenario did not crash the vanilla server (restarts=%d); the test needs a death near the budget's end", v.Restarts)
+	}
+	if v.Completed+v.Failed > r.Requests {
+		t.Fatalf("vanilla row over-counts: completed=%d + failed=%d = %d > %d requested",
+			v.Completed, v.Failed, v.Completed+v.Failed, r.Requests)
+	}
+	if v.Failed < v.Restarts {
+		t.Fatalf("each crash loses at least its outstanding request: failed=%d < restarts=%d", v.Failed, v.Restarts)
+	}
+}

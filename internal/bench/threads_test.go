@@ -1,0 +1,74 @@
+package bench
+
+import "testing"
+
+// TestThreadsScalingAndConflicts locks in the threads campaign's
+// acceptance properties: wall-cycle throughput improves monotonically
+// from 1 to 4 workers fault-free, contention produces nonzero conflict
+// aborts, and the planted fault produces nonzero explicit aborts with
+// every request still answered.
+func TestThreadsScalingAndConflicts(t *testing.T) {
+	r := Runner{Requests: 300, Seed: 1}
+	res, err := r.Threads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rows := range [][]ThreadsRow{res.FaultFree, res.Faulted} {
+		if len(rows) != 4 {
+			t.Fatalf("want 4 scaling points, got %d", len(rows))
+		}
+		for i, row := range rows {
+			if row.Completed == 0 {
+				t.Fatalf("workers=%d: no completed requests", row.Workers)
+			}
+			if row.Unrecovered != 0 {
+				t.Fatalf("workers=%d: %d unrecovered crashes", row.Workers, row.Unrecovered)
+			}
+			// Monotonic improvement 1 → 2 → 4 workers; 8 may plateau
+			// (the client pool is the limit by then) but not regress.
+			if i > 0 && row.WallPerReq > rows[i-1].WallPerReq {
+				t.Errorf("workers=%d: wall cycles/req %0.f worse than %d workers' %0.f",
+					row.Workers, row.WallPerReq, rows[i-1].Workers, rows[i-1].WallPerReq)
+			}
+		}
+	}
+	var confl int64
+	for _, row := range res.FaultFree[1:] {
+		confl += row.ByConfl
+	}
+	if confl == 0 {
+		t.Error("no conflict aborts across multi-worker fault-free runs")
+	}
+	if res.FaultFree[0].ByConfl != 0 {
+		t.Errorf("single worker reported %d conflict aborts; conflicts need another thread",
+			res.FaultFree[0].ByConfl)
+	}
+	for _, row := range res.Faulted {
+		if row.ByExpl == 0 {
+			t.Errorf("workers=%d: planted fault produced no explicit aborts", row.Workers)
+		}
+		if row.Injections == 0 {
+			t.Errorf("workers=%d: persistent fault was never bypassed by injection", row.Workers)
+		}
+	}
+}
+
+// TestThreadsDeterministic locks the whole campaign output: a fixed seed
+// must render byte-identically, serial or parallel.
+func TestThreadsDeterministic(t *testing.T) {
+	run := func(parallelism int) string {
+		r := Runner{Requests: 300, Seed: 1, Parallelism: parallelism}
+		res, err := r.Threads()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Render()
+	}
+	a, b, p := run(1), run(1), run(4)
+	if a != b {
+		t.Fatalf("two serial runs diverged:\n%s\nvs\n%s", a, b)
+	}
+	if a != p {
+		t.Fatalf("parallel run diverged from serial:\n%s\nvs\n%s", a, p)
+	}
+}

@@ -220,6 +220,14 @@ type Runtime struct {
 	tsx  *htm.TSX
 	undo *stm.Log
 
+	// domain/tid connect this runtime's transactions to the other
+	// threads' when the program runs under the scheduler; nil/0 for the
+	// single-threaded case. waitingLock marks a TxBegin blocked on the
+	// STM commit lock (the scheduler uses it to classify the block).
+	domain      *htm.Domain
+	tid         int
+	waitingLock bool
+
 	gs         []gateState
 	cur        *txState
 	curVariant int64
@@ -266,6 +274,39 @@ func New(tr *transform.Result, os *libsim.OS, cfg Config) *Runtime {
 
 // Attach binds the machine (created with this runtime) to the runtime.
 func (rt *Runtime) Attach(m *interp.Machine) { rt.m = m }
+
+// SetDomain joins this runtime to a shared HTM conflict domain as thread
+// tid. Under the scheduler every thread gets its own Runtime (and TSX/undo
+// log); the domain is what connects their transactions. Call before the
+// first transaction.
+func (rt *Runtime) SetDomain(d *htm.Domain, tid int) {
+	rt.domain = d
+	rt.tid = tid
+	rt.tsx.AttachDomain(d, tid)
+}
+
+// StoreFunc exposes the transaction-routing store so the scheduler can
+// re-point the shared OS at the running thread's runtime on every context
+// switch (libsim.OS holds a single store hook).
+func (rt *Runtime) StoreFunc() libsim.StoreFunc { return rt.routeStore }
+
+// WaitingCommitLock reports whether the last blocked call was a TxBegin
+// stalled on the STM commit lock (as opposed to blocked I/O); the
+// scheduler wakes such threads as soon as another thread may have released
+// the lock.
+func (rt *Runtime) WaitingCommitLock() bool { return rt.waitingLock }
+
+// OnResume delivers a conflict abort doomed into this thread's live
+// hardware transaction while it was suspended: memory was rolled back by
+// the aggressor, so the registers are restored and the region re-executes
+// before the thread runs any further instruction.
+func (rt *Runtime) OnResume() {
+	if tx := rt.cur; tx != nil && tx.htmTx != nil && rt.m != nil {
+		if err := tx.htmTx.PendingAbort(); err != nil {
+			rt.Handle(rt.m, err)
+		}
+	}
+}
 
 // Stats returns a snapshot of accumulated statistics.
 func (rt *Runtime) Stats() Stats {
@@ -523,6 +564,15 @@ func (rt *Runtime) TxBegin(m *interp.Machine, siteID int, variant int64) error {
 		rt.stats.HTMBegins++
 		m.Cycles += costHTMBegin
 	} else {
+		// The STM fallback serializes against every other thread: take
+		// the global commit lock (dooming live hardware transactions,
+		// which subscribed to its line at Begin), or block until the
+		// holder commits and the scheduler wakes us to retry.
+		if rt.domain != nil && !rt.domain.AcquireLock(rt.tid) {
+			rt.waitingLock = true
+			return libsim.ErrBlocked
+		}
+		rt.waitingLock = false
 		rt.undo.Begin()
 		rt.stats.STMBegins++
 		m.Cycles += costSTMBegin
@@ -558,6 +608,9 @@ func (rt *Runtime) TxEnd(m *interp.Machine) error {
 		if err := rt.undo.Commit(); err != nil {
 			return err
 		}
+		if rt.domain != nil {
+			rt.domain.ReleaseLock(rt.tid)
+		}
 		rt.stats.STMCommits++
 		m.Cycles += costSTMCommit
 	}
@@ -586,6 +639,17 @@ func (rt *Runtime) TxEnd(m *interp.Machine) error {
 // Store implements interp.Runtime.
 func (rt *Runtime) Store(m *interp.Machine, addr, val int64, width int, _ bool) error {
 	return rt.routeStore(addr, val, width)
+}
+
+// Load implements interp.Runtime: inside a hardware transaction loads go
+// through the TSX model so the touched lines join the read set (and a
+// pending cross-thread abort is delivered); otherwise they are plain
+// memory loads. No extra cycles — the machine charges CostMem either way.
+func (rt *Runtime) Load(m *interp.Machine, addr int64, width int) (int64, error) {
+	if tx := rt.cur; tx != nil && tx.htmTx != nil {
+		return tx.htmTx.Load(addr, width)
+	}
+	return rt.os.Space.Load(addr, width)
 }
 
 // RegSave implements interp.Runtime: the STM register-save hook. The
@@ -715,6 +779,9 @@ func (rt *Runtime) handleCrash(m *interp.Machine) interp.Action {
 		return interp.ActionDie
 	}
 	m.Cycles += int64(undone) * costSTMUndoEntry
+	if rt.domain != nil {
+		rt.domain.ReleaseLock(rt.tid)
+	}
 	rt.rollbackSideEffects(tx)
 	m.Restore(tx.snap)
 	m.Cycles += costSignal

@@ -139,7 +139,23 @@ type TSX struct {
 	// map, the per-set counters and the line snapshot buffers removes
 	// the model's main allocation churn. Safe because a TSX has at most
 	// one live transaction and a finished Tx refuses further stores.
+	// A doomed Tx may be parked here with its abort still undelivered;
+	// that is fine because the owning thread always consumes the doom
+	// (Load/Store/Tick/Commit) before it can reach another Begin.
 	free *Tx
+
+	// domain, when non-nil, is the shared conflict directory connecting
+	// this core's transactions to the other threads' (see Domain).
+	domain   *Domain
+	threadID int
+}
+
+// AttachDomain joins this TSX instance to a shared conflict domain as
+// thread tid. Call before the first Begin; a nil domain (the default)
+// preserves the single-threaded model exactly.
+func (t *TSX) AttachDomain(d *Domain, tid int) {
+	t.domain = d
+	t.threadID = tid
 }
 
 // New returns a TSX model with the given configuration.
@@ -186,24 +202,53 @@ type Tx struct {
 	// across transactions by finish.
 	bufs [][]byte
 
+	// reads is the read set (line addresses), tracked only when the
+	// transaction belongs to a conflict domain; nil otherwise.
+	reads map[int64]struct{}
+
+	// dom and tid tie a live transaction to its conflict domain; dom is
+	// cleared by finish when the transaction leaves the active list.
+	dom *Domain
+	tid int
+
+	// doomed holds a cross-thread abort (AbortConflict) delivered by the
+	// domain while the owning thread was suspended. Memory is already
+	// rolled back; the owner's next Load/Store/Tick/Commit consumes it.
+	doomed AbortCause
+
 	done bool
 }
 
 // Begin starts a transaction against the given address space.
 func (t *TSX) Begin(space *mem.Space) *Tx {
 	t.stats.Begins++
-	if tx := t.free; tx != nil {
+	tx := t.free
+	if tx != nil {
 		t.free = nil
 		tx.space = space
 		tx.done = false
-		return tx
+	} else {
+		tx = &Tx{
+			owner:  t,
+			space:  space,
+			lines:  make(map[int64][]byte, 16),
+			perSet: make([]int8, t.cfg.Sets),
+		}
 	}
-	return &Tx{
-		owner:  t,
-		space:  space,
-		lines:  make(map[int64][]byte, 16),
-		perSet: make([]int8, t.cfg.Sets),
+	if d := t.domain; d != nil {
+		tx.dom = d
+		tx.tid = t.threadID
+		if tx.reads == nil {
+			tx.reads = make(map[int64]struct{}, 16)
+		}
+		d.register(tx)
+		// Subscribe to the STM commit lock's line: beginning while a
+		// software transaction holds it aborts immediately (elision).
+		if d.LockHeldByOther(t.threadID) {
+			d.doom(tx)
+		}
 	}
+	return tx
 }
 
 // WriteSetLines returns the number of distinct dirty cache lines.
@@ -216,10 +261,21 @@ func (tx *Tx) WriteSetLines() int { return len(tx.lines) }
 // reported as-is without rolling back — the caller decides to Abort (this
 // mirrors hardware, where the fault reaches the handler which then aborts).
 func (tx *Tx) Store(addr, val int64, width int) error {
+	if tx.doomed != AbortNone {
+		return tx.consumeDoom()
+	}
 	if tx.done {
 		return fmt.Errorf("htm: store on finished transaction")
 	}
 	first, second, spans := mem.LinesTouched(addr, width)
+	if d := tx.dom; d != nil {
+		// Invalidate the line in the other cores first, so their
+		// rollbacks land before we snapshot the original contents.
+		d.doomConflicting(tx.tid, first, true)
+		if spans {
+			d.doomConflicting(tx.tid, second, true)
+		}
+	}
 	if err := tx.touch(first); err != nil {
 		return err
 	}
@@ -268,10 +324,38 @@ func (tx *Tx) touch(line int64) error {
 	return nil
 }
 
+// Load performs a transactional load. In a conflict domain the touched
+// lines join the read set (dooming any other transaction that has them in
+// its write set — the writer loses the line when we request it shared);
+// outside a domain this is a plain memory load. A pending cross-thread
+// abort is delivered here like on Store.
+func (tx *Tx) Load(addr int64, width int) (int64, error) {
+	if tx.doomed != AbortNone {
+		return 0, tx.consumeDoom()
+	}
+	if tx.done {
+		return 0, fmt.Errorf("htm: load on finished transaction")
+	}
+	if d := tx.dom; d != nil {
+		first, second, spans := mem.LinesTouched(addr, width)
+		d.doomConflicting(tx.tid, first, false)
+		tx.reads[first] = struct{}{}
+		if spans {
+			d.doomConflicting(tx.tid, second, false)
+			tx.reads[second] = struct{}{}
+		}
+	}
+	return tx.space.Load(addr, width)
+}
+
 // Tick retires n instructions inside the transaction and may deliver an
 // asynchronous abort. On abort the transaction is rolled back and an
-// *AbortError with AbortInterrupt is returned.
+// *AbortError with AbortInterrupt is returned. A pending cross-thread
+// conflict abort is delivered here too.
 func (tx *Tx) Tick(n int64) error {
+	if tx.doomed != AbortNone {
+		return tx.consumeDoom()
+	}
 	if tx.done {
 		return nil
 	}
@@ -289,7 +373,12 @@ func (tx *Tx) Tick(n int64) error {
 }
 
 // Commit makes the transaction's stores permanent and discards snapshots.
+// A transaction doomed by a cross-thread conflict cannot commit; the
+// pending AbortConflict is delivered instead.
 func (tx *Tx) Commit() error {
+	if tx.doomed != AbortNone {
+		return tx.consumeDoom()
+	}
 	if tx.done {
 		return fmt.Errorf("htm: commit on finished transaction")
 	}
@@ -299,12 +388,36 @@ func (tx *Tx) Commit() error {
 }
 
 // Abort rolls the transaction back with the given cause (normally
-// AbortExplicit, for a fault inside the transaction).
+// AbortExplicit, for a fault inside the transaction). Aborting an
+// already-doomed transaction just discards the pending conflict.
 func (tx *Tx) Abort(cause AbortCause) {
+	if tx.doomed != AbortNone {
+		tx.doomed = AbortNone
+		return
+	}
 	if tx.done {
 		return
 	}
 	tx.rollback(cause)
+}
+
+// PendingAbort delivers a cross-thread doom without retiring instructions;
+// the scheduler polls it when a thread resumes so a victim learns about a
+// conflict before executing anything.
+func (tx *Tx) PendingAbort() error {
+	if tx.doomed != AbortNone {
+		return tx.consumeDoom()
+	}
+	return nil
+}
+
+// consumeDoom clears and reports a cross-thread abort. The rollback
+// already happened when the domain doomed us (the aggressor needed the
+// pre-transaction memory image); only the notification was pending.
+func (tx *Tx) consumeDoom() error {
+	cause := tx.doomed
+	tx.doomed = AbortNone
+	return &AbortError{Cause: cause}
 }
 
 func (tx *Tx) rollback(cause AbortCause) {
@@ -345,6 +458,13 @@ func (tx *Tx) finish() {
 	}
 	for i := range tx.perSet {
 		tx.perSet[i] = 0
+	}
+	if tx.dom != nil {
+		tx.dom.unregister(tx)
+		tx.dom = nil
+		for line := range tx.reads {
+			delete(tx.reads, line)
+		}
 	}
 	tx.space = nil
 	tx.done = true

@@ -93,6 +93,13 @@ type Runtime interface {
 	// stmInstrumented marks OpStmStore instructions (undo-logged).
 	Store(m *Machine, addr, val int64, width int, stmInstrumented bool) error
 
+	// Load performs a load. Under a hardware transaction in a conflict
+	// domain the touched lines join the read set (other threads' stores
+	// to them abort us); otherwise it is a plain memory load. The cost
+	// model charge (CostMem) stays with the machine, so routing loads
+	// through the runtime leaves single-threaded cycle counts untouched.
+	Load(m *Machine, addr int64, width int) (int64, error)
+
 	// RegSave is the STM register-save hook (setjmp analog). The HTM
 	// variant's hardware saves registers for free, so the runtime only
 	// charges work in STM mode.
@@ -175,6 +182,12 @@ type Machine struct {
 	sp      int64
 	globals map[string]int64
 
+	// stackTop/stackLimit bound this machine's stack region. The main
+	// machine owns [StackTop-StackBytes, StackTop); threads created by
+	// NewThread get their own smaller regions below mem.StackLimit.
+	stackTop   int64
+	stackLimit int64
+
 	// Cycles is the accumulated cost-model time; Steps counts executed
 	// instructions.
 	Cycles int64
@@ -229,12 +242,14 @@ func New(prog *ir.Program, os *libsim.OS, rt Runtime) (*Machine, error) {
 		rt = Direct{}
 	}
 	m := &Machine{
-		Prog:    prog,
-		Space:   os.Space,
-		OS:      os,
-		RT:      rt,
-		globals: make(map[string]int64, len(prog.Globals)),
-		sp:      mem.StackTop,
+		Prog:       prog,
+		Space:      os.Space,
+		OS:         os,
+		RT:         rt,
+		globals:    make(map[string]int64, len(prog.Globals)),
+		sp:         mem.StackTop,
+		stackTop:   mem.StackTop,
+		stackLimit: mem.StackTop - StackBytes,
 	}
 	addr := int64(mem.GlobalBase)
 	for _, g := range prog.Globals {
@@ -263,6 +278,47 @@ func New(prog *ir.Program, os *libsim.OS, rt Runtime) (*Machine, error) {
 	}
 	os.SetCycleSink(&m.Cycles)
 	if err := m.push(entry, nil, -1); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ThreadStackBytes is the simulated stack size of a thread created by
+// NewThread. Threads run shallow worker loops, so they get smaller stacks
+// than the main machine (real pthread stacks are configured the same way).
+const ThreadStackBytes = 256 * 1024
+
+// NewThread creates a machine sharing the parent's program, address space,
+// OS and globals, with its own stack region and an initial frame for the
+// named entry function. slot (>= 1) picks the stack region: thread stacks
+// grow down from mem.StackLimit, separated by an unmapped guard page, so a
+// thread overflowing its stack traps instead of corrupting a neighbour.
+func NewThread(parent *Machine, rt Runtime, fn *ir.Func, args []int64, slot int) (*Machine, error) {
+	if slot < 1 {
+		return nil, fmt.Errorf("interp: thread stack slot must be >= 1, got %d", slot)
+	}
+	if rt == nil {
+		rt = Direct{}
+	}
+	top := mem.StackLimit - int64(slot-1)*(ThreadStackBytes+mem.PageSize)
+	base := top - ThreadStackBytes
+	if base < mem.HeapLimit {
+		return nil, fmt.Errorf("interp: thread stack slot %d collides with the heap", slot)
+	}
+	if err := parent.Space.Map(base, ThreadStackBytes); err != nil {
+		return nil, fmt.Errorf("interp: mapping thread stack: %w", err)
+	}
+	m := &Machine{
+		Prog:       parent.Prog,
+		Space:      parent.Space,
+		OS:         parent.OS,
+		RT:         rt,
+		globals:    parent.globals,
+		sp:         top,
+		stackTop:   top,
+		stackLimit: base,
+	}
+	if err := m.push(fn, args, -1); err != nil {
 		return nil, err
 	}
 	return m, nil
@@ -333,7 +389,7 @@ func (m *Machine) marshalArgs(idx []int, regs []int64) []int64 {
 // push enters fn with the given arguments.
 func (m *Machine) push(fn *ir.Func, args []int64, retDst int) error {
 	newSP := (m.sp - fn.FrameSize) &^ 15
-	if newSP < mem.StackTop-StackBytes {
+	if newSP < m.stackLimit {
 		return &Trap{Code: ir.TrapBadAccess, Addr: newSP, PC: "stack overflow in " + fn.Name}
 	}
 	regs := m.allocRegs(fn.NumRegs)
@@ -486,9 +542,14 @@ func (m *Machine) step() error {
 		}
 		m.Cycles += CostSimple
 	case ir.OpLoad:
-		v, err := m.Space.Load(f.Regs[in.A]+in.Imm, in.Width)
+		v, err := m.RT.Load(m, f.Regs[in.A]+in.Imm, in.Width)
 		if err != nil {
-			return m.trapHere(ir.TrapBadAccess, f.Regs[in.A]+in.Imm)
+			if errors.Is(err, mem.ErrUnmapped) {
+				return m.trapHere(ir.TrapBadAccess, f.Regs[in.A]+in.Imm)
+			}
+			// Non-memory errors (a pending conflict abort) go to the
+			// runtime's Handle like a failing store would.
+			return err
 		}
 		f.Regs[in.Dst] = v
 		m.Cycles += CostMem
@@ -627,7 +688,7 @@ func (m *Machine) doReturn(in *ir.Instr) error {
 		// old intermediate `f.FP + f.Fn.FrameSize` guess was wrong here
 		// (frame sizes are rounded to 16 at push), leaving sp drifted
 		// at program exit.
-		m.sp = mem.StackTop
+		m.sp = m.stackTop
 		m.exited = true
 		m.exitCode = ret
 		// Commit any transaction still pending at exit so deferred
@@ -672,6 +733,11 @@ func (Direct) TxEnd(*Machine) error { return nil }
 // Store implements Runtime.
 func (Direct) Store(m *Machine, addr, val int64, width int, _ bool) error {
 	return m.Space.Store(addr, val, width)
+}
+
+// Load implements Runtime.
+func (Direct) Load(m *Machine, addr int64, width int) (int64, error) {
+	return m.Space.Load(addr, width)
 }
 
 // RegSave implements Runtime.

@@ -405,6 +405,47 @@ func Default() *Model {
 	m.add(&Entry{Name: "putint", Class: NoReversion})
 	m.add(&Entry{Name: "errno", Class: NoReversion})
 
+	// --- Threads (pthread analogs; not part of the canonical 101) ----------
+	// mutex_lock is a divertable boundary: pthread_mutex_lock documents
+	// EINVAL, callers check it, and diverting into the error path simply
+	// skips the critical section. Its compensation action releases the
+	// lock, so a persistent crash inside a critical section can never
+	// leak a held mutex into the injected error path (the "unlock
+	// compensation" the transaction design requires).
+	m.add(&Entry{
+		Name: "mutex_lock", Class: StateRestore, Divertable: true,
+		ErrorReturn: libsim.EINVAL, ErrnoDirect: true,
+		Compensate: func(o *libsim.OS, c Call, _ any) {
+			if c.Ret == 0 && o.Threads() != nil && len(c.Args) == 1 {
+				o.Threads().MutexUnlock(c.Args[0]) //nolint:errcheck
+			}
+		},
+	})
+	// mutex_unlock publishes the critical section to other threads: once
+	// another thread can acquire the lock the release cannot be undone,
+	// so it breaks the transaction (like write); the preceding region
+	// commits before the lock is dropped.
+	m.add(&Entry{Name: "mutex_unlock", Class: Irrecoverable})
+	// thread_create is divertable (EAGAIN, callers check for -1); its
+	// compensation cancels the thread so a rolled-back create does not
+	// leave a live twin running.
+	m.add(&Entry{
+		Name: "thread_create", Class: Reversible, Divertable: true,
+		ErrorReturn: -1, Errno: libsim.EAGAIN,
+		Compensate: func(o *libsim.OS, c Call, _ any) {
+			if c.Ret >= 1 && o.Threads() != nil {
+				o.Threads().Cancel(c.Ret)
+			}
+		},
+	})
+	// thread_join only observes another thread; re-joining after a
+	// rollback is harmless (a second join on an exited thread returns
+	// immediately).
+	m.add(&Entry{
+		Name: "thread_join", Class: NoReversion, Divertable: true,
+		ErrorReturn: -1, Errno: libsim.EINVAL,
+	})
+
 	return m
 }
 

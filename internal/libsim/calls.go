@@ -649,6 +649,47 @@ func buildCallTable() map[string]handler {
 		return int64(len(s)), nil
 	}}
 
+	// --- threads (pthread analogs, dispatched to the scheduler) --------------
+	// thread_create(name, arg) spawns the named function as a thread and
+	// returns its id; thread_join(tid) blocks until it exits. mutex_lock/
+	// mutex_unlock return 0 or a pthread-style error code directly (no
+	// errno), like the pthread_mutex_* family. All of them fail with
+	// EINVAL when no scheduler is attached (single-threaded runs).
+	t["thread_create"] = handler{2, func(o *OS, a []int64) (int64, error) {
+		if o.threads == nil {
+			o.Errno = EINVAL
+			return -1, nil
+		}
+		name, err := o.Space.ReadCString(a[0], 128)
+		if err != nil {
+			return 0, err
+		}
+		o.charge(800) // clone + stack setup
+		return o.threads.Create(name, a[1])
+	}}
+	t["thread_join"] = handler{1, func(o *OS, a []int64) (int64, error) {
+		if o.threads == nil {
+			o.Errno = EINVAL
+			return -1, nil
+		}
+		o.charge(40)
+		return o.threads.Join(a[0])
+	}}
+	t["mutex_lock"] = handler{1, func(o *OS, a []int64) (int64, error) {
+		if o.threads == nil {
+			return EINVAL, nil
+		}
+		o.charge(20)
+		return o.threads.MutexLock(a[0])
+	}}
+	t["mutex_unlock"] = handler{1, func(o *OS, a []int64) (int64, error) {
+		if o.threads == nil {
+			return EINVAL, nil
+		}
+		o.charge(20)
+		return o.threads.MutexUnlock(a[0])
+	}}
+
 	return t
 }
 
@@ -711,6 +752,10 @@ func (o *OS) doRead(fd, buf, n int64) (int64, error) {
 	switch s.Kind {
 	case FDConn:
 		c := s.Conn
+		if c.reset {
+			o.Errno = ECONNRESET
+			return -1, nil
+		}
 		if len(c.in) == 0 {
 			if c.clientClosed {
 				return 0, nil // EOF
@@ -781,6 +826,10 @@ func (o *OS) doWrite(fd, buf, n int64) (int64, error) {
 	switch s.Kind {
 	case FDConn:
 		c := s.Conn
+		if c.reset {
+			o.Errno = ECONNRESET
+			return -1, nil
+		}
 		if c.serverClosed {
 			o.Errno = EPIPE
 			return -1, nil

@@ -1,0 +1,129 @@
+package libsim
+
+import "testing"
+
+// TestDescriptorTableExhaustionEMFILE exercises the fd-table limit: every
+// allocating call fails with EMFILE once 1024 descriptors are live, and a
+// single close makes allocation work again (lowest-free-slot reuse).
+func TestDescriptorTableExhaustionEMFILE(t *testing.T) {
+	o := newOS(t)
+	var last int64 = -1
+	for i := 0; i < 1024; i++ {
+		fd, err := o.Call("socket", nil)
+		if err != nil {
+			t.Fatalf("socket #%d: %v", i, err)
+		}
+		if fd < 0 {
+			break
+		}
+		last = fd
+	}
+	if last < 0 {
+		t.Fatal("no descriptors allocated at all")
+	}
+	fd := call(t, o, "socket")
+	if fd != -1 {
+		t.Fatalf("socket beyond the table limit returned %d, want -1", fd)
+	}
+	if o.Errno != EMFILE {
+		t.Fatalf("errno = %d, want EMFILE (%d)", o.Errno, EMFILE)
+	}
+	// epoll_create and open allocate from the same table.
+	if fd := call(t, o, "epoll_create"); fd != -1 || o.Errno != EMFILE {
+		t.Fatalf("epoll_create at the limit: fd=%d errno=%d, want -1/EMFILE", fd, o.Errno)
+	}
+	call(t, o, "close", last)
+	if fd := call(t, o, "socket"); fd != last {
+		t.Fatalf("after close, socket = %d, want reused slot %d", fd, last)
+	}
+}
+
+// resetConn builds a listener, connects a client, accepts it server-side,
+// and returns the accepted fd plus the client end.
+func resetConn(t *testing.T) (*OS, int64, *Conn) {
+	t.Helper()
+	o := newOS(t)
+	s := call(t, o, "socket")
+	if r := call(t, o, "bind", s, 9000); r != 0 {
+		t.Fatalf("bind: %d (errno %d)", r, o.Errno)
+	}
+	if r := call(t, o, "listen", s, 8); r != 0 {
+		t.Fatalf("listen: %d (errno %d)", r, o.Errno)
+	}
+	c := o.Connect(9000)
+	if c == nil {
+		t.Fatal("Connect returned nil")
+	}
+	fd := call(t, o, "accept", s)
+	if fd < 0 {
+		t.Fatalf("accept: %d (errno %d)", fd, o.Errno)
+	}
+	return o, fd, c
+}
+
+// TestReadAfterClientResetECONNRESET: an RST (client close with unread
+// data / SO_LINGER 0) discards queued inbound bytes and makes the peer's
+// reads fail with ECONNRESET — not the graceful drain-then-EOF of a FIN.
+func TestReadAfterClientResetECONNRESET(t *testing.T) {
+	o, fd, c := resetConn(t)
+	c.ClientDeliver([]byte("half a request"))
+	c.ClientReset()
+	buf := putStr(t, o, 0, "xxxxxxxxxxxxxxxx")
+	n := call(t, o, "read", fd, buf, 16)
+	if n != -1 {
+		t.Fatalf("read on reset connection = %d, want -1", n)
+	}
+	if o.Errno != ECONNRESET {
+		t.Fatalf("errno = %d, want ECONNRESET (%d)", o.Errno, ECONNRESET)
+	}
+	if c.InboundLen() != 0 {
+		t.Fatalf("%d queued bytes survived the reset", c.InboundLen())
+	}
+	// A reset connection still counts as readable so epoll reports it and
+	// the server learns of the error instead of waiting forever.
+	if !c.Readable() {
+		t.Fatal("reset connection not readable")
+	}
+}
+
+// TestWriteAfterClientResetECONNRESET: writes to a reset peer fail with
+// ECONNRESET (the first failure is ECONNRESET; EPIPE is for FIN'd peers).
+func TestWriteAfterClientResetECONNRESET(t *testing.T) {
+	o, fd, c := resetConn(t)
+	c.ClientReset()
+	buf := putStr(t, o, 0, "response")
+	n := call(t, o, "write", fd, buf, 8)
+	if n != -1 {
+		t.Fatalf("write on reset connection = %d, want -1", n)
+	}
+	if o.Errno != ECONNRESET {
+		t.Fatalf("errno = %d, want ECONNRESET (%d)", o.Errno, ECONNRESET)
+	}
+}
+
+// TestAcceptEAGAINOnEmptyQueue: accept on a non-blocking listener with an
+// empty queue fails immediately with EAGAIN rather than blocking — the
+// contract the event loops' accept-until-drained idiom relies on.
+func TestAcceptEAGAINOnEmptyQueue(t *testing.T) {
+	o := newOS(t)
+	s := call(t, o, "socket")
+	call(t, o, "bind", s, 9000)
+	call(t, o, "listen", s, 8)
+	fd := call(t, o, "accept", s)
+	if fd != -1 {
+		t.Fatalf("accept on empty queue = %d, want -1", fd)
+	}
+	if o.Errno != EAGAIN {
+		t.Fatalf("errno = %d, want EAGAIN (%d)", o.Errno, EAGAIN)
+	}
+	// Drain exactly one pending connection, then EAGAIN again.
+	if c := o.Connect(9000); c == nil {
+		t.Fatal("Connect returned nil")
+	}
+	if fd := call(t, o, "accept", s); fd < 0 {
+		t.Fatalf("accept with one pending connection: %d (errno %d)", fd, o.Errno)
+	}
+	if fd := call(t, o, "accept", s); fd != -1 || o.Errno != EAGAIN {
+		t.Fatalf("second accept: fd=%d errno=%d, want -1/EAGAIN", fd, o.Errno)
+	}
+}

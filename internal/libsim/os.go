@@ -28,6 +28,7 @@ import (
 
 // Errno values (Linux numbering) reported by simulated calls.
 const (
+	EPERM      = 1
 	ENOENT     = 2
 	EINTR      = 4
 	EBADF      = 9
@@ -39,6 +40,7 @@ const (
 	EMFILE     = 24
 	ENOSPC     = 28
 	EPIPE      = 32
+	EDEADLK    = 35
 	ENOTCONN   = 107
 	EADDRINUSE = 98
 	ECONNRESET = 104
@@ -78,6 +80,29 @@ type StoreFunc func(addr, val int64, width int) error
 // the call on resume.
 var ErrBlocked = fmt.Errorf("libsim: call would block")
 
+// ThreadOps is the scheduler's side of the pthread-style library calls
+// (thread_create, thread_join, mutex_lock, mutex_unlock). The OS only
+// dispatches; thread and mutex state live in the scheduler. Blocking
+// operations return ErrBlocked and are retried when the scheduler wakes
+// the calling thread. Implementations set o.Errno on failure themselves.
+type ThreadOps interface {
+	// Create spawns a thread running the named function with one integer
+	// argument and returns its id (>= 1), or -1 with errno set.
+	Create(fn string, arg int64) (int64, error)
+	// Join waits for a thread to exit; returns 0 on success, -1 with
+	// errno set for an unknown id, or ErrBlocked while it still runs.
+	Join(tid int64) (int64, error)
+	// MutexLock/MutexUnlock return 0 or a pthread-style error code
+	// directly (EDEADLK for a recursive lock, EPERM for unlocking a
+	// mutex the caller does not hold). Lock returns ErrBlocked while
+	// another thread holds the mutex.
+	MutexLock(id int64) (int64, error)
+	MutexUnlock(id int64) (int64, error)
+	// Cancel tears down a thread that should not have been created (the
+	// compensation action for a rolled-back thread_create).
+	Cancel(tid int64) bool
+}
+
 // OS is a simulated operating system instance bound to one address space.
 // It is single-threaded, like the paper's protected servers (§VII).
 type OS struct {
@@ -92,6 +117,7 @@ type OS struct {
 	stdout []byte // bytes written to fd 1/2 (program log)
 
 	store     StoreFunc
+	threads   ThreadOps
 	deferFree DeferFreeFunc
 	lastRead  *ReadRecord
 	cycles    *int64
@@ -151,6 +177,13 @@ func (o *OS) SetStore(s StoreFunc) {
 	}
 	o.store = s
 }
+
+// SetThreads installs the scheduler hook behind the pthread-style calls.
+// Without one (the single-threaded default) those calls fail with EINVAL.
+func (o *OS) SetThreads(t ThreadOps) { o.threads = t }
+
+// Threads returns the installed scheduler hook (compensation actions).
+func (o *OS) Threads() ThreadOps { return o.threads }
 
 // Stdout returns everything the program wrote to stdout/stderr.
 func (o *OS) Stdout() string { return string(o.stdout) }

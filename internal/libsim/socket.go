@@ -21,6 +21,7 @@ type Conn struct {
 	in, out      []byte
 	clientClosed bool // client sent FIN: reads drain then return 0
 	serverClosed bool // server closed its fd
+	reset        bool // client sent RST: reads/writes fail with ECONNRESET
 }
 
 // CloseServer closes the server side of the connection.
@@ -35,6 +36,15 @@ func (c *Conn) ClientDeliver(data []byte) { c.in = append(c.in, data...) }
 // ClientClose marks the client end closed (FIN).
 func (c *Conn) ClientClose() { c.clientClosed = true }
 
+// ClientReset aborts the connection from the client end (RST, the effect
+// of closing with unread data or SO_LINGER 0). Queued inbound data is
+// discarded and the peer's subsequent reads and writes fail with
+// ECONNRESET, unlike the graceful drain-then-EOF of ClientClose.
+func (c *Conn) ClientReset() {
+	c.reset = true
+	c.in = nil
+}
+
 // ClientTake drains and returns everything the server has written
 // (netsim side).
 func (c *Conn) ClientTake() []byte {
@@ -44,8 +54,8 @@ func (c *Conn) ClientTake() []byte {
 }
 
 // Readable reports whether a server-side read would make progress: data is
-// queued, or the client closed (EOF is readable).
-func (c *Conn) Readable() bool { return len(c.in) > 0 || c.clientClosed }
+// queued, or the client closed (EOF and ECONNRESET are both readable).
+func (c *Conn) Readable() bool { return len(c.in) > 0 || c.clientClosed || c.reset }
 
 // InboundLen returns queued unread bytes (tests).
 func (c *Conn) InboundLen() int { return len(c.in) }

@@ -7,6 +7,11 @@
 // blocks in epoll_wait (or crashes), then drains and validates responses.
 // Throughput is measured in cost-model cycles per completed request, which
 // is deterministic and host-independent.
+//
+// A Driver can equally drive a multi-threaded server: set S to the
+// scheduler instead of M, and each slice runs all runnable threads.
+// Throughput then uses wall cycles — the maximum per-thread cycle count —
+// so adding workers shows up as fewer cycles per request.
 package workload
 
 import (
@@ -17,6 +22,7 @@ import (
 
 	"github.com/firestarter-go/firestarter/internal/interp"
 	"github.com/firestarter-go/firestarter/internal/libsim"
+	"github.com/firestarter-go/firestarter/internal/sched"
 )
 
 // Generator produces and validates protocol traffic.
@@ -38,9 +44,14 @@ type Result struct {
 	BadResp    int
 	ServerDied bool
 	TrapCode   int64
-	Cycles     int64 // machine cycles consumed during the run
+	Cycles     int64 // machine (or wall, see Driver.S) cycles consumed
 	Steps      int64
 	Stalled    bool // driver gave up waiting for progress
+
+	// Outstanding counts requests that were sent but neither answered nor
+	// failed when the run ended — the in-flight work a crash actually
+	// kills, at most Concurrency but usually fewer near the end of a run.
+	Outstanding int
 }
 
 // CyclesPerRequest is the throughput metric (lower is better).
@@ -59,6 +70,11 @@ type Driver struct {
 	Gen         Generator
 	Concurrency int
 	Seed        int64
+
+	// S, when non-nil, is a multi-threaded scheduler driven in place of M:
+	// each slice runs every runnable thread and Cycles reports wall cycles
+	// (max per-thread) rather than one machine's count.
+	S *sched.Sched
 
 	// StepBudget bounds each machine slice (default 2M instructions).
 	StepBudget int64
@@ -84,13 +100,13 @@ func (d *Driver) Run(total int) Result {
 	rng := rand.New(rand.NewSource(d.Seed))
 	var res Result
 
-	startCycles := d.M.Cycles
-	startSteps := d.M.Steps
+	startCycles := d.cycles()
+	startSteps := d.steps()
 
 	// Let the server finish startup and block on epoll_wait.
 	if !d.slice(&res) {
-		res.Cycles = d.M.Cycles - startCycles
-		res.Steps = d.M.Steps - startSteps
+		res.Cycles = d.cycles() - startCycles
+		res.Steps = d.steps() - startSteps
 		return res
 	}
 
@@ -166,16 +182,42 @@ func (d *Driver) Run(total int) Result {
 			}
 		}
 	}
-	res.Cycles = d.M.Cycles - startCycles
-	res.Steps = d.M.Steps - startSteps
+	for _, c := range clients {
+		if c.pending {
+			res.Outstanding++
+		}
+	}
+	res.Cycles = d.cycles() - startCycles
+	res.Steps = d.steps() - startSteps
 	return res
 }
 
-// slice runs the machine until it blocks; returns false when the server
-// died or exited.
+// cycles returns the throughput clock: wall cycles under a scheduler, the
+// machine's cycle count otherwise.
+func (d *Driver) cycles() int64 {
+	if d.S != nil {
+		return d.S.WallCycles()
+	}
+	return d.M.Cycles
+}
+
+func (d *Driver) steps() int64 {
+	if d.S != nil {
+		return d.S.TotalSteps()
+	}
+	return d.M.Steps
+}
+
+// slice runs the machine (or all runnable threads) until it blocks;
+// returns false when the server died or exited.
 func (d *Driver) slice(res *Result) bool {
 	for {
-		out := d.M.Run(d.StepBudget)
+		var out interp.Outcome
+		if d.S != nil {
+			out = d.S.Run(d.StepBudget)
+		} else {
+			out = d.M.Run(d.StepBudget)
+		}
 		switch out.Kind {
 		case interp.OutBlocked:
 			return true
