@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-smoke eval examples cover clean
+.PHONY: all build test vet bench bench-smoke obsv-smoke eval examples cover clean
 
 all: build vet test
 
@@ -28,6 +28,21 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/firebench -requests 40 -faults 4 -concurrency 2 -parallel 4 > /dev/null
 	@echo bench-smoke OK
+
+# End-to-end observability smoke: drive the hardened nginx analog with
+# spans, metrics and the guest profiler exported as JSONL, then lint the
+# three files (schema + monotonic cycles + exactly one profile total).
+# The Observe run itself fails if metrics totals don't reconcile with the
+# runtime counters or profiler attribution doesn't sum to machine cycles.
+obsv-smoke:
+	$(GO) run ./cmd/firebench -experiment nginx -requests 60 \
+		-trace-out /tmp/fire-trace.jsonl \
+		-metrics-out /tmp/fire-metrics.jsonl \
+		-profile /tmp/fire-profile.jsonl > /dev/null
+	$(GO) run ./cmd/obsvlint -schema trace /tmp/fire-trace.jsonl
+	$(GO) run ./cmd/obsvlint -schema metrics /tmp/fire-metrics.jsonl
+	$(GO) run ./cmd/obsvlint -schema profile /tmp/fire-profile.jsonl
+	@echo obsv-smoke OK
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -6,34 +6,55 @@
 //
 //	firebench [-experiment <name>] [-list]
 //	          [-requests N] [-faults N] [-seed N] [-parallel N]
+//	          [-trace-out FILE] [-metrics-out FILE] [-profile FILE]
 //
 // -list prints the experiment names -experiment accepts (plus "all",
-// the default, which runs every one of them in order). -parallel fans
-// each campaign's isolated measurement runs across N workers; output is
-// byte-identical to a serial run for the same seed.
+// the default, which runs every table/figure experiment in order; the
+// per-app observability runs are extras, selected by name only, so the
+// default suite's output stays stable). -parallel fans each campaign's
+// isolated measurement runs across N workers; output is byte-identical
+// to a serial run for the same seed.
+//
+// The observability experiments (one per app: nginx, apache, lighttpd,
+// redis, postgres) drive the hardened server with structured spans, the
+// metrics registry and the guest profiler enabled, and export them as
+// JSONL via -trace-out, -metrics-out and -profile. All three outputs are
+// cycle-domain and byte-deterministic for a fixed seed.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"github.com/firestarter-go/firestarter/internal/apps"
 	"github.com/firestarter-go/firestarter/internal/bench"
 )
 
 // experiment is one runnable entry: name, a one-line description for
-// -list, and the runner returning rendered output.
+// -list, and the runner returning rendered output. Extras run only when
+// selected by name — "all" keeps to the paper suite.
 type experiment struct {
-	name string
-	desc string
-	run  func(r bench.Runner) (string, error)
+	name  string
+	desc  string
+	extra bool
+	run   func(r bench.Runner) (string, error)
+}
+
+// obsvOut carries the observability export paths from the flags to the
+// per-app observe experiments.
+type obsvOut struct {
+	traceOut   string
+	metricsOut string
+	profileOut string
 }
 
 // experiments is the single registry every consumer derives from: the
 // -experiment dispatch, the -list output, the error message, and the
 // flag's usage string.
-func experiments() []experiment {
+func experiments(out *obsvOut) []experiment {
 	// fig7 and fig8 render different series of the same measurement runs;
 	// memoize so `-experiment all` pays for them once.
 	var fig7 *bench.Figure7Result
@@ -48,51 +69,51 @@ func experiments() []experiment {
 		return res, err
 	}
 
-	return []experiment{
-		{"table2", "Table II: the 101 canonical libc functions by recovery class", func(bench.Runner) (string, error) {
+	exps := []experiment{
+		{name: "table2", desc: "Table II: the 101 canonical libc functions by recovery class", run: func(bench.Runner) (string, error) {
 			return bench.TableII().Render(), nil
 		}},
-		{"table3", "Table III: normalized performance overhead per server", func(r bench.Runner) (string, error) {
+		{name: "table3", desc: "Table III: normalized performance overhead per server", run: func(r bench.Runner) (string, error) {
 			res, err := r.TableIII()
 			return res.Render(), err
 		}},
-		{"table4", "Table IV: fault-injection survival campaigns", func(r bench.Runner) (string, error) {
+		{name: "table4", desc: "Table IV: fault-injection survival campaigns", run: func(r bench.Runner) (string, error) {
 			res, err := r.TableIV()
 			return res.Render(), err
 		}},
-		{"fig3", "Figure 3: adaptive-transaction policies on Nginx", func(r bench.Runner) (string, error) {
+		{name: "fig3", desc: "Figure 3: adaptive-transaction policies on Nginx", run: func(r bench.Runner) (string, error) {
 			res, err := r.Figure3()
 			return res.Render(), err
 		}},
-		{"fig5", "Figure 5: overhead vs transaction-window length", func(r bench.Runner) (string, error) {
+		{name: "fig5", desc: "Figure 5: overhead vs transaction-window length", run: func(r bench.Runner) (string, error) {
 			res, err := r.Figure5()
 			return res.Render(), err
 		}},
-		{"fig6", "Figure 6: overhead vs abort-rate threshold θ", func(r bench.Runner) (string, error) {
+		{name: "fig6", desc: "Figure 6: overhead vs abort-rate threshold θ", run: func(r bench.Runner) (string, error) {
 			res, err := r.Figure6()
 			return res.Render(), err
 		}},
-		{"fig7", "Figure 7: overhead vs working-set footprint", func(r bench.Runner) (string, error) {
+		{name: "fig7", desc: "Figure 7: overhead vs working-set footprint", run: func(r bench.Runner) (string, error) {
 			res, err := sharedFig7(r)
 			return res.Render(), err
 		}},
-		{"fig8", "Figure 8: abort rate vs working-set footprint (same runs as fig7)", func(r bench.Runner) (string, error) {
+		{name: "fig8", desc: "Figure 8: abort rate vs working-set footprint (same runs as fig7)", run: func(r bench.Runner) (string, error) {
 			res, err := sharedFig7(r)
 			return res.RenderFigure8(), err
 		}},
-		{"fig9", "Figure 9: throughput under a persistent injected fault", func(r bench.Runner) (string, error) {
+		{name: "fig9", desc: "Figure 9: throughput under a persistent injected fault", run: func(r bench.Runner) (string, error) {
 			res, err := r.Figure9()
 			return res.Render(), err
 		}},
-		{"realworld", "§VI-F: the real-world crash case studies", func(r bench.Runner) (string, error) {
+		{name: "realworld", desc: "§VI-F: the real-world crash case studies", run: func(r bench.Runner) (string, error) {
 			res, err := r.RealWorld()
 			return res.Render(), err
 		}},
-		{"windows", "transaction-window composition per server", func(r bench.Runner) (string, error) {
+		{name: "windows", desc: "transaction-window composition per server", run: func(r bench.Runner) (string, error) {
 			res, err := r.TxWindows()
 			return res.Render(), err
 		}},
-		{"ablation", "ablations: divert, retry, geometry, masked writes, restart baseline", func(r bench.Runner) (string, error) {
+		{name: "ablation", desc: "ablations: divert, retry, geometry, masked writes, restart baseline", run: func(r bench.Runner) (string, error) {
 			var sb strings.Builder
 			d, err := r.AblationDivert()
 			if err != nil {
@@ -121,19 +142,69 @@ func experiments() []experiment {
 			sb.WriteString(rb.Render())
 			return sb.String(), nil
 		}},
-		{"threads", "multi-worker scaling and abort-cause breakdown (conflict aborts)", func(r bench.Runner) (string, error) {
+		{name: "threads", desc: "multi-worker scaling and abort-cause breakdown (conflict aborts)", run: func(r bench.Runner) (string, error) {
 			res, err := r.Threads()
 			return res.Render(), err
 		}},
 	}
+	for _, app := range apps.All() {
+		exps = append(exps, observeExperiment(app.Name, out))
+	}
+	return exps
 }
 
-func names() []string {
-	var out []string
-	for _, e := range experiments() {
-		out = append(out, e.name)
+// observeExperiment builds the per-app observability extra: the hardened
+// app under the standard workload with spans, metrics and the profiler
+// enabled, exported through the -trace-out/-metrics-out/-profile flags.
+func observeExperiment(appName string, out *obsvOut) experiment {
+	return experiment{
+		name:  appName,
+		desc:  "observability run: hardened " + appName + " with spans, metrics, guest profiler (extra)",
+		extra: true,
+		run: func(r bench.Runner) (string, error) {
+			res, err := r.Observe(appName)
+			if err != nil {
+				return "", err
+			}
+			if err := exportObsv(res, out); err != nil {
+				return "", err
+			}
+			return res.Render(), nil
+		},
 	}
-	return out
+}
+
+// exportObsv writes the requested JSONL exports.
+func exportObsv(res *bench.ObserveResult, out *obsvOut) error {
+	write := func(path string, render func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(out.traceOut, res.WriteTrace); err != nil {
+		return err
+	}
+	if err := write(out.metricsOut, res.WriteMetrics); err != nil {
+		return err
+	}
+	return write(out.profileOut, res.WriteProfile)
+}
+
+func names(out *obsvOut) []string {
+	var names []string
+	for _, e := range experiments(out) {
+		names = append(names, e.name)
+	}
+	return names
 }
 
 func main() {
@@ -141,9 +212,10 @@ func main() {
 }
 
 func run() int {
+	var out obsvOut
 	var (
 		experiment = flag.String("experiment", "all",
-			"experiment to run (all, "+strings.Join(names(), ", ")+")")
+			"experiment to run (all, "+strings.Join(names(&out), ", ")+")")
 		list     = flag.Bool("list", false, "list experiment names and exit")
 		requests = flag.Int("requests", 300, "requests per measurement run")
 		faults   = flag.Int("faults", 12, "fault-injection experiments per server")
@@ -151,10 +223,13 @@ func run() int {
 		conc     = flag.Int("concurrency", 4, "simulated clients")
 		parallel = flag.Int("parallel", 1, "worker pool size for measurement runs (1 = serial; results are identical)")
 	)
+	flag.StringVar(&out.traceOut, "trace-out", "", "write the structured span trace as JSONL to this file (observability experiments)")
+	flag.StringVar(&out.metricsOut, "metrics-out", "", "write the metrics registry as JSONL to this file (observability experiments)")
+	flag.StringVar(&out.profileOut, "profile", "", "write the guest profile as JSONL to this file (observability experiments)")
 	flag.Parse()
 
 	if *list {
-		for _, e := range experiments() {
+		for _, e := range experiments(&out) {
 			fmt.Printf("%-10s %s\n", e.name, e.desc)
 		}
 		return 0
@@ -169,21 +244,24 @@ func run() int {
 	}
 
 	ran := false
-	for _, e := range experiments() {
+	for _, e := range experiments(&out) {
+		if *experiment == "all" && e.extra {
+			continue
+		}
 		if *experiment != "all" && *experiment != e.name {
 			continue
 		}
 		ran = true
-		out, err := e.run(r)
+		text, err := e.run(r)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "firebench: %s: %v\n", e.name, err)
 			return 1
 		}
-		fmt.Println(out)
+		fmt.Println(text)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "firebench: unknown experiment %q\n", *experiment)
-		fmt.Fprintln(os.Stderr, "available: all, "+strings.Join(names(), ", "))
+		fmt.Fprintln(os.Stderr, "available: all, "+strings.Join(names(&out), ", "))
 		return 2
 	}
 	return 0

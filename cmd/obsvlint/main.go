@@ -1,0 +1,141 @@
+// Command obsvlint validates firebench's observability JSONL exports.
+// CI runs it over -trace-out/-metrics-out/-profile files so a schema
+// regression (unparseable line, missing field, non-monotonic cycles)
+// fails the build instead of silently shipping broken telemetry.
+//
+// Usage:
+//
+//	obsvlint -schema trace|metrics|profile FILE...
+//
+// Every non-empty line must be a JSON object. Per schema:
+//
+//	trace:   "seq" (dense, increasing from 1), "cycles" (non-decreasing),
+//	         "kind" (non-empty string)
+//	metrics: "type" and "name" non-empty; histograms carry counts with
+//	         len(buckets)+1 entries
+//	profile: "type" one of func/libsite/total, exactly one terminal total
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	schema := flag.String("schema", "", "expected schema: trace, metrics or profile")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "obsvlint: no files given")
+		return 2
+	}
+	bad := 0
+	for _, path := range flag.Args() {
+		if err := lintFile(path, *schema); err != nil {
+			fmt.Fprintf(os.Stderr, "obsvlint: %s: %v\n", path, err)
+			bad++
+		} else {
+			fmt.Printf("obsvlint: %s: ok\n", path)
+		}
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+func lintFile(path, schema string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var (
+		lineNo     int
+		objects    int
+		lastSeq    int64
+		lastCycles int64
+		totals     int
+	)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var obj map[string]any
+		if err := json.Unmarshal(line, &obj); err != nil {
+			return fmt.Errorf("line %d: invalid JSON: %v", lineNo, err)
+		}
+		objects++
+		switch schema {
+		case "trace":
+			seq, ok := num(obj["seq"])
+			if !ok || seq != lastSeq+1 {
+				return fmt.Errorf("line %d: seq = %v, want %d", lineNo, obj["seq"], lastSeq+1)
+			}
+			lastSeq = seq
+			cyc, ok := num(obj["cycles"])
+			if !ok || cyc < lastCycles {
+				return fmt.Errorf("line %d: cycles = %v went backwards (last %d)", lineNo, obj["cycles"], lastCycles)
+			}
+			lastCycles = cyc
+			if s, _ := obj["kind"].(string); s == "" {
+				return fmt.Errorf("line %d: missing kind", lineNo)
+			}
+		case "metrics":
+			typ, _ := obj["type"].(string)
+			name, _ := obj["name"].(string)
+			if typ == "" || name == "" {
+				return fmt.Errorf("line %d: missing type/name", lineNo)
+			}
+			if typ == "histogram" {
+				buckets, _ := obj["buckets"].([]any)
+				counts, _ := obj["counts"].([]any)
+				if len(counts) != len(buckets)+1 {
+					return fmt.Errorf("line %d: %d counts for %d buckets", lineNo, len(counts), len(buckets))
+				}
+			}
+		case "profile":
+			switch typ, _ := obj["type"].(string); typ {
+			case "func", "libsite":
+			case "total":
+				totals++
+			default:
+				return fmt.Errorf("line %d: unknown profile row type %q", lineNo, obj["type"])
+			}
+		case "":
+			// Schema-less: any JSON object stream passes.
+		default:
+			return fmt.Errorf("unknown schema %q", schema)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if objects == 0 {
+		return fmt.Errorf("no JSONL objects")
+	}
+	if schema == "profile" && totals != 1 {
+		return fmt.Errorf("%d total rows, want exactly 1", totals)
+	}
+	return nil
+}
+
+// num coerces a decoded JSON number to int64.
+func num(v any) (int64, bool) {
+	f, ok := v.(float64)
+	if !ok {
+		return 0, false
+	}
+	return int64(f), true
+}

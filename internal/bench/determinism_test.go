@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -59,4 +60,64 @@ func statsKey(st core.Stats) string {
 	return fmt.Sprintf("g=%d hb=%d ha=%d sb=%d c=%d i=%d u=%d",
 		st.GateExecs, st.HTMBegins, st.HTMAborts, st.STMBegins,
 		st.Crashes, st.Injections, st.Unrecovered)
+}
+
+// TestObservabilityOutputIsByteDeterministic renders all three
+// observability exports of a full observed run twice and requires the
+// bytes to match — the cycle-domain guarantee firebench's
+// -trace-out/-metrics-out/-profile files rely on.
+func TestObservabilityOutputIsByteDeterministic(t *testing.T) {
+	r := Runner{Requests: 80, Concurrency: 4, Seed: 9}
+	run := func() [3]string {
+		res, err := r.Observe("nginx")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var trace, metrics, profile bytes.Buffer
+		if err := res.WriteTrace(&trace); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteMetrics(&metrics); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteProfile(&profile); err != nil {
+			t.Fatal(err)
+		}
+		if trace.Len() == 0 || metrics.Len() == 0 || profile.Len() == 0 {
+			t.Fatal("empty observability export")
+		}
+		return [3]string{trace.String(), metrics.String(), profile.String()}
+	}
+	a := run()
+	b := run()
+	for i, name := range []string{"trace", "metrics", "profile"} {
+		if a[i] != b[i] {
+			t.Errorf("%s output differs between identical runs", name)
+		}
+	}
+}
+
+// TestThreadsRenderIdenticalAcrossParallelism runs the registry-aggregated
+// threads campaign serially and with a worker pool: the rendered output
+// (and therefore every metric total behind it) must be byte-identical.
+func TestThreadsRenderIdenticalAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run campaign")
+	}
+	r := Runner{Requests: 40, Concurrency: 4, Seed: 9}
+	run := func(parallelism int) string {
+		r := r
+		r.Parallelism = parallelism
+		res, err := r.Threads()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Render()
+	}
+	serial := run(1)
+	parallel := run(4)
+	if serial != parallel {
+		t.Errorf("threads render differs across -parallel 1 vs 4:\n--- serial\n%s\n--- parallel\n%s",
+			serial, parallel)
+	}
 }

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/firestarter-go/firestarter/internal/apps"
+	"github.com/firestarter-go/firestarter/internal/obsv"
+	"github.com/firestarter-go/firestarter/internal/workload"
+)
+
+// ObserveResult is one fully-instrumented run: the hardened app driven
+// under the standard workload with structured spans, the metrics registry
+// and the guest profiler all enabled.
+type ObserveResult struct {
+	App      string
+	Workload workload.Result
+	Spans    []obsv.SpanEvent
+	Dropped  int64
+	Registry *obsv.Registry
+	Profile  *obsv.Profile
+	TopN     int
+	errors   []string
+}
+
+// Observe boots the named app hardened (default config, the Fig. 7
+// fault-free setup), attaches the full observability stack, drives the
+// standard workload, and cross-checks the three outputs against the
+// runtime's own counters before returning. Everything is cycle-domain:
+// for a fixed seed the result renders byte-identical on any host.
+func (r Runner) Observe(appName string) (*ObserveResult, error) {
+	r = r.withDefaults()
+	app := apps.ByName(appName)
+	if app == nil {
+		return nil, fmt.Errorf("bench: unknown app %q", appName)
+	}
+	inst, err := boot(app, bootOpts{cfg: perfConfig(0, 0, 0, r.Seed)})
+	if err != nil {
+		return nil, err
+	}
+	inst.rt.EnableSpans()
+	prof := obsv.NewProfile()
+	inst.m.SetProfiler(prof)
+
+	reg := obsv.NewRegistry()
+	d := &workload.Driver{
+		OS: inst.os, M: inst.m, Port: inst.app.Port,
+		Gen:         workload.ForProtocol(inst.app.Protocol),
+		Concurrency: r.Concurrency,
+		Seed:        r.Seed,
+		Metrics:     reg,
+	}
+	res := d.Run(r.Requests)
+	prof.Finish(inst.m.Cycles, inst.m.Steps)
+	inst.rt.PublishMetrics(reg)
+
+	out := &ObserveResult{
+		App:      appName,
+		Workload: res,
+		Spans:    inst.rt.Spans(),
+		Dropped:  inst.rt.TraceDropped(),
+		Registry: reg,
+		Profile:  prof,
+		TopN:     12,
+	}
+	out.reconcile(inst)
+	if len(out.errors) > 0 {
+		return out, fmt.Errorf("bench: observability reconciliation failed:\n  %s",
+			strings.Join(out.errors, "\n  "))
+	}
+	return out, nil
+}
+
+// reconcile cross-checks the three observability outputs against the
+// runtime's hand-rolled counters — the tentpole's acceptance criterion.
+func (o *ObserveResult) reconcile(inst *instance) {
+	check := func(name string, got, want int64) {
+		if got != want {
+			o.errors = append(o.errors, fmt.Sprintf("%s: %d != %d", name, got, want))
+		}
+	}
+	st := inst.rt.Stats()
+	hs := inst.rt.HTMStats()
+	reg := o.Registry
+	check("metrics core.crashes vs Stats", reg.Total("core.crashes"), st.Crashes)
+	check("metrics core.injections vs Stats", reg.Total("core.injections"), st.Injections)
+	check("metrics core.htm_begins vs Stats", reg.Total("core.htm_begins"), st.HTMBegins)
+	check("metrics htm.begins vs HTMStats", reg.Total("htm.begins"), hs.Begins)
+	check("metrics htm.aborts vs HTMStats", reg.Total("htm.aborts"), hs.Aborts)
+	check("metrics workload.completed vs Result",
+		reg.Total("workload.completed"), int64(o.Workload.Completed))
+
+	// Spans: one begin per transaction begin, one commit per commit.
+	var begins, commits int64
+	for _, e := range o.Spans {
+		switch e.Kind {
+		case obsv.SpanBegin:
+			begins++
+		case obsv.SpanCommit:
+			commits++
+		}
+	}
+	if o.Dropped == 0 {
+		check("span begins vs begin counters", begins, st.HTMBegins+st.STMBegins)
+		check("span commits vs commit counters", commits, st.HTMCommits+st.STMCommits)
+	}
+
+	// Profiler: flat attribution must sum to the machine's charged total.
+	var flat int64
+	for _, f := range o.Profile.Funcs() {
+		flat += f.FlatCycles
+	}
+	check("profiler flat sum vs machine cycles", flat, inst.m.Cycles)
+	check("profiler total vs machine cycles", o.Profile.TotalCycles(), inst.m.Cycles)
+}
+
+// WriteTrace writes the span log as JSONL.
+func (o *ObserveResult) WriteTrace(w io.Writer) error {
+	log := &obsv.SpanLog{Limit: len(o.Spans) + 1}
+	for _, e := range o.Spans {
+		e.Seq = 0 // re-stamped by the log
+		log.Append(e)
+	}
+	return log.WriteJSONL(w)
+}
+
+// WriteMetrics writes the aggregated registry as JSONL.
+func (o *ObserveResult) WriteMetrics(w io.Writer) error { return o.Registry.WriteJSONL(w) }
+
+// WriteProfile writes the guest profile as JSONL.
+func (o *ObserveResult) WriteProfile(w io.Writer) error { return o.Profile.WriteJSONL(w) }
+
+// Render summarizes the observed run: workload outcome, span/metric
+// volume, and the profiler's top-N table.
+func (o *ObserveResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Observability: %s hardened, %d completed (%d bad), %.0f cycles/req\n",
+		o.App, o.Workload.Completed, o.Workload.BadResp, o.Workload.CyclesPerRequest())
+	fmt.Fprintf(&sb, "spans: %d recorded, %d dropped; metrics: %d series\n",
+		len(o.Spans), o.Dropped, o.Registry.Len())
+	sb.WriteString("\nGuest profile (top by flat cycles):\n")
+	sb.WriteString(o.Profile.RenderTop(o.TopN))
+	return sb.String()
+}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"github.com/firestarter-go/firestarter/internal/apps"
@@ -10,6 +11,7 @@ import (
 	"github.com/firestarter-go/firestarter/internal/htm"
 	"github.com/firestarter-go/firestarter/internal/libsim"
 	"github.com/firestarter-go/firestarter/internal/mem"
+	"github.com/firestarter-go/firestarter/internal/obsv"
 	"github.com/firestarter-go/firestarter/internal/sched"
 	"github.com/firestarter-go/firestarter/internal/transform"
 	"github.com/firestarter-go/firestarter/internal/workload"
@@ -158,20 +160,32 @@ func (r Runner) threadsRow(workers int, fault *faultinj.Fault) (ThreadsRow, erro
 		BadResp:    res.BadResp,
 		WallPerReq: res.CyclesPerRequest(),
 	}
-	for _, rt := range inst.rts {
-		hs := rt.HTMStats()
-		row.HTMBegins += hs.Begins
-		row.Aborts += hs.Aborts
-		row.ByCapacity += hs.ByCapac
-		row.ByInterrupt += hs.ByIntr
-		row.ByConfl += hs.ByConfl
-		row.ByExpl += hs.ByExplcit
-		st := rt.Stats()
-		row.STMCommits += st.STMCommits
-		row.Injections += st.Injections
-		row.Unrecovered += st.Unrecovered
-	}
+	// Each thread's runtime publishes into the shared registry under its
+	// own thread label; the row reads cross-thread sums back out. The
+	// registry is the same aggregation path `firebench -metrics-out`
+	// exports, so the rendered table and the JSONL always agree.
+	reg := inst.Metrics()
+	row.HTMBegins = reg.Total("htm.begins")
+	row.Aborts = reg.Total("htm.aborts")
+	row.ByCapacity = reg.Total("htm.aborts_capacity")
+	row.ByInterrupt = reg.Total("htm.aborts_interrupt")
+	row.ByConfl = reg.Total("htm.aborts_conflict")
+	row.ByExpl = reg.Total("htm.aborts_explicit")
+	row.STMCommits = reg.Total("core.stm_commits")
+	row.Injections = reg.Total("core.injections")
+	row.Unrecovered = reg.Total("core.unrecovered")
 	return row, nil
+}
+
+// Metrics aggregates every thread runtime's counters into one registry,
+// each under its thread label, plus the scheduler's cycle accounting.
+func (inst *mtInstance) Metrics() *obsv.Registry {
+	reg := obsv.NewRegistry()
+	for tid, rt := range inst.rts {
+		rt.PublishMetrics(reg, obsv.L("thread", strconv.Itoa(tid)))
+	}
+	inst.s.PublishMetrics(reg)
+	return reg
 }
 
 // Threads is the threads campaign (the multi-core half of the paper's

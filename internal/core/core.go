@@ -37,6 +37,7 @@ import (
 	"github.com/firestarter-go/firestarter/internal/ir"
 	"github.com/firestarter-go/firestarter/internal/libmodel"
 	"github.com/firestarter-go/firestarter/internal/libsim"
+	"github.com/firestarter-go/firestarter/internal/obsv"
 	"github.com/firestarter-go/firestarter/internal/stm"
 	"github.com/firestarter-go/firestarter/internal/transform"
 )
@@ -110,6 +111,11 @@ type Config struct {
 	// HTM parameterizes the hardware model (cache geometry, interrupt
 	// process, seed).
 	HTM htm.Config
+
+	// TraceLimit caps the recovery trace / span log (0 means the default,
+	// obsv.DefaultSpanLimit). Past the cap a terminal "truncated" marker
+	// is recorded and further events only increment the dropped counter.
+	TraceLimit int
 }
 
 // withDefaults fills zero values with the paper's defaults.
@@ -241,7 +247,8 @@ type Runtime struct {
 
 	stats   Stats
 	tracing bool
-	trace   []Event
+	spanAll bool
+	spans   obsv.SpanLog
 }
 
 var _ interp.Runtime = (*Runtime)(nil)
@@ -264,6 +271,7 @@ func New(tr *transform.Result, os *libsim.OS, cfg Config) *Runtime {
 	rt.stats.GateSites = map[int]bool{}
 	rt.stats.EmbedSites = map[int]bool{}
 	rt.stats.BreakSites = map[int]bool{}
+	rt.spans.Limit = cfg.TraceLimit
 	// Route library-internal writes to application memory through the
 	// active transaction.
 	os.SetStore(func(addr, val int64, width int) error {
@@ -308,12 +316,26 @@ func (rt *Runtime) OnResume() {
 	}
 }
 
-// Stats returns a snapshot of accumulated statistics.
+// cloneSiteSet deep-copies one of the Table III site sets.
+func cloneSiteSet(src map[int]bool) map[int]bool {
+	dst := make(map[int]bool, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+// Stats returns a snapshot of accumulated statistics. Every reference
+// field is deep-copied — the sample slices and the site-set maps — so the
+// snapshot stays frozen while the runtime keeps executing.
 func (rt *Runtime) Stats() Stats {
 	s := rt.stats
 	s.LatencyCycles = append([]int64(nil), rt.stats.LatencyCycles...)
 	s.TxSteps = append([]int64(nil), rt.stats.TxSteps...)
 	s.TxWriteLines = append([]int64(nil), rt.stats.TxWriteLines...)
+	s.GateSites = cloneSiteSet(rt.stats.GateSites)
+	s.EmbedSites = cloneSiteSet(rt.stats.EmbedSites)
+	s.BreakSites = cloneSiteSet(rt.stats.BreakSites)
 	return s
 }
 
@@ -579,6 +601,9 @@ func (rt *Runtime) TxBegin(m *interp.Machine, siteID int, variant int64) error {
 	}
 	rt.cur = tx
 	rt.curVariant = variant
+	if rt.spanAll {
+		rt.emitSpan(obsv.SpanBegin, tx.site, variantName(variant), "", "")
+	}
 	return nil
 }
 
@@ -615,6 +640,9 @@ func (rt *Runtime) TxEnd(m *interp.Machine) error {
 		m.Cycles += costSTMCommit
 	}
 	rt.cur = nil
+	if rt.spanAll {
+		rt.emitSpan(obsv.SpanCommit, tx.site, variantName(tx.variant), "", "")
+	}
 
 	// A committed transaction closes its gate's crash episode.
 	st := rt.state(tx.site)
@@ -704,7 +732,7 @@ func (rt *Runtime) handleHTMAbort(m *interp.Machine, cause htm.AbortCause) inter
 	if tx == nil || tx.htmTx == nil {
 		return interp.ActionDie
 	}
-	rt.noteHTMAbort(tx.site)
+	rt.noteHTMAbort(tx.site, cause)
 	rt.rollbackSideEffects(tx)
 	m.Restore(tx.snap)
 	m.Cycles += costHTMAbort
@@ -721,11 +749,12 @@ func (rt *Runtime) handleHTMAbort(m *interp.Machine, cause htm.AbortCause) inter
 
 // noteHTMAbort updates the per-gate abort accounting and applies the
 // dynamic adaptation policy (§IV-C).
-func (rt *Runtime) noteHTMAbort(site int) {
+func (rt *Runtime) noteHTMAbort(site int, cause htm.AbortCause) {
 	st := rt.state(site)
 	st.htmAborts++
 	rt.stats.HTMAborts++
-	rt.emit(EvHTMAbort, site, fmt.Sprintf("aborts=%d execs=%d", st.htmAborts, st.execs))
+	rt.emitSpan(obsv.SpanAbort, site, "htm", cause.String(),
+		fmt.Sprintf("aborts=%d execs=%d", st.htmAborts, st.execs))
 	if rt.cfg.Mode == ModeHybrid && st.htmAborts%rt.cfg.SampleSize == 0 {
 		if float64(st.htmAborts)/float64(st.execs) > rt.cfg.Threshold {
 			if !st.stmLatched {
@@ -756,7 +785,7 @@ func (rt *Runtime) handleCrash(m *interp.Machine) interp.Action {
 		// per the paper the runtime cannot yet distinguish a crash from
 		// a resource abort, so it re-executes under STM first (§IV-C).
 		tx.htmTx.Abort(htm.AbortExplicit)
-		rt.noteHTMAbort(tx.site)
+		rt.noteHTMAbort(tx.site, htm.AbortExplicit)
 		rt.rollbackSideEffects(tx)
 		m.Restore(tx.snap)
 		m.Cycles += costHTMAbort
@@ -772,7 +801,7 @@ func (rt *Runtime) handleCrash(m *interp.Machine) interp.Action {
 	// Crash under STM: this is a confirmed fail-stop fault.
 	latStart := m.Cycles
 	rt.stats.Crashes++
-	rt.emit(EvCrash, tx.site, "")
+	rt.emitSpan(obsv.SpanCrash, tx.site, "stm", "", "")
 	undone, rerr := rt.undo.Rollback()
 	if rerr != nil {
 		rt.stats.Unrecovered++
@@ -808,9 +837,11 @@ func (rt *Runtime) handleCrash(m *interp.Machine) interp.Action {
 	}
 	// Bound the sample buffer: a persistent fault in a request loop can
 	// produce one recovery per request indefinitely.
+	lat := m.Cycles - latStart
 	if len(rt.stats.LatencyCycles) < maxLatencySamples {
-		rt.stats.LatencyCycles = append(rt.stats.LatencyCycles, m.Cycles-latStart)
+		rt.stats.LatencyCycles = append(rt.stats.LatencyCycles, lat)
 	}
+	rt.emit(EvRecovered, tx.site, fmt.Sprintf("latency=%d", lat))
 	return interp.ActionContinue
 }
 

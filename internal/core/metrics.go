@@ -1,0 +1,53 @@
+package core
+
+import "github.com/firestarter-go/firestarter/internal/obsv"
+
+// PublishMetrics copies the runtime's accumulated counters — recovery
+// statistics, the hardware and software transaction models, the Table III
+// site sets, and the Fig. 5 sample distributions — into a metrics
+// registry under the given labels (typically a thread or app label).
+//
+// Publishing is a collection-time operation: the recovery hot paths keep
+// their hand-rolled counters and never see the registry, so attaching
+// metrics changes no charged cycle and allocates nothing while the guest
+// program runs. The published totals reconcile exactly with Stats(),
+// HTMStats() and STMStats().
+func (rt *Runtime) PublishMetrics(reg *obsv.Registry, labels ...obsv.Label) {
+	s := rt.stats
+	reg.Counter("core.gate_execs", labels...).Add(s.GateExecs)
+	reg.Counter("core.htm_begins", labels...).Add(s.HTMBegins)
+	reg.Counter("core.htm_commits", labels...).Add(s.HTMCommits)
+	reg.Counter("core.stm_begins", labels...).Add(s.STMBegins)
+	reg.Counter("core.stm_commits", labels...).Add(s.STMCommits)
+	reg.Counter("core.unprotected", labels...).Add(s.Unprotected)
+	reg.Counter("core.htm_aborts", labels...).Add(s.HTMAborts)
+	reg.Counter("core.crashes", labels...).Add(s.Crashes)
+	reg.Counter("core.retries", labels...).Add(s.Retries)
+	reg.Counter("core.injections", labels...).Add(s.Injections)
+	reg.Counter("core.unrecovered", labels...).Add(s.Unrecovered)
+	reg.Counter("core.deferred_runs", labels...).Add(s.DeferredRuns)
+
+	reg.Gauge("core.sites_gate", labels...).Add(int64(len(s.GateSites)))
+	reg.Gauge("core.sites_embed", labels...).Add(int64(len(s.EmbedSites)))
+	reg.Gauge("core.sites_break", labels...).Add(int64(len(s.BreakSites)))
+
+	reg.Counter("core.trace_events", labels...).Add(int64(rt.spans.Len()))
+	reg.Counter("core.trace_dropped", labels...).Add(rt.spans.Dropped())
+
+	lat := reg.Histogram("core.recovery_latency_cycles", obsv.CycleBuckets, labels...)
+	for _, v := range s.LatencyCycles {
+		lat.Observe(v)
+	}
+	steps := reg.Histogram("core.tx_steps", obsv.CountBuckets, labels...)
+	for _, v := range s.TxSteps {
+		steps.Observe(v)
+	}
+	lines := reg.Histogram("core.tx_write_lines", obsv.CountBuckets, labels...)
+	for _, v := range s.TxWriteLines {
+		lines.Observe(v)
+	}
+
+	rt.HTMStats().Publish(reg, labels...)
+	rt.STMStats().Publish(reg, labels...)
+	reg.Gauge("stm.memory_bytes", labels...).SetMax(rt.MemoryOverheadBytes())
+}

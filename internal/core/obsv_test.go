@@ -1,0 +1,263 @@
+package core_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/firestarter-go/firestarter/internal/core"
+	"github.com/firestarter-go/firestarter/internal/obsv"
+)
+
+// crashStormSrc crashes once per loop iteration: every malloc is followed
+// by a persistent null dereference, so each pass runs the full recovery
+// story (HTM abort, STM crash, retry, crash, inject) until the injected
+// ENOMEM diverts into the handled branch.
+const crashStormSrc = `
+int main() {
+	int handled = 0;
+	for (int i = 0; i < 20; i++) {
+		char *p = malloc(64);
+		if (!p) {
+			handled++;
+			continue;
+		}
+		int *q = NULL;
+		*q = 1;
+		free(p);
+	}
+	return handled;
+}`
+
+// TestTraceTruncationIsSurfaced drives a crash storm past a tiny trace
+// cap: the trace must end with a terminal truncated marker carrying the
+// dropped count instead of losing events silently (the old behaviour).
+func TestTraceTruncationIsSurfaced(t *testing.T) {
+	h := newHarness(t, crashStormSrc, core.Config{TraceLimit: 8})
+	h.rt.EnableTrace()
+	h.runToExit(t, 20)
+
+	if h.rt.TraceDropped() == 0 {
+		t.Fatal("crash storm did not overflow the trace; raise the storm or lower the cap")
+	}
+	events := h.rt.Trace()
+	if len(events) != 8+1 {
+		t.Fatalf("got %d events, want cap 8 + 1 marker", len(events))
+	}
+	last := events[len(events)-1]
+	if last.Kind != core.EvTruncated {
+		t.Fatalf("last event = %v, want truncated marker", last)
+	}
+	if !strings.Contains(last.Detail, "dropped=") || !strings.Contains(last.Detail, "limit=8") {
+		t.Errorf("marker detail = %q, want dropped count and limit", last.Detail)
+	}
+	rendered := h.rt.RenderTrace()
+	if !strings.Contains(rendered, "truncated") || !strings.Contains(rendered, "dropped=") {
+		t.Errorf("RenderTrace does not surface truncation:\n%s", rendered)
+	}
+	if strings.Count(rendered, "\n") != len(events) {
+		t.Errorf("rendered %d lines for %d events", strings.Count(rendered, "\n"), len(events))
+	}
+}
+
+// TestSpansRecordTransactionLifecycle checks the structured span log: with
+// EnableSpans every transaction contributes a begin and a commit event,
+// abort events carry their cause, and the JSONL export parses.
+func TestSpansRecordTransactionLifecycle(t *testing.T) {
+	src := `
+int main() {
+	char *p = malloc(64);
+	if (!p) { return 1; }
+	memset(p, 7, 64);
+	free(p);
+	return 0;
+}`
+	h := newHarness(t, src, core.Config{})
+	h.rt.EnableSpans()
+	h.runToExit(t, 0)
+
+	spans := h.rt.Spans()
+	var begins, commits int
+	for _, e := range spans {
+		switch e.Kind {
+		case obsv.SpanBegin:
+			begins++
+			if e.Variant == "" {
+				t.Errorf("begin span without variant: %+v", e)
+			}
+		case obsv.SpanCommit:
+			commits++
+		}
+	}
+	st := h.rt.Stats()
+	wantBegins := st.HTMBegins + st.STMBegins
+	if int64(begins) != wantBegins {
+		t.Errorf("begin spans = %d, want %d (HTM %d + STM %d)",
+			begins, wantBegins, st.HTMBegins, st.STMBegins)
+	}
+	wantCommits := st.HTMCommits + st.STMCommits
+	if int64(commits) != wantCommits {
+		t.Errorf("commit spans = %d, want %d", commits, wantCommits)
+	}
+
+	var buf bytes.Buffer
+	if err := h.rt.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(spans) {
+		t.Fatalf("JSONL lines = %d, spans = %d", len(lines), len(spans))
+	}
+	var lastCycles int64 = -1
+	for _, line := range lines {
+		var e obsv.SpanEvent
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("invalid span JSONL %q: %v", line, err)
+		}
+		if e.Cycles < lastCycles {
+			t.Fatalf("span cycles went backwards: %q", line)
+		}
+		lastCycles = e.Cycles
+	}
+}
+
+// TestSpanAbortsCarryCause checks that abort span events name the abort
+// cause (capacity/interrupt/conflict/explicit).
+func TestSpanAbortsCarryCause(t *testing.T) {
+	h := newHarness(t, crashStormSrc, core.Config{})
+	h.rt.EnableSpans()
+	h.runToExit(t, 20)
+	found := false
+	for _, e := range h.rt.Spans() {
+		if e.Kind == obsv.SpanAbort {
+			found = true
+			if e.Cause == "" {
+				t.Fatalf("abort span without cause: %+v", e)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("crash storm recorded no abort spans")
+	}
+}
+
+// TestPublishMetricsReconciles runs a crashy workload and checks the
+// tentpole's reconciliation criterion: registry totals must equal the
+// hand-rolled core.Stats / htm.Stats counters exactly.
+func TestPublishMetricsReconciles(t *testing.T) {
+	h := newHarness(t, crashStormSrc, core.Config{})
+	h.runToExit(t, 20)
+
+	reg := obsv.NewRegistry()
+	h.rt.PublishMetrics(reg, obsv.L("thread", "0"))
+
+	st := h.rt.Stats()
+	hs := h.rt.HTMStats()
+	ss := h.rt.STMStats()
+	checks := []struct {
+		name string
+		want int64
+	}{
+		{"core.gate_execs", st.GateExecs},
+		{"core.htm_begins", st.HTMBegins},
+		{"core.stm_begins", st.STMBegins},
+		{"core.stm_commits", st.STMCommits},
+		{"core.htm_aborts", st.HTMAborts},
+		{"core.crashes", st.Crashes},
+		{"core.retries", st.Retries},
+		{"core.injections", st.Injections},
+		{"core.unrecovered", st.Unrecovered},
+		{"htm.begins", hs.Begins},
+		{"htm.aborts", hs.Aborts},
+		{"htm.aborts_explicit", hs.ByExplcit},
+		{"stm.begins", ss.Begins},
+		{"stm.rollbacks", ss.Rollbacks},
+		{"core.sites_gate", int64(len(st.GateSites))},
+	}
+	for _, c := range checks {
+		if got := reg.Total(c.name); got != c.want {
+			t.Errorf("registry %s = %d, want %d", c.name, got, c.want)
+		}
+	}
+	if st.Crashes == 0 || st.Injections == 0 {
+		t.Fatalf("workload not crashy enough to validate reconciliation: %+v", st)
+	}
+	// The latency histogram holds one sample per recovery.
+	lat := reg.Histogram("core.recovery_latency_cycles", obsv.CycleBuckets, obsv.L("thread", "0"))
+	if lat.Count != int64(len(st.LatencyCycles)) {
+		t.Errorf("latency histogram count = %d, want %d samples", lat.Count, len(st.LatencyCycles))
+	}
+	var latSum int64
+	for _, v := range st.LatencyCycles {
+		latSum += v
+	}
+	if lat.Sum != latSum {
+		t.Errorf("latency histogram sum = %d, want %d", lat.Sum, latSum)
+	}
+	// JSONL export parses line by line.
+	var buf bytes.Buffer
+	if err := reg.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("invalid metrics JSONL %q: %v", line, err)
+		}
+	}
+}
+
+// TestProfilerAttributionSumsToMachineTotal attaches the guest profiler
+// to a recovery-heavy run: snapshot restores, library calls and injected
+// faults included, the per-function flat cycle attribution must sum to
+// the machine's total charged cycles exactly.
+func TestProfilerAttributionSumsToMachineTotal(t *testing.T) {
+	h := newHarness(t, crashStormSrc, core.Config{})
+	prof := obsv.NewProfile()
+	h.m.SetProfiler(prof)
+	h.runToExit(t, 20)
+	prof.Finish(h.m.Cycles, h.m.Steps)
+
+	if got := prof.TotalCycles(); got != h.m.Cycles {
+		t.Fatalf("profiler total = %d cycles, machine charged %d", got, h.m.Cycles)
+	}
+	if got := prof.TotalSteps(); got != h.m.Steps {
+		t.Fatalf("profiler steps = %d, machine retired %d", got, h.m.Steps)
+	}
+	var flatCycles, flatSteps int64
+	sawMain, sawLib := false, false
+	for _, f := range prof.Funcs() {
+		flatCycles += f.FlatCycles
+		flatSteps += f.FlatSteps
+		if f.Name == "main" && !f.Lib {
+			sawMain = true
+		}
+		if f.Lib && f.Name == "malloc" {
+			sawLib = true
+		}
+	}
+	if flatCycles != h.m.Cycles {
+		t.Errorf("flat cycle sum = %d, want %d", flatCycles, h.m.Cycles)
+	}
+	if flatSteps != h.m.Steps {
+		t.Errorf("flat step sum = %d, want %d", flatSteps, h.m.Steps)
+	}
+	if !sawMain || !sawLib {
+		t.Errorf("profile missing expected rows (main=%v lib:malloc=%v):\n%s",
+			sawMain, sawLib, prof.RenderTop(10))
+	}
+	// Library-site attribution is a partition of the library buckets.
+	var siteCycles, libCycles int64
+	for _, s := range prof.Sites() {
+		siteCycles += s.Cycles
+	}
+	for _, f := range prof.Funcs() {
+		if f.Lib {
+			libCycles += f.FlatCycles
+		}
+	}
+	if siteCycles != libCycles {
+		t.Errorf("site cycles %d != library bucket cycles %d", siteCycles, libCycles)
+	}
+}

@@ -2,7 +2,11 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"strings"
+
+	"github.com/firestarter-go/firestarter/internal/ir"
+	"github.com/firestarter-go/firestarter/internal/obsv"
 )
 
 // EventKind classifies recovery-trace events.
@@ -16,6 +20,10 @@ const (
 	EvInject
 	EvLatchSTM
 	EvUnrecovered
+	EvTxBegin
+	EvTxCommit
+	EvRecovered
+	EvTruncated
 )
 
 // String returns the event name.
@@ -33,18 +41,26 @@ func (k EventKind) String() string {
 		return "latch-stm"
 	case EvUnrecovered:
 		return "unrecovered"
+	case EvTxBegin:
+		return "begin"
+	case EvTxCommit:
+		return "commit"
+	case EvRecovered:
+		return "recovered"
+	case EvTruncated:
+		return "truncated"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
 }
 
 // Event is one recovery-relevant occurrence, timestamped in cost-model
-// cycles.
+// cycles. It is the flat rendering of a structured span event (Spans).
 type Event struct {
 	Cycles int64
 	Kind   EventKind
 	Site   int
-	Call   string // the gate's library function, when known
+	Call   string // the site's library function, when known
 	Detail string
 }
 
@@ -60,45 +76,158 @@ func (e Event) String() string {
 	return s
 }
 
-// maxTraceEvents bounds the trace buffer (crash storms, §VII).
-const maxTraceEvents = 50_000
-
-// EnableTrace turns on recovery-event recording.
+// EnableTrace turns on recovery-event recording (aborts, crashes,
+// retries, injections — the events of the old flat trace).
 func (rt *Runtime) EnableTrace() { rt.tracing = true }
 
-// Trace returns the recorded events.
+// EnableSpans turns on full structured span recording: everything
+// EnableTrace records plus a begin/commit event for every transaction,
+// suitable for JSONL export via WriteTrace.
+func (rt *Runtime) EnableSpans() {
+	rt.tracing = true
+	rt.spanAll = true
+}
+
+// Spans returns the recorded structured span events, including the
+// terminal truncated marker when the log overflowed.
+func (rt *Runtime) Spans() []obsv.SpanEvent { return rt.spans.Events() }
+
+// TraceDropped returns how many events were discarded once the trace
+// buffer filled (crash storms past the configured TraceLimit).
+func (rt *Runtime) TraceDropped() int64 { return rt.spans.Dropped() }
+
+// WriteTrace writes the recorded spans as JSONL, one event per line.
+func (rt *Runtime) WriteTrace(w io.Writer) error { return rt.spans.WriteJSONL(w) }
+
+// flatKind maps a span kind (+ variant) to the flat-trace event kind.
+func flatKind(e obsv.SpanEvent) EventKind {
+	switch e.Kind {
+	case obsv.SpanAbort:
+		return EvHTMAbort
+	case obsv.SpanCrash:
+		return EvCrash
+	case obsv.SpanRetry:
+		return EvRetry
+	case obsv.SpanInject:
+		return EvInject
+	case obsv.SpanLatchSTM:
+		return EvLatchSTM
+	case obsv.SpanUnrecovered:
+		return EvUnrecovered
+	case obsv.SpanBegin:
+		return EvTxBegin
+	case obsv.SpanCommit:
+		return EvTxCommit
+	case obsv.SpanRecovered:
+		return EvRecovered
+	case obsv.SpanTruncated:
+		return EvTruncated
+	default:
+		return 0
+	}
+}
+
+// Trace returns the recorded events as the flat rendering of the span
+// log. A truncated span log ends with an EvTruncated event whose Detail
+// carries the dropped count.
 func (rt *Runtime) Trace() []Event {
-	return append([]Event(nil), rt.trace...)
+	spans := rt.spans.Events()
+	out := make([]Event, 0, len(spans))
+	for _, se := range spans {
+		e := Event{
+			Cycles: se.Cycles,
+			Kind:   flatKind(se),
+			Site:   se.Site,
+			Call:   se.Call,
+			Detail: se.Detail,
+		}
+		if se.Cause != "" {
+			cause := "cause=" + se.Cause
+			if e.Detail == "" {
+				e.Detail = cause
+			} else {
+				e.Detail = cause + " " + e.Detail
+			}
+		}
+		out = append(out, e)
+	}
+	return out
 }
 
 // RenderTrace formats the recorded events, one per line.
 func (rt *Runtime) RenderTrace() string {
 	var sb strings.Builder
-	for _, e := range rt.trace {
+	for _, e := range rt.Trace() {
 		sb.WriteString(e.String())
 		sb.WriteByte('\n')
 	}
 	return sb.String()
 }
 
-// emit records a trace event (no-op unless EnableTrace was called).
+// variantName renders a transaction variant for span output.
+func variantName(variant int64) string {
+	switch variant {
+	case ir.TxHTM:
+		return "htm"
+	case ir.TxSTM:
+		return "stm"
+	default:
+		return ""
+	}
+}
+
+// emit records a basic trace event (no-op unless EnableTrace was called).
 func (rt *Runtime) emit(kind EventKind, site int, detail string) {
-	if !rt.tracing || len(rt.trace) >= maxTraceEvents {
+	if !rt.tracing {
+		return
+	}
+	var k string
+	switch kind {
+	case EvHTMAbort:
+		k = obsv.SpanAbort
+	case EvCrash:
+		k = obsv.SpanCrash
+	case EvRetry:
+		k = obsv.SpanRetry
+	case EvInject:
+		k = obsv.SpanInject
+	case EvLatchSTM:
+		k = obsv.SpanLatchSTM
+	case EvUnrecovered:
+		k = obsv.SpanUnrecovered
+	case EvRecovered:
+		k = obsv.SpanRecovered
+	default:
+		return
+	}
+	rt.emitSpan(k, site, "", "", detail)
+}
+
+// emitSpan records one structured span event. The call name resolves
+// through rt.gates first and falls back to the full site table, so events
+// at embed/break sites carry their library-call name too.
+func (rt *Runtime) emitSpan(kind string, site int, variant, cause, detail string) {
+	if !rt.tracing {
 		return
 	}
 	call := ""
 	if s := rt.gates[site]; s != nil {
+		call = s.Name
+	} else if s := rt.sites[site]; s != nil {
 		call = s.Name
 	}
 	var cycles int64
 	if rt.m != nil {
 		cycles = rt.m.Cycles
 	}
-	rt.trace = append(rt.trace, Event{
-		Cycles: cycles,
-		Kind:   kind,
-		Site:   site,
-		Call:   call,
-		Detail: detail,
+	rt.spans.Append(obsv.SpanEvent{
+		Cycles:  cycles,
+		Thread:  rt.tid,
+		Kind:    kind,
+		Site:    site,
+		Call:    call,
+		Variant: variant,
+		Cause:   cause,
+		Detail:  detail,
 	})
 }

@@ -120,6 +120,25 @@ type Runtime interface {
 	Variant() int64
 }
 
+// Profiler receives the machine's call-flow events, timestamped with the
+// cost-model cycle and step counters. A profiler observes — it must not
+// mutate machine state, and the machine charges no extra cycles for it.
+// *obsv.Profile is the standard implementation; the hooks cost a single
+// nil-check when no profiler is attached.
+type Profiler interface {
+	// Enter fires after a frame for fn was pushed.
+	Enter(fn string, cycles, steps int64)
+	// Exit fires after a frame was popped by a return.
+	Exit(cycles, steps int64)
+	// Lib fires after a library call completed (or failed). startCycles is
+	// the cycle count sampled before the call's base cost was charged.
+	Lib(name string, site int, startCycles, cycles, steps int64)
+	// Sync fires when the stack changed wholesale (snapshot restore,
+	// profiler attach). stack holds the frame function names, bottom
+	// first; the slice is reused and only valid during the call.
+	Sync(stack []string, cycles, steps int64)
+}
+
 // Frame is one call-stack entry.
 type Frame struct {
 	Fn   *ir.Func
@@ -211,6 +230,11 @@ type Machine struct {
 	// registers, and doReturn/Restore nil out the frame slots they pop so
 	// no stale Frame struct can alias a pooled slice.
 	regPool [][]int64
+
+	// prof, when non-nil, observes call flow for the guest profiler;
+	// profNames is its reused stack-name scratch buffer.
+	prof      Profiler
+	profNames []string
 
 	// budget is the remaining step budget of the last limited Run; it is
 	// only maintained when Run is given a positive maxSteps (an unlimited
@@ -336,6 +360,25 @@ func (m *Machine) ExitCode() int64 { return m.exitCode }
 // Depth returns the current call-stack depth.
 func (m *Machine) Depth() int { return len(m.frames) }
 
+// SetProfiler attaches (or with nil detaches) a call-flow profiler. The
+// current stack is synced immediately so attribution starts from here.
+func (m *Machine) SetProfiler(p Profiler) {
+	m.prof = p
+	if p != nil {
+		m.syncProfiler()
+	}
+}
+
+// syncProfiler replays the current stack shape into the profiler.
+func (m *Machine) syncProfiler() {
+	names := m.profNames[:0]
+	for i := range m.frames {
+		names = append(names, m.frames[i].Fn.Name)
+	}
+	m.profNames = names
+	m.prof.Sync(names, m.Cycles, m.Steps)
+}
+
 // pcString renders the current position for diagnostics.
 func (m *Machine) pcString() string {
 	if len(m.frames) == 0 {
@@ -402,6 +445,9 @@ func (m *Machine) push(fn *ir.Func, args []int64, retDst int) error {
 	}
 	m.frames = append(m.frames, Frame{Fn: fn, Blk: entry, Idx: 0, Regs: regs, FP: newSP, RetDst: retDst})
 	m.sp = newSP
+	if m.prof != nil {
+		m.prof.Enter(fn.Name, m.Cycles, m.Steps)
+	}
 	return nil
 }
 
@@ -443,6 +489,9 @@ func (m *Machine) Restore(s *Snapshot) {
 		f := s.frames[i]
 		f.Regs = regs
 		m.frames[i] = f
+	}
+	if m.prof != nil {
+		m.syncProfiler()
 	}
 }
 
@@ -593,8 +642,12 @@ func (m *Machine) step() error {
 		return nil
 	case ir.OpLib:
 		args := m.marshalArgs(in.Args, f.Regs)
+		c0 := m.Cycles
 		m.Cycles += CostLibBase
 		ret, err := m.RT.LibCall(m, in.Name, args, in.Site)
+		if m.prof != nil {
+			m.prof.Lib(in.Name, in.Site, c0, m.Cycles, m.Steps)
+		}
 		if err != nil {
 			return err
 		}
@@ -683,6 +736,9 @@ func (m *Machine) doReturn(in *ir.Instr) error {
 	m.freeRegs(f.Regs)
 	f.Regs = nil // drop the stale reference so nothing can alias the pool
 	m.frames = m.frames[:len(m.frames)-1]
+	if m.prof != nil {
+		m.prof.Exit(m.Cycles, m.Steps)
+	}
 	if len(m.frames) == 0 {
 		// Bottom frame: restore the exact pre-push stack pointer. The
 		// old intermediate `f.FP + f.Fn.FrameSize` guess was wrong here

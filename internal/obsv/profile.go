@@ -1,0 +1,325 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// FuncStat is one profiled function (or library call, when Lib is true).
+type FuncStat struct {
+	Name       string
+	Lib        bool  // a library call bucket, not a guest function
+	Calls      int64 // completed entries (guest) or executed calls (lib)
+	FlatCycles int64 // cycles charged in the function itself
+	CumCycles  int64 // cycles charged in the function and its callees
+	FlatSteps  int64 // instructions retired in the function itself
+}
+
+// SiteStat attributes library-call cycles to one call site (Table III's
+// per-site view). Site 0 collects calls the analyzer did not mark.
+type SiteStat struct {
+	Site   int
+	Name   string
+	Calls  int64
+	Cycles int64
+}
+
+// pframe is one shadow-stack entry mirroring a machine frame.
+type pframe struct {
+	name        string
+	stat        *FuncStat
+	entryCycles int64
+	recursive   bool // same function deeper on the stack (skip cum)
+}
+
+// Profile attributes charged cycles and retired instructions to guest
+// functions and library-call sites. It mirrors the machine's call stack
+// through the interp profiler hooks (Enter/Exit/Lib/Sync); every charged
+// cycle between attach and Finish lands in exactly one flat bucket, so
+// the per-function flat attribution sums to the machine's total.
+//
+// The profiler is deterministic: it samples the cost-model cycle counter,
+// never the host clock.
+type Profile struct {
+	stack []pframe
+	funcs map[string]*FuncStat
+	sites map[siteKey]*SiteStat
+
+	outside *FuncStat // cycles charged with an empty shadow stack
+
+	started               bool
+	startCycles           int64
+	startSteps            int64
+	lastCycles, lastSteps int64
+	finished              bool
+}
+
+type siteKey struct {
+	name string
+	site int
+}
+
+// NewProfile returns an empty profile ready to attach to a machine.
+func NewProfile() *Profile {
+	return &Profile{
+		funcs: make(map[string]*FuncStat),
+		sites: make(map[siteKey]*SiteStat),
+	}
+}
+
+// fn fetches or creates a function bucket.
+func (p *Profile) fn(name string, lib bool) *FuncStat {
+	k := name
+	if lib {
+		k = "lib:" + name
+	}
+	fs := p.funcs[k]
+	if fs == nil {
+		fs = &FuncStat{Name: name, Lib: lib}
+		p.funcs[k] = fs
+	}
+	return fs
+}
+
+// charge attributes [lastCycles, cycles) to the current top of stack.
+func (p *Profile) charge(cycles, steps int64) {
+	dc := cycles - p.lastCycles
+	ds := steps - p.lastSteps
+	if dc == 0 && ds == 0 {
+		return
+	}
+	var fs *FuncStat
+	if n := len(p.stack); n > 0 {
+		fs = p.stack[n-1].stat
+	} else {
+		if p.outside == nil {
+			p.outside = p.fn("(outside)", false)
+		}
+		fs = p.outside
+	}
+	fs.FlatCycles += dc
+	fs.FlatSteps += ds
+	p.lastCycles = cycles
+	p.lastSteps = steps
+}
+
+// start initializes the attribution baseline on the first hook call.
+func (p *Profile) start(cycles, steps int64) {
+	if !p.started {
+		p.started = true
+		p.startCycles, p.startSteps = cycles, steps
+		p.lastCycles, p.lastSteps = cycles, steps
+	}
+}
+
+// push enters a frame on the shadow stack.
+func (p *Profile) push(name string, cycles int64, countCall bool) {
+	fs := p.fn(name, false)
+	if countCall {
+		fs.Calls++
+	}
+	rec := false
+	for i := range p.stack {
+		if p.stack[i].name == name {
+			rec = true
+			break
+		}
+	}
+	p.stack = append(p.stack, pframe{name: name, stat: fs, entryCycles: cycles, recursive: rec})
+}
+
+// pop leaves the top frame, attributing its inclusive time.
+func (p *Profile) pop(cycles int64) {
+	n := len(p.stack)
+	f := p.stack[n-1]
+	p.stack = p.stack[:n-1]
+	if !f.recursive {
+		f.stat.CumCycles += cycles - f.entryCycles
+	}
+}
+
+// Enter implements the interp profiler hook: the machine pushed fn.
+func (p *Profile) Enter(fn string, cycles, steps int64) {
+	p.start(cycles, steps)
+	p.charge(cycles, steps)
+	p.push(fn, cycles, true)
+}
+
+// Exit implements the interp profiler hook: the machine popped a frame.
+func (p *Profile) Exit(cycles, steps int64) {
+	p.start(cycles, steps)
+	p.charge(cycles, steps)
+	if len(p.stack) > 0 {
+		p.pop(cycles)
+	}
+}
+
+// Lib implements the interp profiler hook: a library call that started at
+// startCycles just returned. The call's cycles are attributed to the
+// library bucket (and its site), not to the enclosing guest function.
+func (p *Profile) Lib(name string, site int, startCycles, cycles, steps int64) {
+	p.start(cycles, steps)
+	if startCycles < p.lastCycles {
+		// A snapshot restore inside the call already resynced past the
+		// call's start; only the remainder belongs to the library.
+		startCycles = p.lastCycles
+	}
+	// Up to the call start: the enclosing function's own work.
+	p.charge(startCycles, steps)
+	dc := cycles - startCycles
+	fs := p.fn(name, true)
+	fs.Calls++
+	fs.FlatCycles += dc
+	fs.CumCycles += dc
+	sk := siteKey{name: name, site: site}
+	ss := p.sites[sk]
+	if ss == nil {
+		ss = &SiteStat{Site: site, Name: name}
+		p.sites[sk] = ss
+	}
+	ss.Calls++
+	ss.Cycles += dc
+	p.lastCycles = cycles
+	p.lastSteps = steps
+}
+
+// Sync implements the interp profiler hook: the machine's stack changed
+// wholesale (snapshot restore, profiler attach). Cycles up to now belong
+// to the old top; the shadow stack is then rebuilt to match, keeping the
+// common prefix's entry times so cumulative attribution stays sane.
+func (p *Profile) Sync(stack []string, cycles, steps int64) {
+	p.start(cycles, steps)
+	p.charge(cycles, steps)
+	keep := 0
+	for keep < len(p.stack) && keep < len(stack) && p.stack[keep].name == stack[keep] {
+		keep++
+	}
+	for len(p.stack) > keep {
+		p.pop(cycles)
+	}
+	for _, name := range stack[keep:] {
+		// Restored frames are re-entries of calls already counted.
+		p.push(name, cycles, false)
+	}
+}
+
+// Finish closes the profile at the machine's final cycle/step counts:
+// trailing cycles are charged, live frames contribute their partial
+// inclusive time, and further hook calls are ignored.
+func (p *Profile) Finish(cycles, steps int64) {
+	if p.finished {
+		return
+	}
+	p.start(cycles, steps)
+	p.charge(cycles, steps)
+	for len(p.stack) > 0 {
+		p.pop(cycles)
+	}
+	p.finished = true
+}
+
+// TotalCycles returns the cycles attributed since attach; after Finish it
+// equals the machine's charged-cycle delta exactly.
+func (p *Profile) TotalCycles() int64 { return p.lastCycles - p.startCycles }
+
+// TotalSteps returns the instructions attributed since attach.
+func (p *Profile) TotalSteps() int64 { return p.lastSteps - p.startSteps }
+
+// Funcs returns all function buckets ordered by flat cycles (descending),
+// name as the tiebreak.
+func (p *Profile) Funcs() []FuncStat {
+	out := make([]FuncStat, 0, len(p.funcs))
+	for _, fs := range p.funcs {
+		out = append(out, *fs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FlatCycles != out[j].FlatCycles {
+			return out[i].FlatCycles > out[j].FlatCycles
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Sites returns the per-library-call-site attribution ordered by cycles
+// (descending), site ID as the tiebreak.
+func (p *Profile) Sites() []SiteStat {
+	out := make([]SiteStat, 0, len(p.sites))
+	for _, ss := range p.sites {
+		out = append(out, *ss)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		if out[i].Site != out[j].Site {
+			return out[i].Site < out[j].Site
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// RenderTop formats the top-n functions (flat + cumulative) as a table.
+func (p *Profile) RenderTop(n int) string {
+	funcs := p.Funcs()
+	if n > 0 && len(funcs) > n {
+		funcs = funcs[:n]
+	}
+	total := p.TotalCycles()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-28s %14s %6s %14s %10s %9s\n",
+		"function", "flat-cycles", "flat%", "cum-cycles", "steps", "calls")
+	for _, f := range funcs {
+		name := f.Name
+		if f.Lib {
+			name = "lib:" + name
+		}
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(f.FlatCycles) / float64(total)
+		}
+		fmt.Fprintf(&sb, "%-28s %14d %5.1f%% %14d %10d %9d\n",
+			name, f.FlatCycles, pct, f.CumCycles, f.FlatSteps, f.Calls)
+	}
+	fmt.Fprintf(&sb, "%-28s %14d %5.1f%% %14s %10d\n", "total", total, 100.0, "-", p.TotalSteps())
+	return sb.String()
+}
+
+// jsonProfileLine is the stable JSONL encoding of one profile row.
+type jsonProfileLine struct {
+	Type   string `json:"type"` // "func", "libsite", "total"
+	Name   string `json:"name,omitempty"`
+	Lib    bool   `json:"lib,omitempty"`
+	Site   *int   `json:"site,omitempty"`
+	Calls  int64  `json:"calls,omitempty"`
+	Flat   int64  `json:"flat_cycles,omitempty"`
+	Cum    int64  `json:"cum_cycles,omitempty"`
+	Steps  int64  `json:"flat_steps,omitempty"`
+	Cycles int64  `json:"cycles,omitempty"`
+}
+
+// WriteJSONL writes the full profile: every function bucket, every
+// library site, and a terminal total line.
+func (p *Profile) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, f := range p.Funcs() {
+		line := jsonProfileLine{Type: "func", Name: f.Name, Lib: f.Lib,
+			Calls: f.Calls, Flat: f.FlatCycles, Cum: f.CumCycles, Steps: f.FlatSteps}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	for _, s := range p.Sites() {
+		site := s.Site
+		line := jsonProfileLine{Type: "libsite", Name: s.Name, Site: &site,
+			Calls: s.Calls, Cycles: s.Cycles}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return enc.Encode(jsonProfileLine{Type: "total", Cycles: p.TotalCycles(), Steps: p.TotalSteps()})
+}

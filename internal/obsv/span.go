@@ -1,0 +1,120 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Span event kinds. A crash transaction's life is a sequence of spans:
+// begin → (abort | crash → retry/inject → recovered | commit), with
+// latch-stm/unrecovered as terminal policy events.
+const (
+	SpanBegin       = "begin"
+	SpanCommit      = "commit"
+	SpanAbort       = "abort"
+	SpanCrash       = "crash"
+	SpanRetry       = "retry"
+	SpanInject      = "inject"
+	SpanLatchSTM    = "latch-stm"
+	SpanRecovered   = "recovered"
+	SpanUnrecovered = "unrecovered"
+	SpanTruncated   = "truncated"
+)
+
+// SpanEvent is one structured transaction event, timestamped in cost-model
+// cycles. Field order is the JSONL column order; json.Marshal preserves
+// it, so encoded output is byte-deterministic.
+type SpanEvent struct {
+	Seq     int64  `json:"seq"`
+	Cycles  int64  `json:"cycles"`
+	Thread  int    `json:"thread"`
+	Kind    string `json:"kind"`
+	Site    int    `json:"site,omitempty"`
+	Call    string `json:"call,omitempty"`
+	Variant string `json:"variant,omitempty"` // "htm" or "stm"
+	Cause   string `json:"cause,omitempty"`   // abort cause
+	Detail  string `json:"detail,omitempty"`
+}
+
+// DefaultSpanLimit bounds a span log (crash storms, §VII of the paper).
+const DefaultSpanLimit = 50_000
+
+// SpanLog is a bounded, deterministic event buffer. Once Limit events are
+// recorded a single terminal "truncated" marker is appended and further
+// events only increment the dropped counter — truncation is never silent.
+type SpanLog struct {
+	// Limit caps recorded events (<= 0 means DefaultSpanLimit).
+	Limit int
+
+	events  []SpanEvent
+	dropped int64
+	seq     int64
+}
+
+// limit resolves the effective cap.
+func (l *SpanLog) limit() int {
+	if l.Limit <= 0 {
+		return DefaultSpanLimit
+	}
+	return l.Limit
+}
+
+// Append records an event (stamping Seq) and reports whether it was
+// stored. At the cap the first refused event appends the terminal
+// truncated marker; subsequent ones only count.
+func (l *SpanLog) Append(e SpanEvent) bool {
+	if len(l.events) >= l.limit() {
+		if l.dropped == 0 {
+			l.seq++
+			l.events = append(l.events, SpanEvent{
+				Seq:    l.seq,
+				Cycles: e.Cycles,
+				Thread: e.Thread,
+				Kind:   SpanTruncated,
+			})
+		}
+		l.dropped++
+		return false
+	}
+	l.seq++
+	e.Seq = l.seq
+	l.events = append(l.events, e)
+	return true
+}
+
+// Len returns the number of stored events (including a truncated marker).
+func (l *SpanLog) Len() int { return len(l.events) }
+
+// Dropped returns how many events were discarded past the cap.
+func (l *SpanLog) Dropped() int64 { return l.dropped }
+
+// Events returns a copy of the stored events. The truncated marker's
+// Detail carries the final dropped count.
+func (l *SpanLog) Events() []SpanEvent {
+	out := append([]SpanEvent(nil), l.events...)
+	l.stampMarker(out)
+	return out
+}
+
+// stampMarker fills the truncated marker's Detail with the dropped count.
+func (l *SpanLog) stampMarker(events []SpanEvent) {
+	if l.dropped == 0 || len(events) == 0 {
+		return
+	}
+	last := &events[len(events)-1]
+	if last.Kind == SpanTruncated {
+		last.Detail = fmt.Sprintf("dropped=%d limit=%d", l.dropped, l.limit())
+	}
+}
+
+// WriteJSONL writes one JSON object per event.
+func (l *SpanLog) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range l.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+package sched
+
+import (
+	"strconv"
+
+	"github.com/firestarter-go/firestarter/internal/obsv"
+)
+
+// PublishMetrics copies the scheduler's cycle accounting into a metrics
+// registry: the wall/total cycle counters plus per-thread cycle and step
+// gauges labelled thread=<tid>. Like the other publishers it runs at
+// collection time only — scheduling hot paths never see the registry.
+func (s *Sched) PublishMetrics(reg *obsv.Registry, labels ...obsv.Label) {
+	reg.Gauge("sched.threads", labels...).Set(int64(len(s.threads)))
+	reg.Gauge("sched.wall_cycles", labels...).SetMax(s.WallCycles())
+	reg.Counter("sched.total_cycles", labels...).Add(s.TotalCycles())
+	reg.Counter("sched.total_steps", labels...).Add(s.TotalSteps())
+	for _, t := range s.threads {
+		tl := append(append([]obsv.Label(nil), labels...), obsv.L("thread", strconv.Itoa(t.ID)))
+		reg.Gauge("sched.thread_cycles", tl...).Set(t.M.Cycles)
+		reg.Gauge("sched.thread_steps", tl...).Set(t.M.Steps)
+	}
+}

@@ -1,0 +1,14 @@
+package stm
+
+import "github.com/firestarter-go/firestarter/internal/obsv"
+
+// Publish copies the undo log's counters into a metrics registry.
+// Publishing happens at collection time — the store/commit hot paths never
+// touch the registry, so enabling metrics changes no charged cycle.
+func (s Stats) Publish(reg *obsv.Registry, labels ...obsv.Label) {
+	reg.Counter("stm.begins", labels...).Add(s.Begins)
+	reg.Counter("stm.commits", labels...).Add(s.Commits)
+	reg.Counter("stm.rollbacks", labels...).Add(s.Rollbacks)
+	reg.Counter("stm.total_stores", labels...).Add(s.TotalStores)
+	reg.Gauge("stm.peak_log_len", labels...).SetMax(int64(s.PeakLogLen))
+}

@@ -22,6 +22,7 @@ import (
 
 	"github.com/firestarter-go/firestarter/internal/interp"
 	"github.com/firestarter-go/firestarter/internal/libsim"
+	"github.com/firestarter-go/firestarter/internal/obsv"
 	"github.com/firestarter-go/firestarter/internal/sched"
 )
 
@@ -54,6 +55,25 @@ type Result struct {
 	Outstanding int
 }
 
+// PublishMetrics copies the run's outcome counters into a metrics
+// registry under the given labels.
+func (r Result) PublishMetrics(reg *obsv.Registry, labels ...obsv.Label) {
+	reg.Counter("workload.completed", labels...).Add(int64(r.Completed))
+	reg.Counter("workload.bad_resp", labels...).Add(int64(r.BadResp))
+	reg.Counter("workload.outstanding", labels...).Add(int64(r.Outstanding))
+	reg.Counter("workload.cycles", labels...).Add(r.Cycles)
+	reg.Counter("workload.steps", labels...).Add(r.Steps)
+	var died, stalled int64
+	if r.ServerDied {
+		died = 1
+	}
+	if r.Stalled {
+		stalled = 1
+	}
+	reg.Counter("workload.server_died", labels...).Add(died)
+	reg.Counter("workload.stalled", labels...).Add(stalled)
+}
+
 // CyclesPerRequest is the throughput metric (lower is better).
 func (r Result) CyclesPerRequest() float64 {
 	if r.Completed == 0 {
@@ -78,6 +98,11 @@ type Driver struct {
 
 	// StepBudget bounds each machine slice (default 2M instructions).
 	StepBudget int64
+
+	// Metrics, when non-nil, receives the run's outcome counters (and,
+	// under a scheduler, the per-thread cycle accounting) when Run
+	// returns. Collection-time only: the drive loop never touches it.
+	Metrics *obsv.Registry
 }
 
 type clientState struct {
@@ -107,6 +132,9 @@ func (d *Driver) Run(total int) Result {
 	if !d.slice(&res) {
 		res.Cycles = d.cycles() - startCycles
 		res.Steps = d.steps() - startSteps
+		if d.Metrics != nil {
+			res.PublishMetrics(d.Metrics)
+		}
 		return res
 	}
 
@@ -189,6 +217,12 @@ func (d *Driver) Run(total int) Result {
 	}
 	res.Cycles = d.cycles() - startCycles
 	res.Steps = d.steps() - startSteps
+	if d.Metrics != nil {
+		res.PublishMetrics(d.Metrics)
+		if d.S != nil {
+			d.S.PublishMetrics(d.Metrics)
+		}
+	}
 	return res
 }
 
