@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-smoke obsv-smoke eval examples cover clean
+.PHONY: all build test vet bench bench-smoke obsv-smoke chaos-smoke eval examples cover clean
 
 all: build vet test
 
@@ -43,6 +43,18 @@ obsv-smoke:
 	$(GO) run ./cmd/obsvlint -schema metrics /tmp/fire-metrics.jsonl
 	$(GO) run ./cmd/obsvlint -schema profile /tmp/fire-profile.jsonl
 	@echo obsv-smoke OK
+
+# Chaos soak smoke: a small seeded fault sweep (fail-stop + fail-silent,
+# all five apps) under the full recovery escalation ladder, with the
+# campaign-global span log linted. The campaign itself fails if any
+# incarnation death is not attributed to a ladder rung or the stats /
+# metrics / span accounting surfaces disagree.
+chaos-smoke:
+	$(GO) run ./cmd/firebench -experiment chaos -requests 30 -faults 2 \
+		-concurrency 2 -parallel 4 \
+		-trace-out /tmp/fire-chaos.jsonl > /dev/null
+	$(GO) run ./cmd/obsvlint -schema trace /tmp/fire-chaos.jsonl
+	@echo chaos-smoke OK
 
 examples:
 	$(GO) run ./examples/quickstart

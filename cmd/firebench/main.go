@@ -20,6 +20,13 @@
 // metrics registry and the guest profiler enabled, and export them as
 // JSONL via -trace-out, -metrics-out and -profile. All three outputs are
 // cycle-domain and byte-deterministic for a fixed seed.
+//
+// The chaos experiment (also an extra) sweeps seeded fail-stop and
+// fail-silent faults across all five apps under the full recovery
+// escalation ladder (rollback, STM retry, gate injection, request
+// shedding, supervised microreboot, crash-loop breaker) and attributes
+// every fault to the rung that absorbed it; -trace-out exports the
+// campaign-global span log.
 package main
 
 import (
@@ -145,6 +152,26 @@ func experiments(out *obsvOut) []experiment {
 		{name: "threads", desc: "multi-worker scaling and abort-cause breakdown (conflict aborts)", run: func(r bench.Runner) (string, error) {
 			res, err := r.Threads()
 			return res.Render(), err
+		}},
+		{name: "chaos", desc: "chaos soak: seeded fail-stop + fail-silent faults vs the full recovery ladder (extra)", extra: true, run: func(r bench.Runner) (string, error) {
+			res, err := r.Chaos()
+			if err != nil {
+				return "", err
+			}
+			if out.traceOut != "" {
+				f, err := os.Create(out.traceOut)
+				if err != nil {
+					return "", err
+				}
+				if err := res.WriteTrace(f); err != nil {
+					f.Close()
+					return "", err
+				}
+				if err := f.Close(); err != nil {
+					return "", err
+				}
+			}
+			return res.Render(), nil
 		}},
 	}
 	for _, app := range apps.All() {

@@ -12,9 +12,10 @@ import "github.com/firestarter-go/firestarter/internal/libsim"
 // irrecoverable transaction break).
 func Apache() *App {
 	return &App{
-		Name:     "apache",
-		Port:     8081,
-		Protocol: "http",
+		Name:        "apache",
+		Port:        8081,
+		Protocol:    "http",
+		QuiesceFunc: "main",
 		Setup: func(o *libsim.OS) {
 			docRoot(o)
 			o.FS().Add("/logs/access.log", nil)

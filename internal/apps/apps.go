@@ -38,6 +38,12 @@ type App struct {
 	// Protocol selects the workload generator family: "http", "redis"
 	// or "sql".
 	Protocol string
+
+	// QuiesceFunc names the function holding the app's quiesce point —
+	// the accept/event loop the recovery runtime's request-shedding rung
+	// may rewind to when the rest of the ladder is exhausted. Empty means
+	// the app declares no safe quiesce point and shedding stays disabled.
+	QuiesceFunc string
 }
 
 // Compile builds the app's IR program.

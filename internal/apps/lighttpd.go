@@ -10,11 +10,12 @@ package apps
 // turns into a "403 Forbidden" response.
 func Lighttpd() *App {
 	return &App{
-		Name:     "lighttpd",
-		Port:     8082,
-		Protocol: "http",
-		Setup:    docRoot,
-		Source:   lighttpdSrc,
+		Name:        "lighttpd",
+		Port:        8082,
+		Protocol:    "http",
+		QuiesceFunc: "main",
+		Setup:       docRoot,
+		Source:      lighttpdSrc,
 	}
 }
 

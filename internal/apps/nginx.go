@@ -8,11 +8,12 @@ package apps
 // listen with EADDRINUSE handling — mirrors the paper's Listing 1.
 func Nginx() *App {
 	return &App{
-		Name:     "nginx",
-		Port:     8080,
-		Protocol: "http",
-		Setup:    docRoot,
-		Source:   nginxSrc,
+		Name:        "nginx",
+		Port:        8080,
+		Protocol:    "http",
+		QuiesceFunc: "main",
+		Setup:       docRoot,
+		Source:      nginxSrc,
 	}
 }
 

@@ -10,9 +10,10 @@ import "github.com/firestarter-go/firestarter/internal/libsim"
 // shared-memory caveat).
 func Postgres() *App {
 	return &App{
-		Name:     "postgres",
-		Port:     5432,
-		Protocol: "sql",
+		Name:        "postgres",
+		Port:        5432,
+		Protocol:    "sql",
+		QuiesceFunc: "main",
 		Setup: func(o *libsim.OS) {
 			o.FS().Add("/pgdata/wal", nil)
 		},

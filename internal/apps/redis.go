@@ -9,11 +9,12 @@ import "github.com/firestarter-go/firestarter/internal/libsim"
 // gates sit exactly where Redis's sds/dict allocations sit.
 func Redis() *App {
 	return &App{
-		Name:     "redis",
-		Port:     6379,
-		Protocol: "redis",
-		Setup:    func(o *libsim.OS) {},
-		Source:   redisSrc,
+		Name:        "redis",
+		Port:        6379,
+		Protocol:    "redis",
+		QuiesceFunc: "main",
+		Setup:       func(o *libsim.OS) {},
+		Source:      redisSrc,
 	}
 }
 

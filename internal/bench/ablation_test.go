@@ -78,10 +78,10 @@ func TestAblationRestartBaseline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != 2 {
+	if len(res.Rows) != 3 {
 		t.Fatalf("rows = %d", len(res.Rows))
 	}
-	restart, fir := res.Rows[0], res.Rows[1]
+	restart, fir, full := res.Rows[0], res.Rows[1], res.Rows[2]
 	// FIRestarter must never restart or lose state; the baseline must
 	// restart at least once (the fault is persistent and recurring).
 	if fir.Restarts != 0 || fir.StateLost != 0 {
@@ -94,6 +94,18 @@ func TestAblationRestartBaseline(t *testing.T) {
 	if fir.Failed >= restart.Failed+restart.Restarts {
 		t.Errorf("FIRestarter failed %d vs baseline %d(+%d lost)",
 			fir.Failed, restart.Failed, restart.Restarts)
+	}
+	// The full ladder serves the whole workload: the in-process rungs
+	// absorb the persistent fault, so the supervisor never fires, and no
+	// request is silently dropped.
+	if full.Completed+full.Failed != testRunner().withDefaults().Requests {
+		t.Errorf("ladder row drops requests: %+v", full)
+	}
+	if full.Failed > restart.Failed {
+		t.Errorf("full ladder failed %d vs vanilla restart %d", full.Failed, restart.Failed)
+	}
+	if full.StateLost > 0 && full.Restarts == 0 {
+		t.Errorf("state lost without an attributed reboot: %+v", full)
 	}
 	t.Logf("\n%s", res.Render())
 }

@@ -119,6 +119,28 @@ func boot(app *apps.App, o bootOpts) (*instance, error) {
 	return inst, nil
 }
 
+// armQuiesce runs a freshly booted hardened server until it blocks for
+// the first time — which must happen inside the app's declared quiesce
+// function (its accept/event loop) — and registers the snapshot with the
+// runtime, enabling the request-shedding rung. No-op for vanilla
+// instances and apps that declare no quiesce point.
+func armQuiesce(inst *instance) error {
+	if inst.rt == nil || inst.app.QuiesceFunc == "" {
+		return nil
+	}
+	out := inst.m.Run(5_000_000)
+	if out.Kind != interp.OutBlocked {
+		return fmt.Errorf("bench: %s did not reach its quiesce point (outcome %v)",
+			inst.app.Name, out.Kind)
+	}
+	if fn := inst.m.CurrentFunc(); fn != inst.app.QuiesceFunc {
+		return fmt.Errorf("bench: %s blocked in %q, quiesce point is %q",
+			inst.app.Name, fn, inst.app.QuiesceFunc)
+	}
+	inst.rt.ArmQuiesce(inst.m)
+	return nil
+}
+
 // drive runs the app's standard workload against the instance.
 func (r Runner) drive(inst *instance) workload.Result {
 	d := &workload.Driver{

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/firestarter-go/firestarter/internal/apps"
+	"github.com/firestarter-go/firestarter/internal/faultinj"
+	"github.com/firestarter-go/firestarter/internal/supervisor"
+)
+
+// chaosRunner keeps the soak small enough for unit tests: one fail-stop
+// fault plus one of each silent kind per app.
+func chaosRunner() Runner {
+	return Runner{Requests: 24, Concurrency: 2, Seed: 3, FaultsPerServer: 1}
+}
+
+func TestChaosAttributesEveryFault(t *testing.T) {
+	res, err := chaosRunner().Chaos()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Campaigns == 0 {
+		t.Fatal("no campaigns planned")
+	}
+	total := 0
+	for _, row := range res.Rows {
+		attributed := row.None + row.Recovered + row.Injected + row.Shed + row.Rebooted + row.Breaker
+		if attributed != row.Faults {
+			t.Errorf("%s/%s: %d faults, %d attributed", row.App, row.Kind, row.Faults, attributed)
+		}
+		if row.Survived > row.Faults {
+			t.Errorf("%s/%s: survived %d > faults %d", row.App, row.Kind, row.Survived, row.Faults)
+		}
+		total += row.Faults
+	}
+	if total != res.Campaigns {
+		t.Errorf("rows cover %d campaigns, ran %d", total, res.Campaigns)
+	}
+	if res.Survived == 0 {
+		t.Error("full ladder survived no campaign")
+	}
+	// The combined span log must satisfy the obsvlint trace schema:
+	// non-decreasing campaign-global cycles, non-empty kinds.
+	for i, e := range res.Spans {
+		if e.Kind == "" {
+			t.Fatalf("span %d has no kind", i)
+		}
+		if i > 0 && e.Cycles < res.Spans[i-1].Cycles {
+			t.Fatalf("span %d cycles %d < previous %d", i, e.Cycles, res.Spans[i-1].Cycles)
+		}
+	}
+	var buf bytes.Buffer
+	if err := res.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != len(res.Spans) {
+		t.Errorf("trace has %d lines, %d spans", got, len(res.Spans))
+	}
+	t.Logf("\n%s", res.Render())
+}
+
+func TestChaosRenderDeterministic(t *testing.T) {
+	run := func(parallelism int) (string, string) {
+		r := chaosRunner()
+		r.Parallelism = parallelism
+		res, err := r.Chaos()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return res.Render(), buf.String()
+	}
+	r1, t1 := run(1)
+	r2, t2 := run(1)
+	if r1 != r2 || t1 != t2 {
+		t.Fatal("repeat serial runs differ")
+	}
+	if testing.Short() {
+		t.Skip("parallel cross-check skipped in -short")
+	}
+	r4, t4 := run(4)
+	if r1 != r4 {
+		t.Errorf("render differs between -parallel 1 and 4:\n%s\nvs\n%s", r1, r4)
+	}
+	if t1 != t4 {
+		t.Error("combined trace differs between -parallel 1 and 4")
+	}
+}
+
+// TestLadderCountsBreakerResidualAsFailed is the regression test for the
+// silent under-reporting bug: the old inline restart loop exited its
+// 50-incarnation cap with work still outstanding and never counted it.
+// The supervised ladder must attribute every request even when the
+// crash-loop breaker gives up.
+func TestLadderCountsBreakerResidualAsFailed(t *testing.T) {
+	r := testRunner()
+	// A long enough campaign that the persistent fault kills more than
+	// one incarnation before the workload drains.
+	r.Requests = 300
+	app := apps.Redis()
+	prog, err := app.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := findLibBlock(prog, "execute", "atoi", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault := faultinj.Fault{ID: 1, Kind: faultinj.FailStop, Func: ref.Func, Block: ref.Block, Index: 0}
+	// One allowed restart in an effectively unbounded window: the second
+	// death opens the breaker with most of the workload outstanding.
+	lr, err := r.ladderRun(app, bootOpts{vanilla: true, fault: &fault},
+		supervisor.Config{MaxRestarts: 1, WindowCycles: 1 << 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lr.Sup.BreakerOpen {
+		t.Fatalf("breaker did not open: %+v", lr.Sup)
+	}
+	if got := lr.Completed + lr.Failed; got != r.withDefaults().Requests {
+		t.Errorf("accounted %d of %d requests", got, r.withDefaults().Requests)
+	}
+	if errs := lr.reconcile(); len(errs) > 0 {
+		t.Errorf("accounting did not reconcile:\n  %s", strings.Join(errs, "\n  "))
+	}
+}

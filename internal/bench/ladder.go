@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/firestarter-go/firestarter/internal/apps"
+	"github.com/firestarter-go/firestarter/internal/obsv"
+	"github.com/firestarter-go/firestarter/internal/supervisor"
+	"github.com/firestarter-go/firestarter/internal/workload"
+)
+
+// ladderRun is one supervised campaign: the Runner's workload driven to
+// completion across as many incarnations as the supervisor allows, with
+// every rung of the recovery escalation ladder armed on hardened boots
+// (rollback -> STM retry -> gate injection -> request shedding ->
+// supervised microreboot -> crash-loop breaker).
+type ladderRun struct {
+	Completed int
+	Failed    int
+	Cycles    int64 // workload cycles across incarnations (throughput accounting)
+
+	// Runtime recovery counters summed across incarnations (zero for
+	// vanilla campaigns, which have no runtime).
+	Crashes       int64
+	Retries       int64
+	Injections    int64
+	Unrecovered   int64
+	Sheds         int64
+	ShedConnsLost int64
+
+	Sup supervisor.Stats
+
+	// Spans holds every incarnation's runtime span events rebased onto the
+	// supervisor's campaign clock and merged with the supervisor's own
+	// reboot/breaker-open events, in non-decreasing cycle order.
+	Spans   []obsv.SpanEvent
+	Dropped int64
+
+	// Registry accumulates each incarnation's published runtime metrics
+	// plus the supervisor's; reconcile() checks it against the counters
+	// above.
+	Registry *obsv.Registry
+}
+
+// ladderRun drives r.Requests against app under supervision. Hardened
+// boots (o.vanilla false) get spans enabled and their quiesce point armed
+// so the shedding rung is live; vanilla boots exercise the bare
+// restart-on-crash policy. Residual work abandoned when the breaker opens
+// is counted as Failed — never silently dropped.
+func (r Runner) ladderRun(app *apps.App, o bootOpts, sc supervisor.Config) (*ladderRun, error) {
+	lr := &ladderRun{Registry: obsv.NewRegistry()}
+	if sc.Seed == 0 {
+		sc.Seed = r.Seed
+	}
+	sup := supervisor.New(sc)
+	remaining := r.Requests
+
+	err := sup.Supervise(func(inc int, seed int64) (supervisor.RunResult, error) {
+		if remaining <= 0 {
+			// The previous incarnation's death consumed the last of the
+			// budget; its restart is already accounted, nothing to run.
+			return supervisor.RunResult{Done: true}, nil
+		}
+		offset := sup.Clock()
+		inst, err := boot(app, o)
+		if err != nil {
+			return supervisor.RunResult{}, err
+		}
+		if inst.rt != nil {
+			inst.rt.EnableSpans()
+			if err := armQuiesce(inst); err != nil {
+				return supervisor.RunResult{}, err
+			}
+		}
+		d := &workload.Driver{
+			OS: inst.os, M: inst.m, Port: app.Port,
+			Gen:         workload.ForProtocol(app.Protocol),
+			Concurrency: r.Concurrency,
+			Seed:        seed,
+		}
+		res := d.Run(remaining)
+		lr.Completed += res.Completed
+		lr.Failed += res.BadResp
+		lr.Cycles += res.Cycles
+		remaining -= res.Completed + res.BadResp
+
+		rr := supervisor.RunResult{Cycles: inst.m.Cycles}
+		if inst.rt != nil {
+			st := inst.rt.Stats()
+			lr.Crashes += st.Crashes
+			lr.Retries += st.Retries
+			lr.Injections += st.Injections
+			lr.Unrecovered += st.Unrecovered
+			lr.Sheds += st.Sheds
+			lr.ShedConnsLost += st.ShedConnsLost
+			for _, e := range inst.rt.Spans() {
+				e.Cycles += offset
+				e.Seq = 0
+				lr.Spans = append(lr.Spans, e)
+			}
+			lr.Dropped += inst.rt.TraceDropped()
+			inst.rt.PublishMetrics(lr.Registry)
+		}
+		if res.ServerDied || res.Stalled {
+			rr.Died = res.ServerDied
+			lost := res.Outstanding
+			if lost > remaining {
+				lost = remaining
+			}
+			lr.Failed += lost
+			remaining -= lost
+			rr.ConnsLost = lost
+			// A death is a death even when the in-flight loss drained the
+			// budget: the restart is counted and the next incarnation
+			// reports done without booting.
+			return rr, nil
+		}
+		rr.Done = remaining <= 0
+		return rr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	lr.Sup = sup.Stats()
+	// Residual work the breaker abandoned is failed, not forgotten (the
+	// old inline restart loop under-reported exactly this).
+	if remaining > 0 {
+		lr.Failed += remaining
+	}
+	sup.PublishMetrics(lr.Registry)
+	lr.Spans = mergeSpans(lr.Spans, sup.Spans())
+	return lr, nil
+}
+
+// mergeSpans merges two cycle-ordered span slices, preferring a's events
+// on ties (runtime events precede the supervisor's verdict about them).
+func mergeSpans(a, b []obsv.SpanEvent) []obsv.SpanEvent {
+	out := make([]obsv.SpanEvent, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if b[j].Cycles < a[i].Cycles {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// rung names the coarsest ladder rung the campaign escalated to — the
+// rung that absorbed (or failed to absorb) its fault.
+func (l *ladderRun) rung() string {
+	switch {
+	case l.Sup.BreakerOpen:
+		return "breaker-open"
+	case l.Sup.Restarts > 0:
+		return "rebooted"
+	case l.Sheds > 0:
+		return "shed"
+	case l.Injections > 0:
+		return "injected"
+	case l.Crashes > 0:
+		return "recovered"
+	default:
+		return "none"
+	}
+}
+
+// reconcile cross-checks the campaign's three accounting surfaces —
+// aggregated runtime/supervisor stats, the published metrics registry,
+// and the span log — and returns every discrepancy. An empty slice means
+// the ladder accounted for every fault on every surface.
+func (l *ladderRun) reconcile() []string {
+	var errs []string
+	check := func(name string, got, want int64) {
+		if got != want {
+			errs = append(errs, fmt.Sprintf("%s: metric %d != stat %d", name, got, want))
+		}
+	}
+	check("core.crashes", l.Registry.Total("core.crashes"), l.Crashes)
+	check("core.retries", l.Registry.Total("core.retries"), l.Retries)
+	check("core.injections", l.Registry.Total("core.injections"), l.Injections)
+	check("core.unrecovered", l.Registry.Total("core.unrecovered"), l.Unrecovered)
+	check("core.sheds", l.Registry.Total("core.sheds"), l.Sheds)
+	check("core.shed_conns_lost", l.Registry.Total("core.shed_conns_lost"), l.ShedConnsLost)
+	check("supervisor.incarnations", l.Registry.Total("supervisor.incarnations"), int64(l.Sup.Incarnations))
+	check("supervisor.restarts", l.Registry.Total("supervisor.restarts"), int64(l.Sup.Restarts))
+	check("supervisor.state_lost", l.Registry.Total("supervisor.state_lost"), int64(l.Sup.StateLost))
+	check("supervisor.conns_lost", l.Registry.Total("supervisor.conns_lost"), int64(l.Sup.ConnsLost))
+	var breaker int64
+	if l.Sup.BreakerOpen {
+		breaker = 1
+	}
+	check("supervisor.breaker_open", l.Registry.Total("supervisor.breaker_open"), breaker)
+
+	// Zero silent deaths: every incarnation that died is attributed to a
+	// reboot or to the breaker opening.
+	if got, want := int64(l.Sup.StateLost), int64(l.Sup.Restarts)+breaker; got != want {
+		errs = append(errs, fmt.Sprintf("silent deaths: state_lost %d != restarts %d + breaker %d", got, int64(l.Sup.Restarts), breaker))
+	}
+
+	// Span log cross-check (skipped if the bounded log overflowed).
+	if l.Dropped == 0 {
+		counts := map[string]int64{}
+		for _, e := range l.Spans {
+			counts[e.Kind]++
+		}
+		check("span:"+obsv.SpanShed, counts[obsv.SpanShed], l.Sheds)
+		check("span:"+obsv.SpanReboot, counts[obsv.SpanReboot], int64(l.Sup.Restarts))
+		check("span:"+obsv.SpanBreakerOpen, counts[obsv.SpanBreakerOpen], breaker)
+		check("span:"+obsv.SpanUnrecovered, counts[obsv.SpanUnrecovered], l.Unrecovered)
+	}
+	return errs
+}

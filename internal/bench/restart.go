@@ -6,7 +6,7 @@ import (
 
 	"github.com/firestarter-go/firestarter/internal/apps"
 	"github.com/firestarter-go/firestarter/internal/faultinj"
-	"github.com/firestarter-go/firestarter/internal/workload"
+	"github.com/firestarter-go/firestarter/internal/supervisor"
 )
 
 // RestartRow is one strategy's outcome against the same persistent fault.
@@ -16,6 +16,7 @@ type RestartRow struct {
 	Failed       int // bad responses + requests lost to dead connections
 	Restarts     int
 	StateLost    int // times accumulated in-memory state was discarded
+	Sheds        int // requests dropped by the shedding rung
 	CyclesPerReq float64
 }
 
@@ -27,10 +28,12 @@ type RestartResult struct {
 // AblationRestartBaseline stages the paper's motivating comparison (§I):
 // a persistent fault in the Redis analog's request handling, faced by
 //
-//   - the traditional strategy — run unprotected and let a supervisor
-//     restart the process after every crash, losing all in-memory state
-//     and every open connection; and
-//   - FIRestarter — roll back and divert, preserving both.
+//   - the traditional strategy — run unprotected under a supervisor that
+//     restarts the process after every crash, losing all in-memory state
+//     and every open connection;
+//   - FIRestarter — roll back and divert, preserving both; and
+//   - FIRestarter under the same supervisor — the full escalation ladder,
+//     where shedding and microreboot back up the in-process rungs.
 //
 // The workload interleaves SETs with INCRs on hot keys; the fault sits on
 // INCR's existing-key path, so it fires repeatedly once counters exist.
@@ -49,51 +52,18 @@ func (r Runner) AblationRestartBaseline() (RestartResult, error) {
 
 	var out RestartResult
 
-	// Strategy 1: supervisor restart of the unprotected server.
-	restartRow := RestartRow{Strategy: "restart-on-crash (vanilla)"}
-	var totalCycles int64
-	remaining := r.Requests
-	for incarnation := 0; incarnation < 50 && remaining > 0; incarnation++ {
-		inst, err := boot(app, bootOpts{vanilla: true, fault: &fault})
-		if err != nil {
-			return out, err
-		}
-		d := &workload.Driver{
-			OS: inst.os, M: inst.m, Port: app.Port,
-			Gen:         workload.ForProtocol(app.Protocol),
-			Concurrency: r.Concurrency,
-			Seed:        r.Seed + int64(incarnation),
-		}
-		res := d.Run(remaining)
-		restartRow.Completed += res.Completed
-		restartRow.Failed += res.BadResp
-		totalCycles += res.Cycles
-		remaining -= res.Completed + res.BadResp
-		if res.ServerDied {
-			restartRow.Restarts++
-			restartRow.StateLost++
-			// Every in-flight request dies with the process — the
-			// requests actually outstanding at the crash, not the full
-			// client pool (near the end of the campaign fewer than
-			// Concurrency are in flight), and never more than the
-			// campaign still owes.
-			lost := res.Outstanding
-			if lost > remaining {
-				lost = remaining
-			}
-			restartRow.Failed += lost
-			remaining -= lost
-			continue
-		}
-		break
+	// Strategy 1: supervised restart of the unprotected server. The
+	// breaker cap replaces the old ad-hoc 50-incarnation loop; work still
+	// outstanding when it opens is counted as failed, not dropped.
+	lr, err := r.ladderRun(app, bootOpts{vanilla: true, fault: &fault},
+		supervisor.Config{MaxRestarts: 49, WindowCycles: 1 << 60})
+	if err != nil {
+		return out, err
 	}
-	if restartRow.Completed > 0 {
-		restartRow.CyclesPerReq = float64(totalCycles) / float64(restartRow.Completed)
-	}
-	out.Rows = append(out.Rows, restartRow)
+	out.Rows = append(out.Rows, lr.row("restart-on-crash (vanilla)"))
 
-	// Strategy 2: FIRestarter on the same fault and workload volume.
-	inst, res, err := r.measure(app, bootOpts{fault: &fault})
+	// Strategy 2: FIRestarter alone on the same fault and workload volume.
+	_, res, err := r.measure(app, bootOpts{fault: &fault})
 	if err != nil {
 		return out, err
 	}
@@ -107,20 +77,43 @@ func (r Runner) AblationRestartBaseline() (RestartResult, error) {
 		firRow.Restarts = 1
 		firRow.StateLost = 1
 	}
-	_ = inst
 	out.Rows = append(out.Rows, firRow)
+
+	// Strategy 3: the full ladder — FIRestarter hardened, quiesce point
+	// armed, supervised with the default microreboot policy.
+	lrFull, err := r.ladderRun(app, bootOpts{fault: &fault}, supervisor.Config{})
+	if err != nil {
+		return out, err
+	}
+	out.Rows = append(out.Rows, lrFull.row("FIRestarter + supervisor"))
 	return out, nil
+}
+
+// row condenses a supervised campaign into one comparison row.
+func (l *ladderRun) row(strategy string) RestartRow {
+	row := RestartRow{
+		Strategy:  strategy,
+		Completed: l.Completed,
+		Failed:    l.Failed,
+		Restarts:  l.Sup.Restarts,
+		StateLost: l.Sup.StateLost,
+		Sheds:     int(l.Sheds),
+	}
+	if l.Completed > 0 {
+		row.CyclesPerReq = float64(l.Cycles) / float64(l.Completed)
+	}
+	return row
 }
 
 // Render prints the strategy comparison.
 func (d RestartResult) Render() string {
 	var sb strings.Builder
 	sb.WriteString("Baseline: restart-on-crash vs FIRestarter under a persistent fault (Redis)\n")
-	fmt.Fprintf(&sb, "%-28s %10s %8s %9s %11s %14s\n",
-		"strategy", "completed", "failed", "restarts", "state lost", "cycles/req")
+	fmt.Fprintf(&sb, "%-28s %10s %8s %9s %11s %7s %14s\n",
+		"strategy", "completed", "failed", "restarts", "state lost", "sheds", "cycles/req")
 	for _, row := range d.Rows {
-		fmt.Fprintf(&sb, "%-28s %10d %8d %9d %11d %14.0f\n",
-			row.Strategy, row.Completed, row.Failed, row.Restarts, row.StateLost, row.CyclesPerReq)
+		fmt.Fprintf(&sb, "%-28s %10d %8d %9d %11d %7d %14.0f\n",
+			row.Strategy, row.Completed, row.Failed, row.Restarts, row.StateLost, row.Sheds, row.CyclesPerReq)
 	}
 	return sb.String()
 }

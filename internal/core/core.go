@@ -83,6 +83,7 @@ const (
 	costStmStore     = 4
 	costCompensation = 100
 	costSignal       = 2000 // signal delivery + handler entry/exit
+	costShed         = 3000 // connection teardown + longjmp to the quiesce point
 	costRegSavePer   = 1    // per register saved by the STM setjmp analog
 )
 
@@ -116,6 +117,15 @@ type Config struct {
 	// obsv.DefaultSpanLimit). Past the cap a terminal "truncated" marker
 	// is recorded and further events only increment the dropped counter.
 	TraceLimit int
+
+	// MaxSheds bounds the request-shedding rung: once the runtime has
+	// shed this many requests it stops absorbing otherwise-fatal crashes
+	// and lets the process die (escalating to the supervisor rung). The
+	// bound exists because a fault that fires before the server touches a
+	// new connection sheds nothing observable and would otherwise loop
+	// forever. 0 means the default (32); shedding is inert anyway until
+	// ArmQuiesce registers a quiesce point.
+	MaxSheds int
 }
 
 // withDefaults fills zero values with the paper's defaults.
@@ -131,6 +141,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryTransient == 0 {
 		c.RetryTransient = 1
+	}
+	if c.MaxSheds == 0 {
+		c.MaxSheds = 32
 	}
 	return c
 }
@@ -188,6 +201,14 @@ type Stats struct {
 	Unrecovered  int64 // crashes the runtime could not recover
 	DeferredRuns int64
 
+	// Sheds counts requests dropped by the shedding rung: otherwise-fatal
+	// crashes absorbed by resetting the offending connection and resuming
+	// at the quiesce point. ShedConnsLost counts the sheds that actually
+	// closed a live connection (a shed with no connection in hand resets
+	// nothing but still restores the quiesce frame).
+	Sheds         int64
+	ShedConnsLost int64
+
 	// LatencyCycles holds one sample per successful recovery event: the
 	// cost-model cycles from trap to resumed execution (Fig. 5).
 	LatencyCycles []int64
@@ -244,6 +265,13 @@ type Runtime struct {
 		snap    *interp.Snapshot
 	}
 	lastCall map[int]*callRecord
+
+	// quiesce is the boot-time snapshot of the app's request-handling
+	// frame (its accept/event loop, blocked in epoll_wait), registered by
+	// ArmQuiesce. While set, crashes the rest of the ladder cannot absorb
+	// are shed — the offending connection is reset and execution resumes
+	// here — instead of killing the process.
+	quiesce *interp.Snapshot
 
 	stats   Stats
 	tracing bool
@@ -765,17 +793,58 @@ func (rt *Runtime) noteHTMAbort(site int, cause htm.AbortCause) {
 	}
 }
 
+// ArmQuiesce registers the machine's current state as the app's quiesce
+// point: the request-handling frame (typically blocked in the epoll/accept
+// loop) that shedding restores when it drops a request. Arm it once the
+// server has booted and blocked for the first time; until then the shed
+// rung is inert and fatal crashes kill the process as before.
+func (rt *Runtime) ArmQuiesce(m *interp.Machine) { rt.quiesce = m.Snapshot() }
+
+// QuiesceArmed reports whether a quiesce point has been registered.
+func (rt *Runtime) QuiesceArmed() bool { return rt.quiesce != nil }
+
+// canShed reports whether the shed rung may absorb a fatal crash.
+func (rt *Runtime) canShed() bool {
+	return rt.quiesce != nil && rt.stats.Sheds < int64(rt.cfg.MaxSheds)
+}
+
+// shed is the last in-process rung of the recovery ladder: drop the
+// request being served instead of dying. The offending connection is
+// reset via the simulated OS (the client observes the close and moves
+// on), the boot-time quiesce snapshot is restored, and the event loop
+// resumes serving other clients. Memory is NOT rolled back beyond what
+// the transaction machinery already undid — shedding trades the dropped
+// request's partial state for the process's survival.
+func (rt *Runtime) shed(m *interp.Machine, site int, reason string) interp.Action {
+	fd := rt.os.ShedConn()
+	m.Restore(rt.quiesce)
+	m.Cycles += costShed
+	rt.cur = nil
+	rt.stats.Sheds++
+	if fd >= 0 {
+		rt.stats.ShedConnsLost++
+	}
+	rt.emitSpan(obsv.SpanShed, site, "", reason,
+		fmt.Sprintf("fd=%d sheds=%d", fd, rt.stats.Sheds))
+	return interp.ActionContinue
+}
+
 // handleCrash processes a fail-stop trap.
 func (rt *Runtime) handleCrash(m *interp.Machine) interp.Action {
 	tx := rt.cur
 	if tx == nil || tx.variant == 0 {
 		// Unprotected execution (startup, post-irrecoverable region, or
-		// the HTM-only fallback): the crash is fatal.
-		rt.stats.Unrecovered++
+		// the HTM-only fallback): nothing to roll back. With a quiesce
+		// point armed the crash is shed; otherwise it is fatal.
 		site := 0
 		if tx != nil {
 			site = tx.site
 		}
+		if rt.canShed() {
+			m.Cycles += costSignal
+			return rt.shed(m, site, "crash outside any transaction")
+		}
+		rt.stats.Unrecovered++
 		rt.emit(EvUnrecovered, site, "crash outside any transaction")
 		return interp.ActionDie
 	}
@@ -804,7 +873,12 @@ func (rt *Runtime) handleCrash(m *interp.Machine) interp.Action {
 	rt.emitSpan(obsv.SpanCrash, tx.site, "stm", "", "")
 	undone, rerr := rt.undo.Rollback()
 	if rerr != nil {
+		// The undo log could not restore memory: the heap is inconsistent,
+		// so neither shedding nor restarting the region is safe. Die — but
+		// visibly: the death must appear in the trace and span log like
+		// every other unrecovered crash.
 		rt.stats.Unrecovered++
+		rt.emit(EvUnrecovered, tx.site, fmt.Sprintf("undo-log rollback failed: %v", rerr))
 		return interp.ActionDie
 	}
 	m.Cycles += int64(undone) * costSTMUndoEntry
@@ -826,9 +900,16 @@ func (rt *Runtime) handleCrash(m *interp.Machine) interp.Action {
 		rt.emit(EvRetry, tx.site, fmt.Sprintf("attempt=%d", st.crashes))
 	default:
 		// Persistent: inject a fault at the gate, if the site allows it
-		// and we have not already diverted this episode.
+		// and we have not already diverted this episode. When injection is
+		// off the table the ladder escalates to shedding: close the crash
+		// episode, drop the request, and resume at the quiesce point.
 		site := rt.gates[tx.site]
 		if site == nil || !site.Entry.Injectable() || st.injected {
+			if rt.canShed() {
+				st.crashes = 0
+				st.injected = false
+				return rt.shed(m, tx.site, "persistent fault, no injectable gate")
+			}
 			rt.stats.Unrecovered++
 			rt.emit(EvUnrecovered, tx.site, "persistent fault, no injectable gate")
 			return interp.ActionDie

@@ -26,6 +26,8 @@ func (rt *Runtime) PublishMetrics(reg *obsv.Registry, labels ...obsv.Label) {
 	reg.Counter("core.injections", labels...).Add(s.Injections)
 	reg.Counter("core.unrecovered", labels...).Add(s.Unrecovered)
 	reg.Counter("core.deferred_runs", labels...).Add(s.DeferredRuns)
+	reg.Counter("core.sheds", labels...).Add(s.Sheds)
+	reg.Counter("core.shed_conns_lost", labels...).Add(s.ShedConnsLost)
 
 	reg.Gauge("core.sites_gate", labels...).Add(int64(len(s.GateSites)))
 	reg.Gauge("core.sites_embed", labels...).Add(int64(len(s.EmbedSites)))

@@ -24,6 +24,7 @@ const (
 	EvTxCommit
 	EvRecovered
 	EvTruncated
+	EvShed
 )
 
 // String returns the event name.
@@ -49,6 +50,8 @@ func (k EventKind) String() string {
 		return "recovered"
 	case EvTruncated:
 		return "truncated"
+	case EvShed:
+		return "shed"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -120,6 +123,8 @@ func flatKind(e obsv.SpanEvent) EventKind {
 		return EvTxCommit
 	case obsv.SpanRecovered:
 		return EvRecovered
+	case obsv.SpanShed:
+		return EvShed
 	case obsv.SpanTruncated:
 		return EvTruncated
 	default:
@@ -197,6 +202,8 @@ func (rt *Runtime) emit(kind EventKind, site int, detail string) {
 		k = obsv.SpanUnrecovered
 	case EvRecovered:
 		k = obsv.SpanRecovered
+	case EvShed:
+		k = obsv.SpanShed
 	default:
 		return
 	}

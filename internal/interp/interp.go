@@ -360,6 +360,17 @@ func (m *Machine) ExitCode() int64 { return m.exitCode }
 // Depth returns the current call-stack depth.
 func (m *Machine) Depth() int { return len(m.frames) }
 
+// CurrentFunc returns the name of the function executing on top of the
+// call stack ("" for an empty stack). The bench harness uses it to verify
+// a server blocked at its declared quiesce point before arming request
+// shedding.
+func (m *Machine) CurrentFunc() string {
+	if len(m.frames) == 0 {
+		return ""
+	}
+	return m.frames[len(m.frames)-1].Fn.Name
+}
+
 // SetProfiler attaches (or with nil detaches) a call-flow profiler. The
 // current stack is synced immediately so attribution starts from here.
 func (m *Machine) SetProfiler(p Profiler) {

@@ -772,6 +772,7 @@ func (o *OS) doRead(fd, buf, n int64) (int64, error) {
 			return 0, err
 		}
 		o.lastRead = &ReadRecord{FD: fd, Data: append([]byte(nil), data...)}
+		o.servingFD = fd
 		c.in = c.in[take:]
 		return take, nil
 	case FDFile:
@@ -835,6 +836,7 @@ func (o *OS) doWrite(fd, buf, n int64) (int64, error) {
 			return -1, nil
 		}
 		c.out = append(c.out, data...)
+		o.servingFD = fd
 		return n, nil
 	case FDFile:
 		if fd <= 2 || s.File == nil {

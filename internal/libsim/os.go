@@ -123,6 +123,12 @@ type OS struct {
 	cycles    *int64
 	wscratch  []byte // reusable buffer for doWrite payloads (never escapes)
 
+	// servingFD is the connection descriptor most recently read from or
+	// written to — the request the server is currently handling. The
+	// recovery runtime's shed rung closes it when it drops a request
+	// (-1 when no connection has been touched yet).
+	servingFD int64
+
 	// ports maps bound port → listener for the client side (netsim).
 	ports map[int64]*Listener
 
@@ -138,11 +144,12 @@ type OS struct {
 // New returns an OS bound to the given address space.
 func New(space *mem.Space) *OS {
 	o := &OS{
-		Space: space,
-		heap:  newHeap(space),
-		fs:    NewFS(),
-		pid:   4242,
-		ports: make(map[int64]*Listener),
+		Space:     space,
+		heap:      newHeap(space),
+		fs:        NewFS(),
+		pid:       4242,
+		ports:     make(map[int64]*Listener),
+		servingFD: -1,
 	}
 	o.store = space.Store
 	// Reserve stdin/stdout/stderr so application fds start at 3.
@@ -255,6 +262,32 @@ func (o *OS) CloseFD(fd int64) bool {
 		o.fds[fd] = &FD{Kind: FDFree}
 	}
 	return true
+}
+
+// ServingConnFD returns the connection descriptor most recently read from
+// or written to — the runtime's best guess at "the request being served" —
+// or -1 when there is none (never touched, closed, or not a connection).
+func (o *OS) ServingConnFD() int64 {
+	s := o.lookupFD(o.servingFD)
+	if s == nil || s.Kind != FDConn {
+		return -1
+	}
+	return o.servingFD
+}
+
+// ShedConn force-closes the connection currently being served — the
+// connection-reset half of the recovery runtime's shed rung. It returns
+// the closed descriptor, or -1 if no live connection was being served.
+// The client side observes the close (ServerClosed) and reconnects; the
+// epoll ready scan skips the freed slot automatically.
+func (o *OS) ShedConn() int64 {
+	fd := o.ServingConnFD()
+	o.servingFD = -1
+	if fd < 0 {
+		return -1
+	}
+	o.CloseFD(fd)
+	return fd
 }
 
 // OpenFDs counts live descriptors (excluding std streams); tests use it to

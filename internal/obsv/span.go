@@ -8,7 +8,10 @@ import (
 
 // Span event kinds. A crash transaction's life is a sequence of spans:
 // begin → (abort | crash → retry/inject → recovered | commit), with
-// latch-stm/unrecovered as terminal policy events.
+// latch-stm/unrecovered as terminal policy events. The escalation-ladder
+// rungs above injection emit shed (drop the offending request, resume at
+// the quiesce point), reboot (supervised restart of a fresh incarnation)
+// and breaker-open (the crash-loop breaker gave up).
 const (
 	SpanBegin       = "begin"
 	SpanCommit      = "commit"
@@ -19,6 +22,9 @@ const (
 	SpanLatchSTM    = "latch-stm"
 	SpanRecovered   = "recovered"
 	SpanUnrecovered = "unrecovered"
+	SpanShed        = "shed"
+	SpanReboot      = "reboot"
+	SpanBreakerOpen = "breaker-open"
 	SpanTruncated   = "truncated"
 )
 

@@ -1,0 +1,224 @@
+// Package supervisor is the microreboot rung of the recovery escalation
+// ladder: process-level restart as a real subsystem instead of an ad-hoc
+// loop in the benchmark harness.
+//
+// "Rebooting Microreboot" frames recovery as a ladder of progressively
+// coarser supervised actions; this package owns the coarsest in-repo rung.
+// When an incarnation of the supervised program dies (or hangs), the
+// supervisor accounts the state and connections lost with it, waits out a
+// deterministic exponential backoff in cost-model cycles, and boots a
+// fresh incarnation with its own seed. A crash-loop breaker — more than
+// MaxRestarts restarts inside a sliding WindowCycles window — makes the
+// give-up point explicit: the supervisor opens the breaker, reports, and
+// stops instead of silently under-counting abandoned work.
+//
+// Everything is cycle-domain: the campaign clock advances by the cycles
+// each incarnation consumed plus the backoff, never by wall time, so a
+// supervised campaign is byte-deterministic for a fixed seed.
+package supervisor
+
+import (
+	"fmt"
+
+	"github.com/firestarter-go/firestarter/internal/obsv"
+)
+
+// Config parameterizes the supervision policy.
+type Config struct {
+	// MaxRestarts is the crash-loop breaker: more than this many restarts
+	// within WindowCycles opens the breaker (default 8).
+	MaxRestarts int
+
+	// WindowCycles is the sliding window the breaker counts restarts in
+	// (default 200M cycles).
+	WindowCycles int64
+
+	// BackoffBase is the first restart's backoff in cycles (default 50k);
+	// each further restart doubles it (BackoffFactor) up to BackoffMax
+	// (default 5M).
+	BackoffBase   int64
+	BackoffFactor int64
+	BackoffMax    int64
+
+	// Seed is the campaign seed; incarnation i runs with Seed+i so every
+	// incarnation is deterministic but distinct.
+	Seed int64
+}
+
+// withDefaults fills zero values.
+func (c Config) withDefaults() Config {
+	if c.MaxRestarts == 0 {
+		c.MaxRestarts = 8
+	}
+	if c.WindowCycles == 0 {
+		c.WindowCycles = 200_000_000
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = 50_000
+	}
+	if c.BackoffFactor == 0 {
+		c.BackoffFactor = 2
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = 5_000_000
+	}
+	return c
+}
+
+// RunResult is one incarnation's outcome, reported by the run callback.
+type RunResult struct {
+	// Done means the supervised work finished: stop supervising. Checked
+	// before Died, so a process that completes its work and then dies is
+	// still a completed campaign.
+	Done bool
+
+	// Died means the incarnation crashed; false with Done false is
+	// treated as a hang — both are restarted.
+	Died bool
+
+	// Cycles the incarnation consumed (advances the campaign clock).
+	Cycles int64
+
+	// ConnsLost is the number of connections that died with the process.
+	ConnsLost int
+}
+
+// Reboot records one restart decision for the campaign timeline.
+type Reboot struct {
+	Incarnation   int   // incarnation that died
+	AtCycles      int64 // campaign clock at the death
+	BackoffCycles int64 // backoff charged before the next incarnation
+}
+
+// Stats is the supervisor's accounting. The published obsv metrics
+// reconcile exactly with it.
+type Stats struct {
+	Incarnations  int
+	Restarts      int
+	StateLost     int // incarnation deaths/hangs: in-memory state discarded
+	ConnsLost     int
+	BackoffCycles int64
+	BreakerOpen   bool
+	ClockCycles   int64 // campaign clock: run cycles + backoff
+	Reboots       []Reboot
+}
+
+// Supervisor runs a program through restarts under the configured policy.
+type Supervisor struct {
+	cfg    Config
+	stats  Stats
+	recent []int64 // campaign-clock stamps of restarts inside the window
+	spans  obsv.SpanLog
+}
+
+// New returns a supervisor with the given policy.
+func New(cfg Config) *Supervisor {
+	return &Supervisor{cfg: cfg.withDefaults()}
+}
+
+// Clock returns the campaign clock: cycles consumed by every incarnation
+// so far plus accumulated backoff. Run callbacks use it as the offset to
+// rebase per-incarnation span timestamps onto the campaign timeline.
+func (s *Supervisor) Clock() int64 { return s.stats.ClockCycles }
+
+// Stats returns a snapshot of the accounting (Reboots deep-copied).
+func (s *Supervisor) Stats() Stats {
+	st := s.stats
+	st.Reboots = append([]Reboot(nil), s.stats.Reboots...)
+	return st
+}
+
+// Spans returns the supervisor's span events (reboot, breaker-open),
+// timestamped on the campaign clock.
+func (s *Supervisor) Spans() []obsv.SpanEvent { return s.spans.Events() }
+
+// backoff returns the k-th restart's backoff (k is 1-based).
+func (s *Supervisor) backoff(k int) int64 {
+	b := s.cfg.BackoffBase
+	for i := 1; i < k; i++ {
+		b *= s.cfg.BackoffFactor
+		if b >= s.cfg.BackoffMax {
+			return s.cfg.BackoffMax
+		}
+	}
+	if b > s.cfg.BackoffMax {
+		return s.cfg.BackoffMax
+	}
+	return b
+}
+
+// Supervise runs incarnations of the program until one reports Done, the
+// crash-loop breaker opens, or the callback errors. The callback receives
+// the incarnation number and its seed (Config.Seed + incarnation). A
+// breaker-open return is nil — giving up is a reported policy outcome,
+// not an error; check Stats().BreakerOpen.
+func (s *Supervisor) Supervise(run func(incarnation int, seed int64) (RunResult, error)) error {
+	for inc := 0; ; inc++ {
+		s.stats.Incarnations++
+		res, err := run(inc, s.cfg.Seed+int64(inc))
+		if err != nil {
+			return err
+		}
+		s.stats.ClockCycles += res.Cycles
+		if res.Done {
+			return nil
+		}
+
+		// The incarnation died (or hung): its in-memory state and open
+		// connections are gone.
+		s.stats.StateLost++
+		s.stats.ConnsLost += res.ConnsLost
+		now := s.stats.ClockCycles
+
+		// Crash-loop breaker: count restarts inside the sliding window.
+		cut := 0
+		for cut < len(s.recent) && s.recent[cut] < now-s.cfg.WindowCycles {
+			cut++
+		}
+		s.recent = s.recent[cut:]
+		if len(s.recent) >= s.cfg.MaxRestarts {
+			s.stats.BreakerOpen = true
+			s.spans.Append(obsv.SpanEvent{
+				Cycles: now,
+				Kind:   obsv.SpanBreakerOpen,
+				Cause:  "crash-loop",
+				Detail: fmt.Sprintf("restarts=%d window=%d", len(s.recent), s.cfg.WindowCycles),
+			})
+			return nil
+		}
+		s.recent = append(s.recent, now)
+
+		s.stats.Restarts++
+		backoff := s.backoff(s.stats.Restarts)
+		s.stats.BackoffCycles += backoff
+		s.stats.ClockCycles += backoff
+		s.stats.Reboots = append(s.stats.Reboots, Reboot{
+			Incarnation:   inc,
+			AtCycles:      now,
+			BackoffCycles: backoff,
+		})
+		s.spans.Append(obsv.SpanEvent{
+			Cycles: now,
+			Kind:   obsv.SpanReboot,
+			Cause:  "incarnation died",
+			Detail: fmt.Sprintf("incarnation=%d backoff=%d conns_lost=%d", inc, backoff, res.ConnsLost),
+		})
+	}
+}
+
+// PublishMetrics copies the supervisor's accounting into a metrics
+// registry under the given labels. Collection-time only; the totals
+// reconcile exactly with Stats().
+func (s *Supervisor) PublishMetrics(reg *obsv.Registry, labels ...obsv.Label) {
+	st := s.stats
+	reg.Counter("supervisor.incarnations", labels...).Add(int64(st.Incarnations))
+	reg.Counter("supervisor.restarts", labels...).Add(int64(st.Restarts))
+	reg.Counter("supervisor.state_lost", labels...).Add(int64(st.StateLost))
+	reg.Counter("supervisor.conns_lost", labels...).Add(int64(st.ConnsLost))
+	reg.Counter("supervisor.backoff_cycles", labels...).Add(st.BackoffCycles)
+	var open int64
+	if st.BreakerOpen {
+		open = 1
+	}
+	reg.Counter("supervisor.breaker_open", labels...).Add(open)
+}

@@ -275,6 +275,50 @@ int main() {
 	}
 }
 
+func TestDriverOutstandingOnMidBurstDeath(t *testing.T) {
+	// A tiny listen backlog lets only two of the eight clients connect
+	// before the server dies on its first epoll event: the crash kills a
+	// burst smaller than the client pool, and Outstanding must count
+	// exactly the requests actually in flight — not Concurrency, not the
+	// remaining workload.
+	src := `
+int main() {
+	int s = socket();
+	if (bind(s, 9000) == -1) { return 1; }
+	if (listen(s, 2) == -1) { return 2; }
+	int ep = epoll_create();
+	epoll_ctl(ep, 1, s);
+	int events[8];
+	int n = epoll_wait(ep, events, 8);
+	int *p = NULL;
+	*p = n;   // dies on the first event
+	return 0;
+}`
+	prog, err := minic.Compile(src, minic.Config{KnownLib: libsim.Known})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := libsim.New(mem.NewSpace())
+	m, err := interp.New(prog, o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Driver{OS: o, M: m, Port: 9000, Gen: &echoGen{}, Concurrency: 8, Seed: 1}
+	res := d.Run(20)
+	if !res.ServerDied {
+		t.Fatalf("death not reported: %+v", res)
+	}
+	if res.Completed != 0 || res.BadResp != 0 {
+		t.Errorf("requests answered by a dead server: %+v", res)
+	}
+	if res.Outstanding != 2 {
+		t.Errorf("outstanding = %d, want 2 (the backlog-limited burst)", res.Outstanding)
+	}
+	if res.Outstanding >= d.Concurrency {
+		t.Errorf("outstanding %d not below concurrency %d", res.Outstanding, d.Concurrency)
+	}
+}
+
 func TestDriverStallsGracefully(t *testing.T) {
 	// A server that accepts but never answers: the driver must give up
 	// rather than loop forever.
