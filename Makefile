@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-smoke obsv-smoke chaos-smoke eval examples cover clean
+.PHONY: all build test vet bench bench-smoke obsv-smoke chaos-smoke trace-smoke eval examples cover clean
 
 all: build vet test
 
@@ -55,6 +55,41 @@ chaos-smoke:
 		-trace-out /tmp/fire-chaos.jsonl > /dev/null
 	$(GO) run ./cmd/obsvlint -schema trace /tmp/fire-chaos.jsonl
 	@echo chaos-smoke OK
+
+# Request-tracing smoke: the full round trip. A chaos soak exports the
+# campaign-global span log; obsvlint validates schema AND trace-ID
+# causality (every req-start reaches exactly one terminal, no orphaned
+# trace references); firetrace must pass -strict and emit the analysis,
+# Chrome trace and folded stacks; then the chaos run and an nginx
+# observability run are repeated and every artifact must compare
+# byte-for-byte — the determinism contract behind all trace tooling.
+trace-smoke:
+	$(GO) build -o /tmp/firebench-bin ./cmd/firebench
+	$(GO) build -o /tmp/obsvlint-bin ./cmd/obsvlint
+	$(GO) build -o /tmp/firetrace-bin ./cmd/firetrace
+	/tmp/firebench-bin -experiment chaos -requests 30 -faults 2 \
+		-concurrency 2 -parallel 4 \
+		-trace-out /tmp/fire-trace-smoke.jsonl > /dev/null
+	/tmp/obsvlint-bin -schema trace -causality /tmp/fire-trace-smoke.jsonl
+	/tmp/firebench-bin -experiment nginx -requests 60 \
+		-trace-out /tmp/fire-trace-nginx.jsonl \
+		-profile /tmp/fire-trace-prof.jsonl > /dev/null
+	/tmp/obsvlint-bin -schema trace -causality /tmp/fire-trace-nginx.jsonl
+	/tmp/firetrace-bin -strict -breakdown -timeline 3 \
+		-chrome /tmp/fire-trace-chrome.json \
+		-folded /tmp/fire-trace-folded.txt -profile /tmp/fire-trace-prof.jsonl \
+		/tmp/fire-trace-smoke.jsonl > /tmp/fire-trace-report.txt
+	/tmp/firebench-bin -experiment chaos -requests 30 -faults 2 \
+		-concurrency 2 -parallel 4 \
+		-trace-out /tmp/fire-trace-smoke2.jsonl > /dev/null
+	cmp /tmp/fire-trace-smoke.jsonl /tmp/fire-trace-smoke2.jsonl
+	cp /tmp/fire-trace-smoke2.jsonl /tmp/fire-trace-smoke.jsonl
+	/tmp/firetrace-bin -strict -breakdown -timeline 3 \
+		-chrome /tmp/fire-trace-chrome2.json \
+		/tmp/fire-trace-smoke.jsonl > /tmp/fire-trace-report2.txt
+	cmp /tmp/fire-trace-report.txt /tmp/fire-trace-report2.txt
+	cmp /tmp/fire-trace-chrome.json /tmp/fire-trace-chrome2.json
+	@echo trace-smoke OK
 
 examples:
 	$(GO) run ./examples/quickstart

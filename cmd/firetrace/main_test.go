@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func loadSpans(t *testing.T, path string) *report {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spans, err := parseSpans(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analyze(spans)
+}
+
+func TestAnalyzeSample(t *testing.T) {
+	rep := loadSpans(t, "testdata/sample.jsonl")
+	if len(rep.Requests) != 4 {
+		t.Fatalf("requests = %d, want 4", len(rep.Requests))
+	}
+	want := []struct {
+		trace   int64
+		outcome string
+		rung    string
+		latency int64
+	}{
+		{1, outDoneOK, "clean", 100},
+		{2, outDoneBad, "injected", 400},
+		{3, outLost, "shed", 160},
+		{4, outDoneOK, "clean", 100},
+	}
+	for i, w := range want {
+		r := rep.Requests[i]
+		if r.Trace != w.trace || r.Outcome != w.outcome || r.Rung != w.rung || r.Latency() != w.latency {
+			t.Errorf("request %d = {trace %d %s rung=%s lat=%d}, want %+v",
+				i, r.Trace, r.Outcome, r.Rung, r.Latency(), w)
+		}
+	}
+	if len(rep.Orphans) != 0 {
+		t.Errorf("orphans = %v", rep.Orphans)
+	}
+	if errs := rep.violations(); len(errs) != 0 {
+		t.Errorf("violations on clean trace: %v", errs)
+	}
+
+	sum := rep.summary("testdata/sample.jsonl")
+	for _, w := range []string{
+		"18 spans, 4 requests",
+		"done-ok=2 done-bad=1 lost=1 unterminated=0; orphaned trace refs: 0",
+		"clean=2 aborted=0 recovered=0 injected=1 shed=1",
+	} {
+		if !strings.Contains(sum, w) {
+			t.Errorf("summary missing %q:\n%s", w, sum)
+		}
+	}
+}
+
+func TestBreakdownCycleAccounting(t *testing.T) {
+	rep := loadSpans(t, "testdata/sample.jsonl")
+	b := rep.breakdown()
+	// begin@110→commit@150 = 40 committed; begin@310→crash@400 plus
+	// begin@820→crash@900 = 170 aborted; recovered latency=50; reboot
+	// backoff=5000.
+	for _, w := range []string{
+		"tx-committed             40        1",
+		"tx-aborted              170        2",
+		"rollback                 50        1",
+		"reboot-wait            5000        1",
+	} {
+		if !strings.Contains(b, w) {
+			t.Errorf("breakdown missing %q:\n%s", w, b)
+		}
+	}
+	// Lost requests stay out of the latency table: only the two done-ok
+	// (100 cycles each) and the injected done-bad (400) are ranked.
+	if !strings.Contains(b, "all-done         3") {
+		t.Errorf("all-done row wrong:\n%s", b)
+	}
+}
+
+func TestViolations(t *testing.T) {
+	rep := loadSpans(t, "testdata/violations.jsonl")
+	errs := rep.violations()
+	joined := strings.Join(errs, "\n")
+	for _, w := range []string{
+		"trace 10: no terminal span",
+		"trace 11: orphaned trace reference",
+		"trace 12: duplicate terminal span",
+	} {
+		if !strings.Contains(joined, w) {
+			t.Errorf("missing violation %q in:\n%s", w, joined)
+		}
+	}
+	if len(errs) != 3 {
+		t.Errorf("got %d violations, want 3:\n%s", len(errs), joined)
+	}
+}
+
+func TestTimelineDeterministic(t *testing.T) {
+	rep := loadSpans(t, "testdata/sample.jsonl")
+	tl := rep.timeline(2)
+	if !strings.Contains(tl, "Slowest 2 terminated requests:") {
+		t.Fatalf("timeline header wrong:\n%s", tl)
+	}
+	// Slowest first: trace 2 (400 cycles), then trace 3 (160).
+	i2, i3 := strings.Index(tl, "trace 2:"), strings.Index(tl, "trace 3:")
+	if i2 < 0 || i3 < 0 || i2 > i3 {
+		t.Errorf("timeline order wrong:\n%s", tl)
+	}
+	if tl != rep.timeline(2) {
+		t.Error("timeline not deterministic")
+	}
+}
+
+func TestWriteChromeIsValidJSON(t *testing.T) {
+	rep := loadSpans(t, "testdata/sample.jsonl")
+	var buf bytes.Buffer
+	if err := rep.writeChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome output is not JSON: %v\n%s", err, buf.String())
+	}
+	var slices, instants, requests int
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "X":
+			if e["cat"] == "request" {
+				requests++
+			} else {
+				slices++
+			}
+		case "i":
+			instants++
+		}
+	}
+	// 3 tx slices (commit + two crashes), 4 terminated requests, and
+	// instants for crash/recovered/inject/shed/reboot events.
+	if slices != 3 || requests != 4 || instants == 0 {
+		t.Errorf("chrome events: %d tx slices, %d requests, %d instants\n%s",
+			slices, requests, instants, buf.String())
+	}
+	var again bytes.Buffer
+	if err := rep.writeChrome(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("chrome export not deterministic")
+	}
+}
+
+func TestWriteFolded(t *testing.T) {
+	pf, err := os.Open("testdata/profile.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	var buf bytes.Buffer
+	if err := writeFolded(&buf, pf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "serve_request 400\nlib:memcpy 500\n"
+	if got != want {
+		t.Errorf("folded = %q, want %q", got, want)
+	}
+}

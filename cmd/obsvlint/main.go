@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	obsvlint -schema trace|metrics|profile FILE...
+//	obsvlint -schema trace|metrics|profile [-causality] FILE...
 //
 // Every non-empty line must be a JSON object. Per schema:
 //
@@ -14,6 +14,17 @@
 //	metrics: "type" and "name" non-empty; histograms carry counts with
 //	         len(buckets)+1 entries
 //	profile: "type" one of func/libsite/total, exactly one terminal total
+//
+// Errors are reported per line (capped at 25 per file) and linting
+// continues past each one, so a corrupt line cannot mask later damage;
+// any error makes the exit status non-zero.
+//
+// -causality additionally validates the trace-ID causal chains of a
+// trace file: every req-start reaches exactly one terminal (req-done or
+// req-lost), a req-done never appears for a request that was never
+// started, and no other span references a trace with no req-start. A
+// req-lost without a req-start is legal — the request was delivered but
+// the server died before reading it.
 package main
 
 import (
@@ -22,7 +33,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 )
+
+// maxErrors caps the per-file error report so a thoroughly corrupt file
+// stays readable; the suppressed remainder is summarized in one line.
+const maxErrors = 25
 
 func main() {
 	os.Exit(run())
@@ -30,15 +46,23 @@ func main() {
 
 func run() int {
 	schema := flag.String("schema", "", "expected schema: trace, metrics or profile")
+	causality := flag.Bool("causality", false, "validate trace-ID causal chains (trace schema only)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "obsvlint: no files given")
 		return 2
 	}
+	if *causality && *schema != "trace" {
+		fmt.Fprintln(os.Stderr, "obsvlint: -causality requires -schema trace")
+		return 2
+	}
 	bad := 0
 	for _, path := range flag.Args() {
-		if err := lintFile(path, *schema); err != nil {
-			fmt.Fprintf(os.Stderr, "obsvlint: %s: %v\n", path, err)
+		errs := lintFile(path, *schema, *causality)
+		if len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintf(os.Stderr, "obsvlint: %s: %s\n", path, e)
+			}
 			bad++
 		} else {
 			fmt.Printf("obsvlint: %s: ok\n", path)
@@ -50,12 +74,98 @@ func run() int {
 	return 0
 }
 
-func lintFile(path, schema string) error {
+// causalState accumulates the trace-ID chains of one file.
+type causalState struct {
+	started   map[int64]int
+	terminals map[int64]int
+	lostOnly  map[int64]bool // terminal was req-lost (legal without a start)
+	refs      map[int64]bool
+}
+
+func newCausalState() *causalState {
+	return &causalState{
+		started:   map[int64]int{},
+		terminals: map[int64]int{},
+		lostOnly:  map[int64]bool{},
+		refs:      map[int64]bool{},
+	}
+}
+
+// observe folds one span into the causal state.
+func (c *causalState) observe(kind string, trace int64) {
+	switch kind {
+	case "req-start":
+		c.started[trace]++
+	case "req-done":
+		c.terminals[trace]++
+	case "req-lost":
+		c.terminals[trace]++
+		c.lostOnly[trace] = true
+	default:
+		if trace != 0 {
+			c.refs[trace] = true
+		}
+	}
+}
+
+// errors reports every causal violation, in ascending trace order.
+func (c *causalState) errors(report func(format string, args ...any)) {
+	for _, tr := range sortedKeys(c.started) {
+		if n := c.started[tr]; n != 1 {
+			report("trace %d: %d req-start spans, want 1", tr, n)
+		}
+		if n := c.terminals[tr]; n != 1 {
+			report("trace %d: %d terminal spans, want 1", tr, n)
+		}
+	}
+	for _, tr := range sortedKeys(c.terminals) {
+		if c.started[tr] == 0 && !c.lostOnly[tr] {
+			report("trace %d: req-done without req-start", tr)
+		}
+	}
+	refs := map[int64]int{}
+	for tr := range c.refs {
+		refs[tr] = 1
+	}
+	for _, tr := range sortedKeys(refs) {
+		if c.started[tr] == 0 {
+			report("trace %d: orphaned trace reference (no req-start)", tr)
+		}
+	}
+}
+
+// sortedKeys returns the map's keys in ascending order (deterministic
+// error output).
+func sortedKeys(m map[int64]int) []int64 {
+	keys := make([]int64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// lintFile validates one file and returns every finding (nil = clean).
+// It never stops at the first bad line: schema state resynchronizes past
+// each error so the rest of the file is still checked.
+func lintFile(path, schema string, causality bool) []string {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return []string{err.Error()}
 	}
 	defer f.Close()
+
+	var (
+		errs       []string
+		suppressed int
+	)
+	report := func(format string, args ...any) {
+		if len(errs) >= maxErrors {
+			suppressed++
+			return
+		}
+		errs = append(errs, fmt.Sprintf(format, args...))
+	}
 
 	var (
 		lineNo     int
@@ -64,6 +174,7 @@ func lintFile(path, schema string) error {
 		lastCycles int64
 		totals     int
 	)
+	causal := newCausalState()
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -74,35 +185,47 @@ func lintFile(path, schema string) error {
 		}
 		var obj map[string]any
 		if err := json.Unmarshal(line, &obj); err != nil {
-			return fmt.Errorf("line %d: invalid JSON: %v", lineNo, err)
+			report("line %d: invalid JSON: %v", lineNo, err)
+			continue
 		}
 		objects++
 		switch schema {
 		case "trace":
 			seq, ok := num(obj["seq"])
 			if !ok || seq != lastSeq+1 {
-				return fmt.Errorf("line %d: seq = %v, want %d", lineNo, obj["seq"], lastSeq+1)
+				report("line %d: seq = %v, want %d", lineNo, obj["seq"], lastSeq+1)
 			}
-			lastSeq = seq
+			if ok {
+				lastSeq = seq // resync so one gap doesn't cascade
+			} else {
+				lastSeq++
+			}
 			cyc, ok := num(obj["cycles"])
 			if !ok || cyc < lastCycles {
-				return fmt.Errorf("line %d: cycles = %v went backwards (last %d)", lineNo, obj["cycles"], lastCycles)
+				report("line %d: cycles = %v went backwards (last %d)", lineNo, obj["cycles"], lastCycles)
 			}
-			lastCycles = cyc
-			if s, _ := obj["kind"].(string); s == "" {
-				return fmt.Errorf("line %d: missing kind", lineNo)
+			if ok && cyc > lastCycles {
+				lastCycles = cyc
+			}
+			kind, _ := obj["kind"].(string)
+			if kind == "" {
+				report("line %d: missing kind", lineNo)
+			}
+			if causality {
+				trace, _ := num(obj["trace"])
+				causal.observe(kind, trace)
 			}
 		case "metrics":
 			typ, _ := obj["type"].(string)
 			name, _ := obj["name"].(string)
 			if typ == "" || name == "" {
-				return fmt.Errorf("line %d: missing type/name", lineNo)
+				report("line %d: missing type/name", lineNo)
 			}
 			if typ == "histogram" {
 				buckets, _ := obj["buckets"].([]any)
 				counts, _ := obj["counts"].([]any)
 				if len(counts) != len(buckets)+1 {
-					return fmt.Errorf("line %d: %d counts for %d buckets", lineNo, len(counts), len(buckets))
+					report("line %d: %d counts for %d buckets", lineNo, len(counts), len(buckets))
 				}
 			}
 		case "profile":
@@ -111,24 +234,30 @@ func lintFile(path, schema string) error {
 			case "total":
 				totals++
 			default:
-				return fmt.Errorf("line %d: unknown profile row type %q", lineNo, obj["type"])
+				report("line %d: unknown profile row type %q", lineNo, obj["type"])
 			}
 		case "":
 			// Schema-less: any JSON object stream passes.
 		default:
-			return fmt.Errorf("unknown schema %q", schema)
+			return []string{fmt.Sprintf("unknown schema %q", schema)}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		report("%v", err)
 	}
 	if objects == 0 {
-		return fmt.Errorf("no JSONL objects")
+		report("no JSONL objects")
 	}
 	if schema == "profile" && totals != 1 {
-		return fmt.Errorf("%d total rows, want exactly 1", totals)
+		report("%d total rows, want exactly 1", totals)
 	}
-	return nil
+	if causality {
+		causal.errors(report)
+	}
+	if suppressed > 0 {
+		errs = append(errs, fmt.Sprintf("... %d more errors suppressed", suppressed))
+	}
+	return errs
 }
 
 // num coerces a decoded JSON number to int64.

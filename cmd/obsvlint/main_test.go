@@ -1,0 +1,83 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLintCorruptFileReportsEveryLine is the regression test for the
+// stop-at-first-error behavior: a corrupt line used to mask every later
+// problem in the file. The linter must now report each damaged line and
+// keep validating past it.
+func TestLintCorruptFileReportsEveryLine(t *testing.T) {
+	errs := lintFile("testdata/corrupt.jsonl", "trace", false)
+	if len(errs) == 0 {
+		t.Fatal("corrupt file linted clean")
+	}
+	wants := []string{
+		"line 2: invalid JSON",
+		"line 3: invalid JSON",
+		"line 4: seq = 4, want 2",
+		"line 5: missing kind",
+	}
+	joined := strings.Join(errs, "\n")
+	for _, w := range wants {
+		if !strings.Contains(joined, w) {
+			t.Errorf("missing error %q in:\n%s", w, joined)
+		}
+	}
+	if len(errs) != len(wants) {
+		t.Errorf("got %d errors, want %d:\n%s", len(errs), len(wants), joined)
+	}
+}
+
+func TestLintCausality(t *testing.T) {
+	// Schema-only: the file is well-formed JSONL, so without -causality
+	// it lints clean.
+	if errs := lintFile("testdata/causality.jsonl", "trace", false); len(errs) != 0 {
+		t.Fatalf("schema-only lint found errors: %v", errs)
+	}
+	errs := lintFile("testdata/causality.jsonl", "trace", true)
+	joined := strings.Join(errs, "\n")
+	wants := []string{
+		"trace 2: 0 terminal spans, want 1",
+		"trace 3: req-done without req-start",
+		"trace 5: orphaned trace reference",
+	}
+	for _, w := range wants {
+		if !strings.Contains(joined, w) {
+			t.Errorf("missing error %q in:\n%s", w, joined)
+		}
+	}
+	if len(errs) != len(wants) {
+		t.Errorf("got %d errors, want %d:\n%s", len(errs), len(wants), joined)
+	}
+	// A req-lost without a req-start (trace 4) is legal; it must not be
+	// reported.
+	if strings.Contains(joined, "trace 4") {
+		t.Errorf("legal req-lost without start reported: %s", joined)
+	}
+}
+
+// TestLintErrorCap keeps a thoroughly corrupt file's report readable.
+func TestLintErrorCap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "storm.jsonl")
+	var sb strings.Builder
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&sb, "garbage line %d\n", i)
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errs := lintFile(path, "trace", false)
+	if len(errs) != maxErrors+1 {
+		t.Fatalf("got %d errors, want %d + summary", len(errs), maxErrors)
+	}
+	last := errs[len(errs)-1]
+	if !strings.Contains(last, "more errors suppressed") {
+		t.Errorf("no suppression summary: %q", last)
+	}
+}

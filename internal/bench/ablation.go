@@ -128,13 +128,13 @@ func (r Runner) AblationRetry() (RetryResult, error) {
 			return out, err
 		}
 		st := inst.rt.Stats()
+		// Mean via the shared histogram helper: Sum and Count are exact
+		// (only quantiles are bucketed), so this renders byte-identically
+		// to the old inline sum loop.
+		h := histOf(st.LatencyCycles)
 		var mean float64
-		if len(st.LatencyCycles) > 0 {
-			var sum int64
-			for _, l := range st.LatencyCycles {
-				sum += l
-			}
-			mean = float64(sum) / float64(len(st.LatencyCycles)) / 1000
+		if h.Count() > 0 {
+			mean = h.Mean() / 1000
 		}
 		out.Rows = append(out.Rows, RetryRow{
 			Retries:    retries,

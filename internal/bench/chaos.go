@@ -45,6 +45,11 @@ type ChaosResult struct {
 	// Spans is every campaign's merged span log concatenated on a single
 	// campaign-global clock (suitable for obsvlint's trace schema).
 	Spans []obsv.SpanEvent
+
+	// Traces is the total number of traced requests delivered across all
+	// campaigns; rebasing gives them campaign-global IDs 1..Traces, and
+	// every one must reach exactly one terminal span in Spans.
+	Traces int64
 }
 
 // chaosKinds are the fault models the soak sweeps: the paper's fail-stop
@@ -113,9 +118,12 @@ func (r Runner) Chaos() (ChaosResult, error) {
 	}
 
 	// Reduce in job order so the render and the combined span log are
-	// byte-identical for every Parallelism setting.
+	// byte-identical for every Parallelism setting. Cycles are rebased
+	// onto a campaign-global clock and trace IDs onto a campaign-global
+	// ID space, so the merged log stays causally valid (obsvlint
+	// -causality) across campaigns.
 	rowIdx := map[string]int{}
-	var clock int64
+	var clock, traceBase int64
 	for i, j := range jobs {
 		lr := runs[i]
 		key := j.app.Name + "/" + j.kind.String()
@@ -150,11 +158,16 @@ func (r Runner) Chaos() (ChaosResult, error) {
 		}
 		for _, e := range lr.Spans {
 			e.Cycles += clock
+			if e.Trace != 0 {
+				e.Trace += traceBase
+			}
 			e.Seq = 0
 			out.Spans = append(out.Spans, e)
 		}
 		clock += lr.Sup.ClockCycles
+		traceBase += lr.Traces
 	}
+	out.Traces = traceBase
 	return out, nil
 }
 

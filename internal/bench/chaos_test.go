@@ -7,6 +7,7 @@ import (
 
 	"github.com/firestarter-go/firestarter/internal/apps"
 	"github.com/firestarter-go/firestarter/internal/faultinj"
+	"github.com/firestarter-go/firestarter/internal/obsv"
 	"github.com/firestarter-go/firestarter/internal/supervisor"
 )
 
@@ -49,6 +50,31 @@ func TestChaosAttributesEveryFault(t *testing.T) {
 		}
 		if i > 0 && e.Cycles < res.Spans[i-1].Cycles {
 			t.Fatalf("span %d cycles %d < previous %d", i, e.Cycles, res.Spans[i-1].Cycles)
+		}
+	}
+	// After cycle/trace rebasing the merged log must stay causally valid:
+	// every traced request reaches exactly one terminal and no span
+	// references a trace that was never delivered.
+	if errs := traceCausality(res.Spans); len(errs) > 0 {
+		if len(errs) > 10 {
+			errs = errs[:10]
+		}
+		t.Errorf("merged chaos spans violate trace causality:\n  %s", strings.Join(errs, "\n  "))
+	}
+	// 100% of delivered requests must be attributed to a terminal
+	// outcome — IDs are campaign-global 1..Traces after rebasing.
+	terminals := map[int64]bool{}
+	for _, e := range res.Spans {
+		if e.Kind == obsv.SpanReqDone || e.Kind == obsv.SpanReqLost {
+			terminals[e.Trace] = true
+		}
+	}
+	if int64(len(terminals)) != res.Traces {
+		t.Errorf("%d distinct terminal traces, %d requests delivered", len(terminals), res.Traces)
+	}
+	for tr := int64(1); tr <= res.Traces; tr++ {
+		if !terminals[tr] {
+			t.Fatalf("trace %d has no terminal span", tr)
 		}
 	}
 	var buf bytes.Buffer

@@ -28,6 +28,15 @@ type ladderRun struct {
 	Sheds         int64
 	ShedConnsLost int64
 
+	// Request-trace accounting summed across incarnations (hardened
+	// campaigns only): starts and terminal outcomes as the runtime saw
+	// them, plus the total trace IDs the drivers consumed — the campaign's
+	// ID space is [1, Traces], which Chaos rebases per campaign.
+	ReqStarts int64
+	ReqsDone  int64
+	ReqsLost  int64
+	Traces    int64
+
 	Sup supervisor.Stats
 
 	// Spans holds every incarnation's runtime span events rebased onto the
@@ -78,10 +87,19 @@ func (r Runner) ladderRun(app *apps.App, o bootOpts, sc supervisor.Config) (*lad
 			Concurrency: r.Concurrency,
 			Seed:        seed,
 		}
+		if inst.rt != nil {
+			// Trace every request; IDs continue where the previous
+			// incarnation stopped so the campaign's causal chains never
+			// collide. (Guarded: a typed-nil *core.Runtime in the
+			// interface would defeat the driver's nil check.)
+			d.Sink = inst.rt
+			d.TraceBase = lr.Traces
+		}
 		res := d.Run(remaining)
 		lr.Completed += res.Completed
 		lr.Failed += res.BadResp
 		lr.Cycles += res.Cycles
+		lr.Traces += int64(res.Sent)
 		remaining -= res.Completed + res.BadResp
 
 		rr := supervisor.RunResult{Cycles: inst.m.Cycles}
@@ -93,6 +111,9 @@ func (r Runner) ladderRun(app *apps.App, o bootOpts, sc supervisor.Config) (*lad
 			lr.Unrecovered += st.Unrecovered
 			lr.Sheds += st.Sheds
 			lr.ShedConnsLost += st.ShedConnsLost
+			lr.ReqStarts += st.ReqStarts
+			lr.ReqsDone += st.ReqsDone
+			lr.ReqsLost += st.ReqsLost
 			for _, e := range inst.rt.Spans() {
 				e.Cycles += offset
 				e.Seq = 0
@@ -203,6 +224,10 @@ func (l *ladderRun) reconcile() []string {
 		errs = append(errs, fmt.Sprintf("silent deaths: state_lost %d != restarts %d + breaker %d", got, int64(l.Sup.Restarts), breaker))
 	}
 
+	check("core.req_starts", l.Registry.Total("core.req_starts"), l.ReqStarts)
+	check("core.req_done", l.Registry.Total("core.req_done"), l.ReqsDone)
+	check("core.req_lost", l.Registry.Total("core.req_lost"), l.ReqsLost)
+
 	// Span log cross-check (skipped if the bounded log overflowed).
 	if l.Dropped == 0 {
 		counts := map[string]int64{}
@@ -213,6 +238,58 @@ func (l *ladderRun) reconcile() []string {
 		check("span:"+obsv.SpanReboot, counts[obsv.SpanReboot], int64(l.Sup.Restarts))
 		check("span:"+obsv.SpanBreakerOpen, counts[obsv.SpanBreakerOpen], breaker)
 		check("span:"+obsv.SpanUnrecovered, counts[obsv.SpanUnrecovered], l.Unrecovered)
+		check("span:"+obsv.SpanReqStart, counts[obsv.SpanReqStart], l.ReqStarts)
+		check("span:"+obsv.SpanReqDone, counts[obsv.SpanReqDone], l.ReqsDone)
+		check("span:"+obsv.SpanReqLost, counts[obsv.SpanReqLost], l.ReqsLost)
+		errs = append(errs, traceCausality(l.Spans)...)
+	}
+	return errs
+}
+
+// traceCausality validates the trace-ID causal chains of a span log:
+// every req-start has exactly one terminal (req-done or req-lost), a
+// req-done never appears for a request the server never started reading,
+// and no recovery/transaction span references a trace with no req-start
+// (orphaned trace reference). A req-lost without a req-start is legal —
+// the request was delivered but the server died before reading it.
+func traceCausality(spans []obsv.SpanEvent) []string {
+	var errs []string
+	started := map[int64]int{}
+	terminals := map[int64]int{}
+	doneNoStartOK := map[int64]bool{}
+	refs := map[int64]bool{}
+	for _, e := range spans {
+		switch e.Kind {
+		case obsv.SpanReqStart:
+			started[e.Trace]++
+		case obsv.SpanReqDone:
+			terminals[e.Trace]++
+		case obsv.SpanReqLost:
+			terminals[e.Trace]++
+			doneNoStartOK[e.Trace] = true
+		default:
+			if e.Trace != 0 {
+				refs[e.Trace] = true
+			}
+		}
+	}
+	for tr, n := range started {
+		if n != 1 {
+			errs = append(errs, fmt.Sprintf("trace %d: %d req-start spans, want 1", tr, n))
+		}
+		if terminals[tr] != 1 {
+			errs = append(errs, fmt.Sprintf("trace %d: %d terminal spans, want 1", tr, terminals[tr]))
+		}
+	}
+	for tr := range terminals {
+		if started[tr] == 0 && !doneNoStartOK[tr] {
+			errs = append(errs, fmt.Sprintf("trace %d: req-done without req-start", tr))
+		}
+	}
+	for tr := range refs {
+		if started[tr] == 0 {
+			errs = append(errs, fmt.Sprintf("trace %d: orphaned trace reference (no req-start)", tr))
+		}
 	}
 	return errs
 }

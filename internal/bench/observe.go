@@ -21,7 +21,14 @@ type ObserveResult struct {
 	Registry *obsv.Registry
 	Profile  *obsv.Profile
 	TopN     int
-	errors   []string
+
+	// RecoveryEvents is the trap→resume recovery-latency distribution
+	// (Stats().LatencyCycles rebuilt as a histogram); the per-request
+	// clean/recovery split lives on Workload.CleanLatency /
+	// Workload.RecoveryLatency.
+	RecoveryEvents *obsv.Hist
+
+	errors []string
 }
 
 // Observe boots the named app hardened (default config, the Fig. 7
@@ -50,19 +57,22 @@ func (r Runner) Observe(appName string) (*ObserveResult, error) {
 		Concurrency: r.Concurrency,
 		Seed:        r.Seed,
 		Metrics:     reg,
+		Sink:        inst.rt,
 	}
 	res := d.Run(r.Requests)
 	prof.Finish(inst.m.Cycles, inst.m.Steps)
 	inst.rt.PublishMetrics(reg)
 
+	recovery := histOf(inst.rt.Stats().LatencyCycles)
 	out := &ObserveResult{
-		App:      appName,
-		Workload: res,
-		Spans:    inst.rt.Spans(),
-		Dropped:  inst.rt.TraceDropped(),
-		Registry: reg,
-		Profile:  prof,
-		TopN:     12,
+		App:            appName,
+		Workload:       res,
+		Spans:          inst.rt.Spans(),
+		Dropped:        inst.rt.TraceDropped(),
+		Registry:       reg,
+		Profile:        prof,
+		TopN:           12,
+		RecoveryEvents: recovery,
 	}
 	out.reconcile(inst)
 	if len(out.errors) > 0 {
@@ -106,6 +116,58 @@ func (o *ObserveResult) reconcile(inst *instance) {
 		check("span commits vs commit counters", commits, st.HTMCommits+st.STMCommits)
 	}
 
+	// Request tracing: every span surface must agree with the runtime's
+	// request counters, and the driver's latency split must account for
+	// exactly the requests that reached a terminal req-done.
+	check("metrics core.req_starts vs Stats", reg.Total("core.req_starts"), st.ReqStarts)
+	check("metrics core.req_done vs Stats", reg.Total("core.req_done"), st.ReqsDone)
+	check("metrics core.req_lost vs Stats", reg.Total("core.req_lost"), st.ReqsLost)
+	check("req terminals vs sent", st.ReqsDone+st.ReqsLost, int64(o.Workload.Sent))
+	clean, recovered := o.Workload.CleanLatency, o.Workload.RecoveryLatency
+	check("latency split count vs req_done", clean.Count()+recovered.Count(), st.ReqsDone)
+	if o.Dropped == 0 {
+		// Replay the span log in emission order: a request lands in the
+		// recovery-touched split iff a recovery span referenced its trace
+		// before its terminal req-done — the same order-sensitive rule the
+		// runtime applies live, reproduced here purely from the log.
+		var reqStarts, reqDone, reqLost, touchedDone int64
+		touched := map[int64]bool{}
+		for _, e := range o.Spans {
+			switch e.Kind {
+			case obsv.SpanReqStart:
+				reqStarts++
+			case obsv.SpanReqDone:
+				reqDone++
+				if touched[e.Trace] {
+					touchedDone++
+				}
+			case obsv.SpanReqLost:
+				reqLost++
+			default:
+				if e.Trace != 0 && recoverySpanKind(e.Kind) {
+					touched[e.Trace] = true
+				}
+			}
+		}
+		check("span req-start vs Stats", reqStarts, st.ReqStarts)
+		check("span req-done vs Stats", reqDone, st.ReqsDone)
+		check("span req-lost vs Stats", reqLost, st.ReqsLost)
+		check("recovery-touched req-done vs latency split", touchedDone, recovered.Count())
+	}
+
+	// The recovery-event histogram must reproduce Stats().LatencyCycles
+	// exactly on its lossless surfaces (count, sum, max).
+	var latSum, latMax int64
+	for _, v := range st.LatencyCycles {
+		latSum += v
+		if v > latMax {
+			latMax = v
+		}
+	}
+	check("recovery hist count vs LatencyCycles", o.RecoveryEvents.Count(), int64(len(st.LatencyCycles)))
+	check("recovery hist sum vs LatencyCycles", o.RecoveryEvents.Sum(), latSum)
+	check("recovery hist max vs LatencyCycles", o.RecoveryEvents.Max(), latMax)
+
 	// Profiler: flat attribution must sum to the machine's charged total.
 	var flat int64
 	for _, f := range o.Profile.Funcs() {
@@ -113,6 +175,26 @@ func (o *ObserveResult) reconcile(inst *instance) {
 	}
 	check("profiler flat sum vs machine cycles", flat, inst.m.Cycles)
 	check("profiler total vs machine cycles", o.Profile.TotalCycles(), inst.m.Cycles)
+}
+
+// histOf builds a histogram over a sample slice.
+func histOf(samples []int64) *obsv.Hist {
+	h := obsv.NewHist()
+	for _, v := range samples {
+		h.Observe(v)
+	}
+	return h
+}
+
+// recoverySpanKind reports whether a span kind marks recovery machinery
+// acting on a request (mirrors the runtime's touched-trace marking).
+func recoverySpanKind(kind string) bool {
+	switch kind {
+	case obsv.SpanAbort, obsv.SpanCrash, obsv.SpanRetry, obsv.SpanInject,
+		obsv.SpanLatchSTM, obsv.SpanRecovered, obsv.SpanUnrecovered, obsv.SpanShed:
+		return true
+	}
+	return false
 }
 
 // WriteTrace writes the span log as JSONL.
@@ -139,7 +221,27 @@ func (o *ObserveResult) Render() string {
 		o.App, o.Workload.Completed, o.Workload.BadResp, o.Workload.CyclesPerRequest())
 	fmt.Fprintf(&sb, "spans: %d recorded, %d dropped; metrics: %d series\n",
 		len(o.Spans), o.Dropped, o.Registry.Len())
+	sb.WriteString("\nRequest latency (cycles, delivery to validated response):\n")
+	fmt.Fprintf(&sb, "%-18s %7s %10s %10s %10s %10s %10s\n",
+		"class", "count", "p50", "p90", "p99", "p999", "max")
+	renderLatencyRow(&sb, "clean", o.Workload.CleanLatency)
+	renderLatencyRow(&sb, "recovery-touched", o.Workload.RecoveryLatency)
+	if o.RecoveryEvents.Count() > 0 {
+		p := o.RecoveryEvents.Percentiles()
+		fmt.Fprintf(&sb, "recovery events (trap->resume): count=%d p50=%d p99=%d p999=%d max=%d\n",
+			o.RecoveryEvents.Count(), p.P50, p.P99, p.P999, o.RecoveryEvents.Max())
+	}
 	sb.WriteString("\nGuest profile (top by flat cycles):\n")
 	sb.WriteString(o.Profile.RenderTop(o.TopN))
 	return sb.String()
+}
+
+// renderLatencyRow prints one class of the tail-latency table.
+func renderLatencyRow(sb *strings.Builder, class string, h *obsv.Hist) {
+	if h == nil {
+		h = obsv.NewHist()
+	}
+	p := h.Percentiles()
+	fmt.Fprintf(sb, "%-18s %7d %10d %10d %10d %10d %10d\n",
+		class, h.Count(), p.P50, p.P90, p.P99, p.P999, h.Max())
 }

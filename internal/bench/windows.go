@@ -47,6 +47,10 @@ func (r Runner) TxWindows() (WindowResult, error) {
 			Transactions: len(st.TxSteps),
 			PerRequest:   float64(len(st.TxSteps)) / float64(res.Completed),
 		}
+		// Exact sorted-rank percentiles: this table is part of the default
+		// suite, whose output is pinned byte-for-byte across releases, so
+		// it must not move to the log-bucket histogram approximation the
+		// request-latency tables use.
 		if n := len(st.TxSteps); n > 0 {
 			steps := append([]int64(nil), st.TxSteps...)
 			sort.Slice(steps, func(i, j int) bool { return steps[i] < steps[j] })

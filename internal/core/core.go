@@ -209,6 +209,14 @@ type Stats struct {
 	Sheds         int64
 	ShedConnsLost int64
 
+	// Request-trace accounting: ReqStarts counts traced requests whose
+	// first bytes the server consumed; ReqsDone / ReqsLost count terminal
+	// outcomes the workload driver reported back (validated-or-rejected
+	// response vs never-completing request).
+	ReqStarts int64
+	ReqsDone  int64
+	ReqsLost  int64
+
 	// LatencyCycles holds one sample per successful recovery event: the
 	// cost-model cycles from trap to resumed execution (Fig. 5).
 	LatencyCycles []int64
@@ -277,6 +285,12 @@ type Runtime struct {
 	tracing bool
 	spanAll bool
 	spans   obsv.SpanLog
+
+	// touched marks the trace IDs of requests the recovery machinery
+	// acted on (abort, crash, retry, inject, latch, shed) — the driver's
+	// clean-vs-recovery latency split reads it back at request completion.
+	// Lazily allocated; nil until the first recovery event under tracing.
+	touched map[int64]bool
 }
 
 var _ interp.Runtime = (*Runtime)(nil)
@@ -305,6 +319,7 @@ func New(tr *transform.Result, os *libsim.OS, cfg Config) *Runtime {
 	os.SetStore(func(addr, val int64, width int) error {
 		return rt.routeStore(addr, val, width)
 	})
+	os.SetTraceHook(rt.traceStart)
 	return rt
 }
 
@@ -816,6 +831,9 @@ func (rt *Runtime) canShed() bool {
 // the transaction machinery already undid — shedding trades the dropped
 // request's partial state for the process's survival.
 func (rt *Runtime) shed(m *interp.Machine, site int, reason string) interp.Action {
+	// Capture the served request's trace before ShedConn clears the
+	// serving descriptor, so the shed span joins the right causal chain.
+	trace := rt.os.CurrentTrace()
 	fd := rt.os.ShedConn()
 	m.Restore(rt.quiesce)
 	m.Cycles += costShed
@@ -824,7 +842,8 @@ func (rt *Runtime) shed(m *interp.Machine, site int, reason string) interp.Actio
 	if fd >= 0 {
 		rt.stats.ShedConnsLost++
 	}
-	rt.emitSpan(obsv.SpanShed, site, "", reason,
+	rt.markTouched(trace)
+	rt.emitSpanTrace(obsv.SpanShed, site, trace, "", reason,
 		fmt.Sprintf("fd=%d sheds=%d", fd, rt.stats.Sheds))
 	return interp.ActionContinue
 }

@@ -28,6 +28,9 @@ func (rt *Runtime) PublishMetrics(reg *obsv.Registry, labels ...obsv.Label) {
 	reg.Counter("core.deferred_runs", labels...).Add(s.DeferredRuns)
 	reg.Counter("core.sheds", labels...).Add(s.Sheds)
 	reg.Counter("core.shed_conns_lost", labels...).Add(s.ShedConnsLost)
+	reg.Counter("core.req_starts", labels...).Add(s.ReqStarts)
+	reg.Counter("core.req_done", labels...).Add(s.ReqsDone)
+	reg.Counter("core.req_lost", labels...).Add(s.ReqsLost)
 
 	reg.Gauge("core.sites_gate", labels...).Add(int64(len(s.GateSites)))
 	reg.Gauge("core.sites_embed", labels...).Add(int64(len(s.EmbedSites)))

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"github.com/firestarter-go/firestarter/internal/ir"
+	"github.com/firestarter-go/firestarter/internal/libsim"
 	"github.com/firestarter-go/firestarter/internal/obsv"
 )
 
@@ -25,6 +26,9 @@ const (
 	EvRecovered
 	EvTruncated
 	EvShed
+	EvReqStart
+	EvReqDone
+	EvReqLost
 )
 
 // String returns the event name.
@@ -52,6 +56,12 @@ func (k EventKind) String() string {
 		return "truncated"
 	case EvShed:
 		return "shed"
+	case EvReqStart:
+		return "req-start"
+	case EvReqDone:
+		return "req-done"
+	case EvReqLost:
+		return "req-lost"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -127,6 +137,12 @@ func flatKind(e obsv.SpanEvent) EventKind {
 		return EvShed
 	case obsv.SpanTruncated:
 		return EvTruncated
+	case obsv.SpanReqStart:
+		return EvReqStart
+	case obsv.SpanReqDone:
+		return EvReqDone
+	case obsv.SpanReqLost:
+		return EvReqLost
 	default:
 		return 0
 	}
@@ -210,10 +226,52 @@ func (rt *Runtime) emit(kind EventKind, site int, detail string) {
 	rt.emitSpan(k, site, "", "", detail)
 }
 
-// emitSpan records one structured span event. The call name resolves
-// through rt.gates first and falls back to the full site table, so events
-// at embed/break sites carry their library-call name too.
+// emitSpan records one structured span event, attaching the trace ID of
+// the request currently being served (the serving connection's active
+// trace). Recovery-machinery kinds additionally mark that trace as
+// touched-by-recovery so the driver can split latency clean vs recovered.
 func (rt *Runtime) emitSpan(kind string, site int, variant, cause, detail string) {
+	if !rt.tracing {
+		return
+	}
+	var trace int64
+	if rt.os != nil {
+		trace = rt.os.CurrentTrace()
+	}
+	if trace != 0 && recoveryKind(kind) {
+		rt.markTouched(trace)
+	}
+	rt.emitSpanTrace(kind, site, trace, variant, cause, detail)
+}
+
+// recoveryKind reports whether a span kind marks recovery machinery
+// acting on the request (vs the ordinary begin/commit transaction flow).
+func recoveryKind(kind string) bool {
+	switch kind {
+	case obsv.SpanAbort, obsv.SpanCrash, obsv.SpanRetry, obsv.SpanInject,
+		obsv.SpanLatchSTM, obsv.SpanRecovered, obsv.SpanUnrecovered, obsv.SpanShed:
+		return true
+	}
+	return false
+}
+
+// markTouched records a trace as touched by recovery (no-op for trace 0
+// or when tracing is off — the nil-observer fast path allocates nothing).
+func (rt *Runtime) markTouched(trace int64) {
+	if !rt.tracing || trace == 0 {
+		return
+	}
+	if rt.touched == nil {
+		rt.touched = make(map[int64]bool)
+	}
+	rt.touched[trace] = true
+}
+
+// emitSpanTrace records one structured span event with an explicit trace
+// ID. The call name resolves through rt.gates first and falls back to the
+// full site table, so events at embed/break sites carry their
+// library-call name too.
+func (rt *Runtime) emitSpanTrace(kind string, site int, trace int64, variant, cause, detail string) {
 	if !rt.tracing {
 		return
 	}
@@ -230,6 +288,7 @@ func (rt *Runtime) emitSpan(kind string, site int, variant, cause, detail string
 	rt.spans.Append(obsv.SpanEvent{
 		Cycles:  cycles,
 		Thread:  rt.tid,
+		Trace:   trace,
 		Kind:    kind,
 		Site:    site,
 		Call:    call,
@@ -237,4 +296,39 @@ func (rt *Runtime) emitSpan(kind string, site int, variant, cause, detail string
 		Cause:   cause,
 		Detail:  detail,
 	})
+}
+
+// traceStart is the libsim trace-activation hook: the server consumed the
+// first bytes of a newly delivered traced request. It charges no cycles
+// and, with tracing off, allocates nothing.
+func (rt *Runtime) traceStart(trace int64) {
+	rt.stats.ReqStarts++
+	rt.emitSpanTrace(obsv.SpanReqStart, 0, trace, "", "", "")
+}
+
+// TraceHook exposes the activation hook so the scheduler can re-point the
+// shared OS at the running thread's runtime on context switch (the same
+// pattern as StoreFunc).
+func (rt *Runtime) TraceHook() libsim.TraceFunc { return rt.traceStart }
+
+// ReqDone implements workload.TraceSink: the driver validated (ok) or
+// rejected (!ok) a response to the traced request. It emits the terminal
+// req-done span and reports whether recovery machinery touched the
+// request — the driver's clean-vs-recovery latency split.
+func (rt *Runtime) ReqDone(trace int64, ok bool) bool {
+	rt.stats.ReqsDone++
+	detail := "ok"
+	if !ok {
+		detail = "bad"
+	}
+	rt.emitSpanTrace(obsv.SpanReqDone, 0, trace, "", "", detail)
+	return rt.touched[trace]
+}
+
+// ReqLost implements workload.TraceSink: the traced request can never
+// complete (connection died mid-request, server died, or the run ended
+// with it in flight). Emits the terminal req-lost span.
+func (rt *Runtime) ReqLost(trace int64, cause string) {
+	rt.stats.ReqsLost++
+	rt.emitSpanTrace(obsv.SpanReqLost, 0, trace, "", cause, "")
 }

@@ -773,6 +773,15 @@ func (o *OS) doRead(fd, buf, n int64) (int64, error) {
 		}
 		o.lastRead = &ReadRecord{FD: fd, Data: append([]byte(nil), data...)}
 		o.servingFD = fd
+		if c.pendingTrace != 0 {
+			// First read of a traced request: promote the pending ID to
+			// the connection's active trace and announce the activation.
+			c.trace = c.pendingTrace
+			c.pendingTrace = 0
+			if o.onTrace != nil {
+				o.onTrace(c.trace)
+			}
+		}
 		c.in = c.in[take:]
 		return take, nil
 	case FDFile:

@@ -75,6 +75,13 @@ type FD struct {
 // writes are checkpointed like program stores.
 type StoreFunc func(addr, val int64, width int) error
 
+// TraceFunc observes the activation of a request trace ID: the server
+// just consumed the first bytes of a newly delivered traced request. The
+// recovery runtime installs one to emit the req-start span; the scheduler
+// re-points it at the running thread's runtime on context switch, exactly
+// like the store hook.
+type TraceFunc func(trace int64)
+
 // ErrBlocked is returned by a call that would block (e.g. epoll_wait with
 // nothing ready); the interpreter yields to the workload driver and retries
 // the call on resume.
@@ -117,6 +124,7 @@ type OS struct {
 	stdout []byte // bytes written to fd 1/2 (program log)
 
 	store     StoreFunc
+	onTrace   TraceFunc
 	threads   ThreadOps
 	deferFree DeferFreeFunc
 	lastRead  *ReadRecord
@@ -184,6 +192,31 @@ func (o *OS) SetStore(s StoreFunc) {
 	}
 	o.store = s
 }
+
+// SetTraceHook installs the request-trace activation hook (nil disables
+// it). The hook fires from doRead when a pending trace ID is promoted to
+// the connection's active trace — no cycles are charged for it, so
+// enabling tracing never perturbs the cost model.
+func (o *OS) SetTraceHook(f TraceFunc) { o.onTrace = f }
+
+// CurrentTrace returns the trace ID of the request being served — the
+// active trace of the serving connection — or 0 when there is none.
+func (o *OS) CurrentTrace() int64 {
+	s := o.lookupFD(o.servingFD)
+	if s == nil || s.Kind != FDConn {
+		return 0
+	}
+	return s.Conn.trace
+}
+
+// ServingFD returns the raw serving descriptor (scheduler save/restore;
+// unlike ServingConnFD it does not validate liveness).
+func (o *OS) ServingFD() int64 { return o.servingFD }
+
+// SetServingFD restores a previously saved serving descriptor. The
+// scheduler swaps it per thread on context switch so each thread's notion
+// of "the request being served" survives preemption.
+func (o *OS) SetServingFD(fd int64) { o.servingFD = fd }
 
 // SetThreads installs the scheduler hook behind the pthread-style calls.
 // Without one (the single-threaded default) those calls fail with EINVAL.

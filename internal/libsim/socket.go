@@ -22,6 +22,14 @@ type Conn struct {
 	clientClosed bool // client sent FIN: reads drain then return 0
 	serverClosed bool // server closed its fd
 	reset        bool // client sent RST: reads/writes fail with ECONNRESET
+
+	// trace is the causal trace ID of the request the server is currently
+	// consuming on this connection; pendingTrace holds a delivered-but-
+	// unread request's ID until the server's first read promotes it (so a
+	// crash before the server touches the new request is never attributed
+	// to a trace that hasn't started). 0 means untraced.
+	trace        int64
+	pendingTrace int64
 }
 
 // CloseServer closes the server side of the connection.
@@ -32,6 +40,19 @@ func (c *Conn) ServerClosed() bool { return c.serverClosed }
 
 // ClientDeliver appends bytes arriving from the client (netsim side).
 func (c *Conn) ClientDeliver(data []byte) { c.in = append(c.in, data...) }
+
+// ClientDeliverTraced delivers request bytes stamped with a causal trace
+// ID. The ID becomes the connection's active trace when the server first
+// reads the bytes (see OS.SetTraceHook); until then it is only pending.
+func (c *Conn) ClientDeliverTraced(data []byte, trace int64) {
+	c.in = append(c.in, data...)
+	if trace != 0 {
+		c.pendingTrace = trace
+	}
+}
+
+// Trace returns the connection's active trace ID (0 = untraced).
+func (c *Conn) Trace() int64 { return c.trace }
 
 // ClientClose marks the client end closed (FIN).
 func (c *Conn) ClientClose() { c.clientClosed = true }

@@ -1,0 +1,154 @@
+package obsv
+
+import "math/bits"
+
+// Hist is an HDR-style log-linear histogram over non-negative int64
+// samples (cost-model cycles, instruction counts). Values below
+// histSubCount are recorded exactly; above that each power-of-two octave
+// is split into histSubCount linear sub-buckets, bounding the relative
+// quantile error at 1/histSubCount (~3%). Memory is O(log(max) * 32)
+// regardless of sample count, so unbounded request streams are safe.
+//
+// Everything is integer- and order-deterministic: two histograms fed the
+// same samples in any order report identical counts and quantiles, which
+// is what lets the bench layer reconcile a histogram rebuilt from
+// Stats().LatencyCycles exactly against one filled on the fly.
+type Hist struct {
+	counts   []int64
+	count    int64
+	sum      int64
+	min, max int64
+}
+
+// histSubBits sets the sub-bucket resolution (2^5 = 32 per octave).
+const histSubBits = 5
+
+// histSubCount is the number of exact small-value buckets and the number
+// of linear sub-buckets per octave.
+const histSubCount = 1 << histSubBits
+
+// NewHist returns an empty histogram.
+func NewHist() *Hist { return &Hist{min: -1} }
+
+// histIndex maps a non-negative value to its bucket.
+func histIndex(v int64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	// v is in [2^(n-1), 2^n); shift it into [histSubCount, 2*histSubCount)
+	// so each octave contributes histSubCount buckets.
+	n := bits.Len64(uint64(v))
+	shift := n - histSubBits - 1
+	sub := v >> shift
+	return int(sub) + histSubCount*shift
+}
+
+// histUpper returns the largest value mapping to bucket i.
+func histUpper(i int) int64 {
+	if i < histSubCount {
+		return int64(i)
+	}
+	shift := i/histSubCount - 1
+	sub := int64(i%histSubCount + histSubCount)
+	return (sub+1)<<shift - 1
+}
+
+// Observe records one sample. Negative values clamp to zero.
+func (h *Hist) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := histIndex(v)
+	if i >= len(h.counts) {
+		grown := make([]int64, i+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	if h.min < 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() int64 { return h.count }
+
+// Sum returns the exact sum of recorded samples.
+func (h *Hist) Sum() int64 { return h.sum }
+
+// Min returns the smallest recorded sample (0 when empty).
+func (h *Hist) Min() int64 {
+	if h.min < 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *Hist) Max() int64 { return h.max }
+
+// Mean returns the exact arithmetic mean (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns the value at quantile q in [0, 1] by nearest rank over
+// the buckets: the upper bound of the bucket holding the q-th sample,
+// clamped to the observed [Min, Max] so reported quantiles never exceed a
+// value that was actually recorded. Returns 0 when empty.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	rank := int64(q * float64(h.count))
+	if float64(rank) < q*float64(h.count) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			v := histUpper(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.Min() {
+				v = h.Min()
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Percentiles is the standard tail-latency readout.
+type Percentiles struct {
+	P50, P90, P99, P999 int64
+}
+
+// Percentiles returns the p50/p90/p99/p999 readout.
+func (h *Hist) Percentiles() Percentiles {
+	return Percentiles{
+		P50:  h.Quantile(0.50),
+		P90:  h.Quantile(0.90),
+		P99:  h.Quantile(0.99),
+		P999: h.Quantile(0.999),
+	}
+}

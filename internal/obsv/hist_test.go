@@ -1,0 +1,140 @@
+package obsv
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHistExactSmallValues(t *testing.T) {
+	h := NewHist()
+	for v := int64(0); v < histSubCount; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != histSubCount {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// Small values are bucketed exactly, so every quantile is the exact
+	// nearest-rank sample.
+	if got := h.Quantile(0.5); got != 15 {
+		t.Errorf("p50 = %d, want 15", got)
+	}
+	if got := h.Quantile(1.0); got != 31 {
+		t.Errorf("p100 = %d, want 31", got)
+	}
+	if h.Min() != 0 || h.Max() != 31 {
+		t.Errorf("min/max = %d/%d", h.Min(), h.Max())
+	}
+}
+
+func TestHistQuantileErrorBoundAndClamp(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHist()
+	var samples []int64
+	for i := 0; i < 5000; i++ {
+		v := rng.Int63n(1_000_000)
+		samples = append(samples, v)
+		h.Observe(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1.0} {
+		rank := int(q * float64(len(samples)))
+		if rank > 0 {
+			rank--
+		}
+		exact := samples[rank]
+		got := h.Quantile(q)
+		// Log-linear bucketing guarantees <= 1/histSubCount relative error
+		// above the exact value, and the clamp keeps it under the max.
+		hi := exact + exact/histSubCount + 1
+		if got < exact-exact/histSubCount-1 || got > hi {
+			t.Errorf("q=%v: got %d, exact %d (allowed up to %d)", q, got, exact, hi)
+		}
+		if got > h.Max() {
+			t.Errorf("q=%v: %d exceeds observed max %d", q, got, h.Max())
+		}
+	}
+	var sum int64
+	for _, v := range samples {
+		sum += v
+	}
+	if h.Sum() != sum {
+		t.Errorf("sum = %d, want %d", h.Sum(), sum)
+	}
+}
+
+func TestHistOrderIndependent(t *testing.T) {
+	vals := []int64{9, 100000, 3, 77, 77, 2048, 0, 55555, 1}
+	a, b := NewHist(), NewHist()
+	for _, v := range vals {
+		a.Observe(v)
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		b.Observe(vals[i])
+	}
+	if a.Percentiles() != b.Percentiles() {
+		t.Errorf("order-dependent percentiles: %+v vs %+v", a.Percentiles(), b.Percentiles())
+	}
+	if a.Sum() != b.Sum() || a.Count() != b.Count() || a.Max() != b.Max() || a.Min() != b.Min() {
+		t.Errorf("order-dependent aggregates")
+	}
+}
+
+func TestHistEmptyAndNegative(t *testing.T) {
+	h := NewHist()
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("empty histogram not all-zero")
+	}
+	h.Observe(-5)
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Errorf("negative sample not clamped: %+v", h)
+	}
+}
+
+func TestHistBucketContinuity(t *testing.T) {
+	// Every value maps into a bucket whose upper bound is >= the value,
+	// and indices are non-decreasing in the value.
+	last := -1
+	for v := int64(0); v < 5000; v++ {
+		i := histIndex(v)
+		if i < last {
+			t.Fatalf("index regressed at v=%d: %d < %d", v, i, last)
+		}
+		if histUpper(i) < v {
+			t.Fatalf("upper(%d)=%d < v=%d", i, histUpper(i), v)
+		}
+		last = i
+	}
+}
+
+// TestSpanLogMarkerStampedAtAppend is the regression test for the old
+// mutating-copy asymmetry: the truncated marker's Detail used to be
+// rewritten on every Events() call, so a reader could observe different
+// bytes depending on when it looked relative to concurrent Appends. The
+// marker is now stamped at append time and reads are pure copies.
+func TestSpanLogMarkerStampedAtAppend(t *testing.T) {
+	l := &SpanLog{Limit: 2}
+	for i := 0; i < 4; i++ {
+		l.Append(SpanEvent{Cycles: int64(i), Kind: SpanCrash})
+	}
+	first := l.Events()
+	if got := first[len(first)-1].Detail; got != "dropped=2 limit=2" {
+		t.Fatalf("marker detail after 2 drops = %q", got)
+	}
+	// Reading must not mutate: a second read sees identical bytes.
+	second := l.Events()
+	if first[len(first)-1] != second[len(second)-1] {
+		t.Errorf("Events() mutated the marker between reads")
+	}
+	// Further drops update the stored marker (at append time).
+	l.Append(SpanEvent{Cycles: 9, Kind: SpanCrash})
+	third := l.Events()
+	if got := third[len(third)-1].Detail; got != "dropped=3 limit=2" {
+		t.Errorf("marker detail after 3rd drop = %q", got)
+	}
+	// The returned copies are detached from the log's storage.
+	third[0].Kind = "tampered"
+	if l.Events()[0].Kind == "tampered" {
+		t.Errorf("Events() returned aliased storage")
+	}
+}

@@ -28,6 +28,17 @@ const (
 	SpanTruncated   = "truncated"
 )
 
+// Request-lifecycle span kinds (span schema v2). A request's causal chain
+// is bracketed by req-start (the server consumed its first bytes) and
+// exactly one terminal req-done (a validated — or rejected — response
+// reached the client) or req-lost (the request can never complete: its
+// connection died, the server died, or the run ended with it in flight).
+const (
+	SpanReqStart = "req-start"
+	SpanReqDone  = "req-done"
+	SpanReqLost  = "req-lost"
+)
+
 // SpanEvent is one structured transaction event, timestamped in cost-model
 // cycles. Field order is the JSONL column order; json.Marshal preserves
 // it, so encoded output is byte-deterministic.
@@ -35,6 +46,7 @@ type SpanEvent struct {
 	Seq     int64  `json:"seq"`
 	Cycles  int64  `json:"cycles"`
 	Thread  int    `json:"thread"`
+	Trace   int64  `json:"trace,omitempty"` // causal request trace ID (0 = none)
 	Kind    string `json:"kind"`
 	Site    int    `json:"site,omitempty"`
 	Call    string `json:"call,omitempty"`
@@ -68,10 +80,13 @@ func (l *SpanLog) limit() int {
 
 // Append records an event (stamping Seq) and reports whether it was
 // stored. At the cap the first refused event appends the terminal
-// truncated marker; subsequent ones only count.
+// truncated marker; subsequent ones only count. The marker's Detail is
+// stamped here — never on read — so Events, WriteJSONL and any direct
+// consumer observe the same bytes no matter when they look.
 func (l *SpanLog) Append(e SpanEvent) bool {
 	if len(l.events) >= l.limit() {
-		if l.dropped == 0 {
+		l.dropped++
+		if l.dropped == 1 {
 			l.seq++
 			l.events = append(l.events, SpanEvent{
 				Seq:    l.seq,
@@ -80,7 +95,7 @@ func (l *SpanLog) Append(e SpanEvent) bool {
 				Kind:   SpanTruncated,
 			})
 		}
-		l.dropped++
+		l.stampMarker()
 		return false
 	}
 	l.seq++
@@ -96,19 +111,19 @@ func (l *SpanLog) Len() int { return len(l.events) }
 func (l *SpanLog) Dropped() int64 { return l.dropped }
 
 // Events returns a copy of the stored events. The truncated marker's
-// Detail carries the final dropped count.
+// Detail carries the dropped count as of the last Append — reading is a
+// pure copy and never rewrites stored state.
 func (l *SpanLog) Events() []SpanEvent {
-	out := append([]SpanEvent(nil), l.events...)
-	l.stampMarker(out)
-	return out
+	return append([]SpanEvent(nil), l.events...)
 }
 
-// stampMarker fills the truncated marker's Detail with the dropped count.
-func (l *SpanLog) stampMarker(events []SpanEvent) {
-	if l.dropped == 0 || len(events) == 0 {
+// stampMarker refreshes the stored truncated marker's Detail with the
+// current dropped count (called from Append only).
+func (l *SpanLog) stampMarker() {
+	if l.dropped == 0 || len(l.events) == 0 {
 		return
 	}
-	last := &events[len(events)-1]
+	last := &l.events[len(l.events)-1]
 	if last.Kind == SpanTruncated {
 		last.Detail = fmt.Sprintf("dropped=%d limit=%d", l.dropped, l.limit())
 	}

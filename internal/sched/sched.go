@@ -83,6 +83,12 @@ type Thread struct {
 	state    int
 	waitID   int64 // mutex id (stWaitMutex) or thread id (stWaitJoin)
 	exitCode int64
+
+	// servingFD preserves the shared OS's "request being served"
+	// descriptor across preemption: saved at slice end, restored on
+	// activate, so a thread's shed rung and trace attribution never see
+	// another thread's connection.
+	servingFD int64
 }
 
 // Exited reports whether the thread has finished.
@@ -151,7 +157,7 @@ func New(prog *ir.Program, osim *libsim.OS, factory RuntimeFactory, opts Options
 		return nil, err
 	}
 	rt.Attach(m)
-	s.threads = []*Thread{{ID: 0, M: m, RT: rt, state: stRunnable}}
+	s.threads = []*Thread{{ID: 0, M: m, RT: rt, state: stRunnable, servingFD: -1}}
 	osim.SetThreads(s)
 	return s, nil
 }
@@ -202,13 +208,25 @@ func (s *Sched) TotalSteps() int64 {
 	return sum
 }
 
-// activate makes t the running thread: the shared OS's store and cycle
-// hooks point at its runtime and machine for the duration of the slice.
+// activate makes t the running thread: the shared OS's store, cycle,
+// serving-connection and trace hooks point at its runtime and machine for
+// the duration of the slice.
 func (s *Sched) activate(t *Thread) {
 	s.current = t
 	s.os.SetStore(t.RT.StoreFunc())
 	s.os.SetCycleSink(&t.M.Cycles)
+	s.os.SetServingFD(t.servingFD)
+	if th, ok := t.RT.(interface{ TraceHook() libsim.TraceFunc }); ok {
+		s.os.SetTraceHook(th.TraceHook())
+	} else {
+		s.os.SetTraceHook(nil)
+	}
 	s.pendingWait = stRunnable
+}
+
+// deactivate saves per-thread OS state at the end of t's slice.
+func (s *Sched) deactivate(t *Thread) {
+	t.servingFD = s.os.ServingFD()
 }
 
 // pickNext returns the next runnable thread in round-robin order, nil if
@@ -276,6 +294,7 @@ func (s *Sched) Run(maxSteps int64) interp.Outcome {
 		t.RT.OnResume()
 		start := t.M.Steps
 		out := t.M.Run(q)
+		s.deactivate(t)
 		used := t.M.Steps - start
 		if limited {
 			remaining -= used
@@ -363,7 +382,7 @@ func (s *Sched) Create(fnName string, arg int64) (int64, error) {
 	}
 	rt.Attach(m)
 	m.BlockHook = parent.M.BlockHook
-	s.threads = append(s.threads, &Thread{ID: tid, M: m, RT: rt, state: stRunnable})
+	s.threads = append(s.threads, &Thread{ID: tid, M: m, RT: rt, state: stRunnable, servingFD: -1})
 	return int64(tid), nil
 }
 

@@ -39,6 +39,19 @@ type Generator interface {
 	Check(req, resp []byte) bool
 }
 
+// TraceSink receives request-lifecycle notifications from a tracing
+// driver. core.Runtime implements it: terminals become req-done/req-lost
+// spans and ReqDone reports whether recovery machinery touched the
+// request, which drives the clean-vs-recovery latency split.
+type TraceSink interface {
+	// ReqDone records a validated (ok) or rejected (!ok) response for the
+	// traced request and reports whether recovery touched it.
+	ReqDone(trace int64, ok bool) bool
+	// ReqLost records a traced request that can never complete, with the
+	// cause ("conn-closed", "server-died", "stalled", "run-end").
+	ReqLost(trace int64, cause string)
+}
+
 // Result summarizes one driven run.
 type Result struct {
 	Completed  int
@@ -53,6 +66,18 @@ type Result struct {
 	// failed when the run ended — the in-flight work a crash actually
 	// kills, at most Concurrency but usually fewer near the end of a run.
 	Outstanding int
+
+	// Sent counts requests delivered to the server under tracing (the
+	// number of trace IDs consumed from TraceBase); 0 without a Sink.
+	Sent int
+
+	// CleanLatency / RecoveryLatency split per-request latency — cycles
+	// from delivery to validated response — by whether the recovery
+	// machinery touched the request (per the Sink). Only populated under
+	// tracing (Sink non-nil); requests that never complete appear in
+	// neither histogram.
+	CleanLatency    *obsv.Hist
+	RecoveryLatency *obsv.Hist
 }
 
 // PublishMetrics copies the run's outcome counters into a metrics
@@ -61,6 +86,7 @@ func (r Result) PublishMetrics(reg *obsv.Registry, labels ...obsv.Label) {
 	reg.Counter("workload.completed", labels...).Add(int64(r.Completed))
 	reg.Counter("workload.bad_resp", labels...).Add(int64(r.BadResp))
 	reg.Counter("workload.outstanding", labels...).Add(int64(r.Outstanding))
+	reg.Counter("workload.sent", labels...).Add(int64(r.Sent))
 	reg.Counter("workload.cycles", labels...).Add(r.Cycles)
 	reg.Counter("workload.steps", labels...).Add(r.Steps)
 	var died, stalled int64
@@ -103,6 +129,18 @@ type Driver struct {
 	// under a scheduler, the per-thread cycle accounting) when Run
 	// returns. Collection-time only: the drive loop never touches it.
 	Metrics *obsv.Registry
+
+	// Sink, when non-nil, turns on request tracing: every request is
+	// stamped with a deterministic trace ID (TraceBase+1, TraceBase+2, …
+	// in delivery order) and every terminal outcome is reported to the
+	// sink. Nil (the default) leaves delivery byte-identical to the
+	// untraced path.
+	Sink TraceSink
+
+	// TraceBase offsets this run's trace IDs so IDs stay unique across
+	// incarnations of a supervised campaign (each run consumes Result.Sent
+	// IDs above its base).
+	TraceBase int64
 }
 
 type clientState struct {
@@ -110,6 +148,9 @@ type clientState struct {
 	req     []byte
 	resp    []byte
 	pending bool
+
+	trace  int64 // in-flight request's trace ID (0 = untraced)
+	sentAt int64 // cycles() when the request was delivered
 }
 
 // Run completes `total` requests (or stops early on server death / stall).
@@ -124,6 +165,11 @@ func (d *Driver) Run(total int) Result {
 	}
 	rng := rand.New(rand.NewSource(d.Seed))
 	var res Result
+	if d.Sink != nil {
+		res.CleanLatency = obsv.NewHist()
+		res.RecoveryLatency = obsv.NewHist()
+	}
+	nextTrace := d.TraceBase
 
 	startCycles := d.cycles()
 	startSteps := d.steps()
@@ -158,7 +204,15 @@ func (d *Driver) Run(total int) Result {
 			}
 			if !c.pending {
 				c.req = d.Gen.Next(i, rng)
-				c.conn.ClientDeliver(c.req)
+				if d.Sink != nil {
+					nextTrace++
+					c.trace = nextTrace
+					c.sentAt = d.cycles()
+					res.Sent++
+					c.conn.ClientDeliverTraced(c.req, c.trace)
+				} else {
+					c.conn.ClientDeliver(c.req)
+				}
 				c.pending = true
 				progressed = true
 			}
@@ -184,10 +238,21 @@ func (d *Driver) Run(total int) Result {
 				}
 				resp := c.resp[:n]
 				c.resp = append([]byte(nil), c.resp[n:]...)
-				if d.Gen.Check(c.req, resp) {
+				ok := d.Gen.Check(c.req, resp)
+				if ok {
 					res.Completed++
 				} else {
 					res.BadResp++
+				}
+				if d.Sink != nil {
+					touched := d.Sink.ReqDone(c.trace, ok)
+					lat := d.cycles() - c.sentAt
+					if touched {
+						res.RecoveryLatency.Observe(lat)
+					} else {
+						res.CleanLatency.Observe(lat)
+					}
+					c.trace = 0
 				}
 				c.pending = false
 			}
@@ -195,6 +260,10 @@ func (d *Driver) Run(total int) Result {
 				// Connection died mid-request (server error path):
 				// count and reconnect on the next round.
 				res.BadResp++
+				if d.Sink != nil {
+					d.Sink.ReqLost(c.trace, "conn-closed")
+					c.trace = 0
+				}
 				c.pending = false
 				progressed = true
 			}
@@ -213,6 +282,17 @@ func (d *Driver) Run(total int) Result {
 	for _, c := range clients {
 		if c.pending {
 			res.Outstanding++
+			if d.Sink != nil {
+				cause := "run-end"
+				switch {
+				case res.ServerDied:
+					cause = "server-died"
+				case res.Stalled:
+					cause = "stalled"
+				}
+				d.Sink.ReqLost(c.trace, cause)
+				c.trace = 0
+			}
 		}
 	}
 	res.Cycles = d.cycles() - startCycles

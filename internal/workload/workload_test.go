@@ -140,6 +140,77 @@ func TestSQLGen(t *testing.T) {
 	}
 }
 
+// TestCheckRejectsTruncatedResponses drives every generator's validator
+// with responses cut off mid-frame: a reply truncated before the
+// discriminating token must never validate, for any cut point.
+func TestCheckRejectsTruncatedResponses(t *testing.T) {
+	cases := []struct {
+		name     string
+		gen      Generator
+		req      []byte
+		resp     []byte
+		keepOkAt int // shortest prefix length that may legally validate (-1: none)
+	}{
+		{"http status line", DefaultHTTPMix(),
+			[]byte("GET /index.html HTTP/1.1\r\nHost: sim\r\n\r\n"),
+			[]byte("HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n"), len("HTTP/1.1 200")},
+		{"http 404 status line", DefaultHTTPMix(),
+			[]byte("GET /missing.html HTTP/1.1\r\nHost: sim\r\n\r\n"),
+			[]byte("HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n"), len("HTTP/1.1 404")},
+		{"redis set", &RedisGen{}, []byte("SET k1 v1\n"), []byte("+OK\n"), len("+OK\n")},
+		{"redis incr", &RedisGen{}, []byte("INCR ctrk1\n"), []byte(":2\n"), len(":")},
+		{"sql insert", &SQLGen{}, []byte("INSERT 1 2\n"), []byte("OK\n"), len("OK\n")},
+		{"sql select none", &SQLGen{}, []byte("SELECT 1\n"), []byte("NONE\n"), len("NONE\n")},
+		{"sql count", &SQLGen{}, []byte("COUNT\n"), []byte("COUNT 3\n"), len("COUNT ")},
+	}
+	for _, tt := range cases {
+		if !tt.gen.Check(tt.req, tt.resp) {
+			t.Errorf("%s: full response rejected", tt.name)
+		}
+		for cut := 0; cut < tt.keepOkAt; cut++ {
+			if tt.gen.Check(tt.req, tt.resp[:cut]) {
+				t.Errorf("%s: truncated response %q accepted", tt.name, tt.resp[:cut])
+			}
+		}
+	}
+}
+
+// TestCheckRejectsInterleavedResponses feeds each validator the reply
+// that belongs to a different request kind (cross-talk on a shared
+// connection) or a frame preceded by another client's frame: none may
+// validate.
+func TestCheckRejectsInterleavedResponses(t *testing.T) {
+	httpGen := DefaultHTTPMix()
+	redis := &RedisGen{}
+	sql := &SQLGen{}
+	cases := []struct {
+		name string
+		gen  Generator
+		req  []byte
+		resp []byte
+	}{
+		{"http wrong status for path", httpGen,
+			[]byte("GET /missing.html HTTP/1.1\r\nHost: sim\r\n\r\n"),
+			[]byte("HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n")},
+		{"http other frame first", httpGen,
+			[]byte("GET /index.html HTTP/1.1\r\nHost: sim\r\n\r\n"),
+			[]byte("HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\nHTTP/1.1 200 OK\r\n\r\n")},
+		{"redis set got get reply", redis, []byte("SET k1 v1\n"), []byte("$v1\n")},
+		{"redis get got set reply", redis, []byte("GET k1\n"), []byte("+OK\n")},
+		{"redis set frame prefixed", redis, []byte("SET k1 v1\n"), []byte("$v0\n+OK\n")},
+		{"redis incr got set reply", redis, []byte("INCR ctrk1\n"), []byte("+OK\n")},
+		{"sql insert got row", sql, []byte("INSERT 1 2\n"), []byte("ROW 1 2\n")},
+		{"sql select got ok", sql, []byte("SELECT 1\n"), []byte("OK\n")},
+		{"sql insert frame appended", sql, []byte("INSERT 1 2\n"), []byte("OK\nROW 1 2\n")},
+		{"sql count got row", sql, []byte("COUNT\n"), []byte("ROW 1 2\n")},
+	}
+	for _, tt := range cases {
+		if tt.gen.Check(tt.req, tt.resp) {
+			t.Errorf("%s: interleaved response %q accepted", tt.name, tt.resp)
+		}
+	}
+}
+
 func TestForProtocol(t *testing.T) {
 	if _, ok := ForProtocol("redis").(*RedisGen); !ok {
 		t.Error("redis generator wrong type")
