@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-smoke obsv-smoke chaos-smoke trace-smoke eval examples cover clean
+.PHONY: all build test vet bench bench-smoke obsv-smoke chaos-smoke trace-smoke diff-smoke eval examples cover clean
 
 all: build vet test
 
@@ -90,6 +90,19 @@ trace-smoke:
 	cmp /tmp/fire-trace-report.txt /tmp/fire-trace-report2.txt
 	cmp /tmp/fire-trace-chrome.json /tmp/fire-trace-chrome2.json
 	@echo trace-smoke OK
+
+# Differential-execution smoke: the default firebench suite under the
+# tree-walking interpreter and the compiled bytecode backend must render
+# byte-for-byte identical output — the backend equivalence contract
+# (docs/RUNTIME.md "Bytecode backend") checked end to end.
+diff-smoke:
+	$(GO) build -o /tmp/firebench-bin ./cmd/firebench
+	/tmp/firebench-bin -backend tree -requests 40 -faults 4 \
+		-concurrency 2 -parallel 4 > /tmp/fire-diff-tree.txt
+	/tmp/firebench-bin -backend bytecode -requests 40 -faults 4 \
+		-concurrency 2 -parallel 4 > /tmp/fire-diff-bytecode.txt
+	cmp /tmp/fire-diff-tree.txt /tmp/fire-diff-bytecode.txt
+	@echo diff-smoke OK
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	firebench [-experiment <name>] [-list]
+//	firebench [-experiment <name>] [-list] [-backend tree|bytecode]
 //	          [-requests N] [-faults N] [-seed N] [-parallel N]
 //	          [-trace-out FILE] [-metrics-out FILE] [-profile FILE]
 //
@@ -13,7 +13,10 @@
 // per-app observability runs are extras, selected by name only, so the
 // default suite's output stays stable). -parallel fans each campaign's
 // isolated measurement runs across N workers; output is byte-identical
-// to a serial run for the same seed.
+// to a serial run for the same seed. -backend selects the guest
+// execution strategy (the tree-walking interpreter or the compiled
+// bytecode stream); every experiment's output is byte-identical across
+// backends, which `make diff-smoke` checks in CI.
 //
 // The observability experiments (one per app: nginx, apache, lighttpd,
 // redis, postgres) drive the hardened server with structured spans, the
@@ -249,6 +252,7 @@ func run() int {
 		seed     = flag.Int64("seed", 1, "seed for workloads, fault plans and the interrupt process")
 		conc     = flag.Int("concurrency", 4, "simulated clients")
 		parallel = flag.Int("parallel", 1, "worker pool size for measurement runs (1 = serial; results are identical)")
+		backend  = flag.String("backend", "tree", "execution backend for guest machines (tree, bytecode); output is byte-identical either way")
 	)
 	flag.StringVar(&out.traceOut, "trace-out", "", "write the structured span trace as JSONL to this file (observability experiments)")
 	flag.StringVar(&out.metricsOut, "metrics-out", "", "write the metrics registry as JSONL to this file (observability experiments)")
@@ -268,6 +272,7 @@ func run() int {
 		Seed:            *seed,
 		FaultsPerServer: *faults,
 		Parallelism:     *parallel,
+		Backend:         *backend,
 	}
 
 	ran := false

@@ -40,6 +40,13 @@ type Runner struct {
 	// Results are identical either way: every run is hermetically seeded
 	// and results are assembled in job order (see parallel.go).
 	Parallelism int
+
+	// Backend selects the interpreter execution strategy for every
+	// machine the experiments boot: "" or "tree" for the tree-walker,
+	// "bytecode" for the compiled-bytecode backend. The two are
+	// bit-identical in every observable (outcomes, cycles, stats,
+	// rendered tables); the diff-smoke harness enforces it.
+	Backend string
 }
 
 func (r Runner) withDefaults() Runner {
@@ -74,6 +81,19 @@ type bootOpts struct {
 	fault    *faultinj.Fault
 	prelatch []int
 	model    *libmodel.Model // nil = libmodel.Default()
+	backend  string          // interpreter backend (see Runner.Backend)
+}
+
+// installBackend applies a Runner.Backend selection to a machine.
+func installBackend(m *interp.Machine, backend string) error {
+	switch backend {
+	case "", "tree":
+		return nil
+	case "bytecode":
+		return interp.UseBytecode(m)
+	default:
+		return fmt.Errorf("bench: unknown backend %q (want tree or bytecode)", backend)
+	}
 }
 
 // boot compiles (optionally fault-plants, optionally hardens) and loads an
@@ -99,6 +119,9 @@ func boot(app *apps.App, o bootOpts) (*instance, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := installBackend(m, o.backend); err != nil {
+			return nil, err
+		}
 		inst.m = m
 		return inst, nil
 	}
@@ -109,6 +132,9 @@ func boot(app *apps.App, o bootOpts) (*instance, error) {
 	rt := core.New(tr, osim, o.cfg)
 	m, err := interp.New(tr.Prog, osim, rt)
 	if err != nil {
+		return nil, err
+	}
+	if err := installBackend(m, o.backend); err != nil {
 		return nil, err
 	}
 	rt.Attach(m)
@@ -155,6 +181,7 @@ func (r Runner) drive(inst *instance) workload.Result {
 // measure boots and drives, returning cycles/request plus the instance for
 // stat extraction.
 func (r Runner) measure(app *apps.App, o bootOpts) (*instance, workload.Result, error) {
+	o.backend = r.Backend
 	inst, err := boot(app, o)
 	if err != nil {
 		return nil, workload.Result{}, err
@@ -206,6 +233,12 @@ func (r Runner) planFaults(app *apps.App, kind faultinj.Kind, max int) ([]faulti
 	}
 	m, err := interp.New(prog.Clone(), osim, nil)
 	if err != nil {
+		return nil, err
+	}
+	// Fault planning profiles block execution; route it through the
+	// selected backend too (the block-hook stream is backend-invariant,
+	// which the differential harness relies on).
+	if err := installBackend(m, r.Backend); err != nil {
 		return nil, err
 	}
 	profile := faultinj.NewProfile()

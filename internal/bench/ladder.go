@@ -57,6 +57,7 @@ type ladderRun struct {
 // restart-on-crash policy. Residual work abandoned when the breaker opens
 // is counted as Failed — never silently dropped.
 func (r Runner) ladderRun(app *apps.App, o bootOpts, sc supervisor.Config) (*ladderRun, error) {
+	o.backend = r.Backend
 	lr := &ladderRun{Registry: obsv.NewRegistry()}
 	if sc.Seed == 0 {
 		sc.Seed = r.Seed

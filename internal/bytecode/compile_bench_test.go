@@ -1,0 +1,23 @@
+package bytecode
+
+import (
+	"testing"
+
+	"github.com/firestarter-go/firestarter/internal/apps"
+)
+
+func BenchmarkCompileNginx(b *testing.B) {
+	prog, err := apps.Nginx().Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := prog.Resolve(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package interp_test
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/firestarter-go/firestarter/internal/interp"
+	"github.com/firestarter-go/firestarter/internal/ir"
+	"github.com/firestarter-go/firestarter/internal/libsim"
+	"github.com/firestarter-go/firestarter/internal/mem"
+)
+
+// buildFusionProgram hand-assembles a loop hitting every superinstruction
+// pattern: the loop head is a compare-and-branch, the body increments a
+// global through a load-bin-store and the induction variable through a
+// const-into-bin. Returns 10 iterations of g += 3, so exit code 30.
+func buildFusionProgram(t testing.TB) *ir.Program {
+	t.Helper()
+	p := ir.NewProgram()
+	p.AddGlobal("g", 8, nil)
+	f := &ir.Func{Name: "main", NumRegs: 8}
+	b0 := f.NewBlock("entry")
+	b0.Instrs = []ir.Instr{
+		{Op: ir.OpGlobalAddr, Dst: 0, Name: "g"},
+		{Op: ir.OpConst, Dst: 1, Imm: 0},
+		{Op: ir.OpConst, Dst: 2, Imm: 10},
+		{Op: ir.OpJmp, Then: 1},
+	}
+	b1 := f.NewBlock("head") // fuses to cmp+br
+	b1.Instrs = []ir.Instr{
+		{Op: ir.OpBin, Dst: 3, A: 1, B: 2, Bin: ir.BinLt},
+		{Op: ir.OpBr, A: 3, Then: 2, Else: 3},
+	}
+	b2 := f.NewBlock("body") // fuses to load-bin-store and const+bin
+	b2.Instrs = []ir.Instr{
+		{Op: ir.OpConst, Dst: 6, Imm: 3},
+		{Op: ir.OpLoad, Dst: 4, A: 0, Width: 8},
+		{Op: ir.OpBin, Dst: 5, A: 4, B: 6, Bin: ir.BinAdd},
+		{Op: ir.OpStore, A: 0, B: 5, Width: 8},
+		{Op: ir.OpConst, Dst: 7, Imm: 1},
+		{Op: ir.OpBin, Dst: 1, A: 1, B: 7, Bin: ir.BinAdd},
+		{Op: ir.OpJmp, Then: 1},
+	}
+	b3 := f.NewBlock("exit")
+	b3.Instrs = []ir.Instr{
+		{Op: ir.OpLoad, Dst: 4, A: 0, Width: 8},
+		{Op: ir.OpRet, A: 4},
+	}
+	p.AddFunc(f)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// newBackendPair builds a tree-walker machine and a bytecode machine for
+// the same program (the bytecode one runs a deep copy so the two address
+// spaces are fully independent; the layout is deterministic, so addresses
+// and behaviour coincide).
+func newBackendPair(t testing.TB, prog *ir.Program, rtT, rtB interp.Runtime) (*interp.Machine, *interp.Machine) {
+	t.Helper()
+	mt, err := interp.New(prog, libsim.New(mem.NewSpace()), rtT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := interp.New(prog.Clone(), libsim.New(mem.NewSpace()), rtB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := interp.UseBytecode(mb); err != nil {
+		t.Fatal(err)
+	}
+	if mt.BackendName() != "tree" || mb.BackendName() != "bytecode" {
+		t.Fatalf("backend names = %q/%q", mt.BackendName(), mb.BackendName())
+	}
+	return mt, mb
+}
+
+func compareMachines(t *testing.T, stage string, mt, mb *interp.Machine) {
+	t.Helper()
+	if mt.Steps != mb.Steps || mt.Cycles != mb.Cycles {
+		t.Fatalf("%s: steps/cycles diverged: tree %d/%d, bytecode %d/%d",
+			stage, mt.Steps, mt.Cycles, mb.Steps, mb.Cycles)
+	}
+	if mt.Depth() != mb.Depth() || mt.CurrentFunc() != mb.CurrentFunc() {
+		t.Fatalf("%s: stack diverged: tree %d@%s, bytecode %d@%s",
+			stage, mt.Depth(), mt.CurrentFunc(), mb.Depth(), mb.CurrentFunc())
+	}
+	if mt.Exited() != mb.Exited() || mt.ExitCode() != mb.ExitCode() {
+		t.Fatalf("%s: exit diverged: tree %v/%d, bytecode %v/%d",
+			stage, mt.Exited(), mt.ExitCode(), mb.Exited(), mb.ExitCode())
+	}
+}
+
+func compareOutcomes(t *testing.T, stage string, ot, ob interp.Outcome) {
+	t.Helper()
+	if ot.Kind != ob.Kind || ot.Code != ob.Code {
+		t.Fatalf("%s: outcomes diverged: tree %v/%d, bytecode %v/%d",
+			stage, ot.Kind, ot.Code, ob.Kind, ob.Code)
+	}
+	if (ot.Trap == nil) != (ob.Trap == nil) {
+		t.Fatalf("%s: trap presence diverged", stage)
+	}
+	if ot.Trap != nil && (ot.Trap.Code != ob.Trap.Code || ot.Trap.Addr != ob.Trap.Addr || ot.Trap.PC != ob.Trap.PC) {
+		t.Fatalf("%s: traps diverged: tree %v, bytecode %v", stage, ot.Trap, ob.Trap)
+	}
+}
+
+// TestBytecodeLockstepFusionProgram single-steps both backends through the
+// fusion-heavy program: with a budget of one instruction per Run call,
+// every stop lands mid-superinstruction somewhere, so this exercises both
+// the mid-fusion budget stop and the source-level resume path.
+func TestBytecodeLockstepFusionProgram(t *testing.T) {
+	for _, quantum := range []int64{1, 2, 3, 7} {
+		prog := buildFusionProgram(t)
+		mt, mb := newBackendPair(t, prog, nil, nil)
+		for i := 0; i < 10_000; i++ {
+			ot := mt.Run(quantum)
+			ob := mb.Run(quantum)
+			compareOutcomes(t, "lockstep", ot, ob)
+			compareMachines(t, "lockstep", mt, mb)
+			if ot.Kind != interp.OutStepLimit {
+				if ot.Kind != interp.OutExited {
+					t.Fatalf("quantum %d: unexpected outcome %v", quantum, ot.Kind)
+				}
+				break
+			}
+		}
+		if !mt.Exited() || mt.ExitCode() != 30 {
+			t.Fatalf("quantum %d: tree exit = %v/%d, want 30", quantum, mt.Exited(), mt.ExitCode())
+		}
+	}
+}
+
+// TestBytecodeSnapshotRestoreInsideFusedRegion stops both backends after
+// every possible instruction count, snapshots (the bytecode machine's
+// position may be in the middle of a fused region), runs a few more
+// instructions, restores, and completes. Positions, costs and results
+// must track the tree-walker through the whole cycle.
+func TestBytecodeSnapshotRestoreInsideFusedRegion(t *testing.T) {
+	// Total step count of the program, measured on the tree-walker.
+	ref, err := interp.New(buildFusionProgram(t), libsim.New(mem.NewSpace()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := ref.Run(0); out.Kind != interp.OutExited {
+		t.Fatalf("reference run: %v", out.Kind)
+	}
+	total := ref.Steps
+
+	for k := int64(1); k < total; k++ {
+		prog := buildFusionProgram(t)
+		mt, mb := newBackendPair(t, prog, nil, nil)
+		compareOutcomes(t, "prefix", mt.Run(k), mb.Run(k))
+		compareMachines(t, "prefix", mt, mb)
+		st, sb := mt.Snapshot(), mb.Snapshot()
+		compareOutcomes(t, "overrun", mt.Run(3), mb.Run(3))
+		mt.Restore(st)
+		mb.Restore(sb)
+		compareMachines(t, "restored", mt, mb)
+		compareOutcomes(t, "finish", mt.Run(0), mb.Run(0))
+		compareMachines(t, "finish", mt, mb)
+		// Note: the exit code may exceed 30 — Restore rewinds frames, not
+		// memory (memory rollback is the recovery runtime's job), so the
+		// overrun's store to g can survive. What matters here is that both
+		// backends agree bit-for-bit, which compareMachines enforced.
+		if !mt.Exited() {
+			t.Fatalf("k=%d: did not run to completion", k)
+		}
+	}
+}
+
+// tickCountRT counts runtime ticks and reports TickLive=true, forcing the
+// bytecode backend onto its per-instruction tick path (coordinates synced
+// around every tick). Tick counts must then match the tree-walker exactly.
+type tickCountRT struct {
+	scriptRT
+	ticks int64
+}
+
+func (s *tickCountRT) TickLive() bool { return true }
+
+func (s *tickCountRT) Tick(m *interp.Machine, n int64) error {
+	s.ticks += n
+	return nil
+}
+
+// TestBytecodeGateDispatchBothVariants drives the hand-built gate program
+// (txend + lib + gate with HTM/STM continuation clones) through both
+// backends for each gate decision, comparing the full runtime event
+// sequence, tick counts, costs and results.
+func TestBytecodeGateDispatchBothVariants(t *testing.T) {
+	cases := []struct {
+		name    string
+		variant int64
+		inject  bool
+	}{
+		{"htm", ir.TxHTM, false},
+		{"stm", ir.TxSTM, false},
+		{"inject-stm", ir.TxHTM, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rtT := &tickCountRT{scriptRT: scriptRT{variant: tc.variant, inject: tc.inject}}
+			rtB := &tickCountRT{scriptRT: scriptRT{variant: tc.variant, inject: tc.inject}}
+			mt, mb := newBackendPair(t, buildGateProgram(t), rtT, rtB)
+			compareOutcomes(t, tc.name, mt.Run(1000), mb.Run(1000))
+			compareMachines(t, tc.name, mt, mb)
+			assertEvents(t, rtB.events, rtT.events)
+			if rtT.ticks != rtB.ticks {
+				t.Errorf("tick counts diverged: tree %d, bytecode %d", rtT.ticks, rtB.ticks)
+			}
+			vt, _ := mt.Space.Load(mt.GlobalAddr("g"), 8)
+			vb, _ := mb.Space.Load(mb.GlobalAddr("g"), 8)
+			if vt != vb {
+				t.Errorf("global diverged: tree %d, bytecode %d", vt, vb)
+			}
+		})
+	}
+}
+
+// TestBytecodeGateLockstep single-steps the gate program under both
+// variants: gates, txbegin/txend and libcalls must deliver the same event
+// stream even when every Run call carries a one-instruction budget.
+func TestBytecodeGateLockstep(t *testing.T) {
+	for _, variant := range []int64{ir.TxHTM, ir.TxSTM} {
+		rtT := &scriptRT{variant: variant}
+		rtB := &scriptRT{variant: variant}
+		mt, mb := newBackendPair(t, buildGateProgram(t), rtT, rtB)
+		for i := 0; i < 1000; i++ {
+			ot := mt.Run(1)
+			ob := mb.Run(1)
+			compareOutcomes(t, "gate-lockstep", ot, ob)
+			compareMachines(t, "gate-lockstep", mt, mb)
+			if ot.Kind != interp.OutStepLimit {
+				break
+			}
+		}
+		assertEvents(t, rtB.events, rtT.events)
+	}
+}
+
+// TestBytecodeDivZeroTrapPosition checks that a trap raised from inside
+// bytecode execution reports the same user-visible PC string as the
+// tree-walker (coordinates must be synced before trap construction).
+func TestBytecodeDivZeroTrapPosition(t *testing.T) {
+	p := ir.NewProgram()
+	f := &ir.Func{Name: "main", NumRegs: 3}
+	b := f.NewBlock("entry")
+	b.Instrs = []ir.Instr{
+		{Op: ir.OpConst, Dst: 0, Imm: 7},
+		{Op: ir.OpConst, Dst: 1, Imm: 0},
+		{Op: ir.OpBin, Dst: 2, A: 0, B: 1, Bin: ir.BinDiv},
+		{Op: ir.OpRet, A: 2},
+	}
+	p.AddFunc(f)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mt, mb := newBackendPair(t, p, nil, nil)
+	ot, ob := mt.Run(0), mb.Run(0)
+	compareOutcomes(t, "divzero", ot, ob)
+	if ot.Trap == nil || ot.Trap.Code != ir.TrapDivZero {
+		t.Fatalf("trap = %v, want div-zero", ot.Trap)
+	}
+}
+
+// TestThreadArgOverflowTraps is the regression test for push silently
+// truncating arguments: spawning a thread entry with more arguments than
+// the function has registers must fail-stop with TrapBadCall instead of
+// running with a dropped argument.
+func TestThreadArgOverflowTraps(t *testing.T) {
+	p := ir.NewProgram()
+	f := &ir.Func{Name: "main", NumRegs: 1}
+	b := f.NewBlock("entry")
+	b.Instrs = []ir.Instr{
+		{Op: ir.OpConst, Dst: 0, Imm: 0},
+		{Op: ir.OpRet, A: 0},
+	}
+	p.AddFunc(f)
+	w := &ir.Func{Name: "worker", Params: 0, NumRegs: 0}
+	wb := w.NewBlock("entry")
+	wb.Instrs = []ir.Instr{{Op: ir.OpRet, A: -1}}
+	p.AddFunc(w)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := interp.New(p, libsim.New(mem.NewSpace()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = interp.NewThread(m, nil, p.Funcs["worker"], []int64{42}, 1)
+	if err == nil {
+		t.Fatal("NewThread accepted more args than the entry has registers")
+	}
+	var trap *interp.Trap
+	if !errors.As(err, &trap) || trap.Code != ir.TrapBadCall {
+		t.Fatalf("err = %v, want TrapBadCall", err)
+	}
+}

@@ -241,6 +241,11 @@ type Machine struct {
 	// run must not count a budget down — it would underflow on very long
 	// executions).
 	budget int64
+
+	// backend, when non-nil, replaces the tree-walking Run loop (see
+	// Backend); it must preserve the tree-walker's observable behaviour
+	// bit for bit.
+	backend Backend
 }
 
 // maxRegPool bounds the number of register slices kept for reuse.
@@ -341,6 +346,7 @@ func NewThread(parent *Machine, rt Runtime, fn *ir.Func, args []int64, slot int)
 		sp:         top,
 		stackTop:   top,
 		stackLimit: base,
+		backend:    parent.backend,
 	}
 	if err := m.push(fn, args, -1); err != nil {
 		return nil, err
@@ -446,6 +452,13 @@ func (m *Machine) push(fn *ir.Func, args []int64, retDst int) error {
 	if newSP < m.stackLimit {
 		return &Trap{Code: ir.TrapBadAccess, Addr: newSP, PC: "stack overflow in " + fn.Name}
 	}
+	if len(args) > fn.NumRegs {
+		// A call site passing more arguments than the callee has
+		// registers must not silently drop the excess: that executes the
+		// callee with a truncated argument list and corrupts the guest in
+		// a way no later check catches. Fail-stop instead.
+		return &Trap{Code: ir.TrapBadCall, PC: "argument overflow calling " + fn.Name}
+	}
 	regs := m.allocRegs(fn.NumRegs)
 	copy(regs, args)
 	entry := 0
@@ -462,12 +475,24 @@ func (m *Machine) push(fn *ir.Func, args []int64, retDst int) error {
 	return nil
 }
 
-// Snapshot deep-copies the resumable machine state.
+// Snapshot deep-copies the resumable machine state. All frames' register
+// copies share one backing array: snapshots are taken on every gate, so
+// the allocation count per snapshot matters more than layout.
 func (m *Machine) Snapshot() *Snapshot {
+	total := 0
+	for i := range m.frames {
+		total += len(m.frames[i].Regs)
+	}
+	backing := make([]int64, total)
 	s := &Snapshot{sp: m.sp, frames: make([]Frame, len(m.frames))}
+	off := 0
 	for i := range m.frames {
 		s.frames[i] = m.frames[i]
-		s.frames[i].Regs = append([]int64(nil), m.frames[i].Regs...)
+		n := len(m.frames[i].Regs)
+		dst := backing[off : off+n : off+n]
+		copy(dst, m.frames[i].Regs)
+		s.frames[i].Regs = dst
+		off += n
 	}
 	return s
 }
@@ -507,8 +532,18 @@ func (m *Machine) Restore(s *Snapshot) {
 }
 
 // Run executes until exit, fatal trap, blocked I/O, or maxSteps
-// instructions (0 = no limit).
+// instructions (0 = no limit). Execution goes through the installed
+// backend (SetBackend); the default is the tree-walking interpreter.
 func (m *Machine) Run(maxSteps int64) Outcome {
+	if m.backend != nil {
+		return m.backend.Run(m, maxSteps)
+	}
+	return m.runTree(maxSteps)
+}
+
+// runTree is the tree-walking interpreter loop — the reference semantics
+// every backend must match.
+func (m *Machine) runTree(maxSteps int64) Outcome {
 	if m.exited {
 		return Outcome{Kind: OutExited, Code: m.exitCode}
 	}
@@ -812,6 +847,10 @@ func (Direct) RegSave(*Machine) {}
 
 // Tick implements Runtime.
 func (Direct) Tick(*Machine, int64) error { return nil }
+
+// TickLive implements TickCoalescer: Direct's Tick never does anything,
+// so backends may coalesce freely.
+func (Direct) TickLive() bool { return false }
 
 // Handle implements Runtime: blocked calls yield, everything else is fatal.
 func (Direct) Handle(_ *Machine, err error) Action {

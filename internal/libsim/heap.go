@@ -30,6 +30,27 @@ type span struct {
 
 const heapAlign = 16
 
+// zeroPage is the scrub source for recycled chunks: writing from a shared
+// static buffer page by page avoids allocating a size-length zero slice on
+// every guest malloc.
+var zeroPage [mem.PageSize]byte
+
+// scrub zeroes [addr, addr+size) in the space.
+func (h *Heap) scrub(addr, size int64) error {
+	for size > 0 {
+		n := size
+		if n > mem.PageSize {
+			n = mem.PageSize
+		}
+		if err := h.space.WriteBytes(addr, zeroPage[:n]); err != nil {
+			return err
+		}
+		addr += n
+		size -= n
+	}
+	return nil
+}
+
 func newHeap(space *mem.Space) *Heap {
 	return &Heap{
 		space: space,
@@ -77,8 +98,7 @@ func (h *Heap) Alloc(size int64) int64 {
 		return 0
 	}
 	// Scrub recycled memory so allocations are deterministic.
-	zero := make([]byte, size)
-	if err := h.space.WriteBytes(addr, zero); err != nil {
+	if err := h.scrub(addr, size); err != nil {
 		return 0
 	}
 	h.live[addr] = size

@@ -210,6 +210,10 @@ func (l *lexer) lexChar() token {
 	var v int64
 	if l.src[l.pos] == '\\' {
 		l.pos++
+		if l.pos >= len(l.src) {
+			l.errorf("unterminated character literal")
+			return token{kind: tokChar, line: l.line}
+		}
 		v = int64(unescape(l.src[l.pos]))
 		l.pos++
 	} else {

@@ -1,6 +1,9 @@
 package obsv
 
-import "math/bits"
+import (
+	"math"
+	"math/bits"
+)
 
 // Hist is an HDR-style log-linear histogram over non-negative int64
 // samples (cost-model cycles, instruction counts). Values below
@@ -49,8 +52,18 @@ func histUpper(i int) int64 {
 		return int64(i)
 	}
 	shift := i/histSubCount - 1
-	sub := int64(i%histSubCount + histSubCount)
-	return (sub+1)<<shift - 1
+	sub := uint64(i%histSubCount + histSubCount)
+	// Compute in uint64: for samples in the top octave (shift 57 with
+	// 32 sub-buckets) the signed expression (sub+1)<<shift - 1 overflows
+	// int64 and wraps negative. Clamp to MaxInt64 instead.
+	if shift >= 63 {
+		return math.MaxInt64
+	}
+	upper := (sub+1)<<shift - 1
+	if upper > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(upper)
 }
 
 // Observe records one sample. Negative values clamp to zero.
@@ -111,10 +124,7 @@ func (h *Hist) Quantile(q float64) int64 {
 	if q <= 0 {
 		return h.Min()
 	}
-	rank := int64(q * float64(h.count))
-	if float64(rank) < q*float64(h.count) {
-		rank++
-	}
+	rank := histRank(q, h.count)
 	if rank < 1 {
 		rank = 1
 	}
@@ -136,6 +146,34 @@ func (h *Hist) Quantile(q float64) int64 {
 		}
 	}
 	return h.max
+}
+
+// histRank computes the 1-based nearest rank ceil(q*count). The standard
+// quantiles are per-mille fractions, which the float expression
+// `rank := int64(q*float64(count)); if float64(rank) < q*float64(count)`
+// mis-rounds at bucket boundaries (0.99*float64(n) can land one ulp above
+// or below the exact product, off-by-one-ing p99/p999 for adversarial
+// counts). When q is exactly a per-mille fraction the rank is computed
+// with integer arithmetic — ceil(num*count/1000) via a 128-bit product,
+// immune to both float error and int64 overflow — and only irrational
+// quantiles take the float path.
+func histRank(q float64, count int64) int64 {
+	if q >= 1 {
+		return count
+	}
+	if num := int64(math.Round(q * 1000)); num > 0 && num < 1000 && float64(num)/1000 == q {
+		hi, lo := bits.Mul64(uint64(num), uint64(count))
+		quot, rem := bits.Div64(hi, lo, 1000)
+		if rem > 0 {
+			quot++
+		}
+		return int64(quot)
+	}
+	rank := int64(q * float64(count))
+	if float64(rank) < q*float64(count) {
+		rank++
+	}
+	return rank
 }
 
 // Percentiles is the standard tail-latency readout.

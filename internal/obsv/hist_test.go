@@ -1,6 +1,7 @@
 package obsv
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -104,6 +105,101 @@ func TestHistBucketContinuity(t *testing.T) {
 			t.Fatalf("upper(%d)=%d < v=%d", i, histUpper(i), v)
 		}
 		last = i
+	}
+}
+
+// TestHistRankMatchesSortedOracle is the property test for the integer
+// nearest-rank computation: for adversarial sample counts (around
+// per-mille boundaries, where ceil(q*n) used to mis-round through float
+// arithmetic) and small exactly-bucketed values, Quantile must return
+// precisely the sorted-slice nearest-rank sample.
+func TestHistRankMatchesSortedOracle(t *testing.T) {
+	quantiles := []float64{0.001, 0.5, 0.9, 0.99, 0.999, 1.0}
+	// Counts chosen adversarially: multiples of 1000 (exact per-mille
+	// boundaries), off-by-one around them, powers of two, and primes.
+	counts := []int{1, 2, 3, 7, 31, 100, 127, 999, 1000, 1001, 2000, 2048, 4999, 5000, 5001, 10000}
+	for _, n := range counts {
+		h := NewHist()
+		samples := make([]int64, 0, n)
+		// Keep every sample below histSubCount so bucketing is exact and
+		// the only possible error is the rank computation itself.
+		for i := 0; i < n; i++ {
+			v := int64(i % histSubCount)
+			samples = append(samples, v)
+			h.Observe(v)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, q := range quantiles {
+			// Oracle: 1-based nearest rank ceil(q*n), computed safely in
+			// big-enough float math for these small n and cross-checked by
+			// construction (q*1000 is integral for every q above).
+			num := int64(math.Round(q * 1000))
+			rank := (num*int64(n) + 999) / 1000
+			if rank < 1 {
+				rank = 1
+			}
+			if rank > int64(n) {
+				rank = int64(n)
+			}
+			want := samples[rank-1]
+			if got := h.Quantile(q); got != want {
+				t.Errorf("n=%d q=%v: Quantile=%d, oracle rank %d -> %d", n, q, got, rank, want)
+			}
+		}
+	}
+}
+
+// TestHistRankIntegerExact pins histRank against exact integer ceil for
+// counts where float rounding of q*count is known to land on the wrong
+// side of the boundary in at least one direction.
+func TestHistRankIntegerExact(t *testing.T) {
+	for _, q := range []float64{0.001, 0.5, 0.9, 0.99, 0.999} {
+		num := int64(math.Round(q * 1000))
+		for _, n := range []int64{1, 3, 999, 1000, 1001, 10_000, 1 << 20, 1 << 40, math.MaxInt64 / 2, math.MaxInt64} {
+			want := oracleCeilMul(num, n)
+			if got := histRank(q, n); got != want {
+				t.Errorf("histRank(%v, %d) = %d, want %d", q, n, got, want)
+			}
+		}
+	}
+	if got := histRank(1.0, 77); got != 77 {
+		t.Errorf("histRank(1, 77) = %d", got)
+	}
+}
+
+// oracleCeilMul computes ceil(num*n/1000) without overflow (num < 1000),
+// as an independent oracle for histRank's 128-bit path.
+func oracleCeilMul(num, n int64) int64 {
+	nq := n / 1000
+	nr := n % 1000
+	// num*n = num*nq*1000 + num*nr, so the ceil-division splits cleanly.
+	return num*nq + (num*nr+999)/1000
+}
+
+// TestHistUpperNearMaxDoesNotOverflow is the regression test for the
+// histUpper int64 overflow: a sample in the top octave used to compute a
+// negative bucket upper bound ((sub+1)<<shift - 1 wraps), which made
+// Quantile fall through the min-clamp and report Min instead of a
+// top-octave value.
+func TestHistUpperNearMaxDoesNotOverflow(t *testing.T) {
+	near := int64(math.MaxInt64 - 10)
+	i := histIndex(near)
+	if up := histUpper(i); up < near {
+		t.Fatalf("histUpper(%d) = %d < sample %d (overflow wrap)", i, up, near)
+	}
+	h := NewHist()
+	h.Observe(1)
+	h.Observe(near)
+	if got := h.Quantile(1.0); got != near {
+		t.Errorf("p100 with near-max sample = %d, want %d (max clamp)", got, near)
+	}
+	if got := h.Quantile(0.999); got != near {
+		t.Errorf("p999 with near-max sample = %d, want %d", got, near)
+	}
+	// The top bucket's bound itself saturates rather than wrapping.
+	top := histIndex(math.MaxInt64)
+	if up := histUpper(top); up != math.MaxInt64 {
+		t.Errorf("histUpper(top) = %d, want MaxInt64", up)
 	}
 }
 
