@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-smoke obsv-smoke chaos-smoke trace-smoke diff-smoke eval examples cover clean
+.PHONY: all build test vet bench bench-smoke obsv-smoke chaos-smoke trace-smoke fleet-smoke diff-smoke eval examples cover clean
 
 all: build vet test
 
@@ -90,6 +90,28 @@ trace-smoke:
 	cmp /tmp/fire-trace-report.txt /tmp/fire-trace-report2.txt
 	cmp /tmp/fire-trace-chrome.json /tmp/fire-trace-chrome2.json
 	@echo trace-smoke OK
+
+# Fleet tier smoke: the replica-scaling experiment (chaos matrix behind
+# the deterministic L4 balancer) at 1 and 2 replicas, serial vs
+# -parallel 4 — the rendered table and the experiment-global span log
+# must compare byte-for-byte, and the span log must pass the trace
+# schema AND trace-ID causality (every balancer-level req-start reaches
+# exactly one terminal across fail-overs and drain hand-offs). The
+# experiment itself fails on any stats/metrics/span reconciliation
+# mismatch or silent incarnation death.
+fleet-smoke:
+	$(GO) build -o /tmp/firebench-bin ./cmd/firebench
+	$(GO) build -o /tmp/obsvlint-bin ./cmd/obsvlint
+	/tmp/firebench-bin -experiment fleet -requests 30 -concurrency 2 \
+		-replicas 1,2 \
+		-trace-out /tmp/fire-fleet.jsonl > /tmp/fire-fleet-report.txt
+	/tmp/obsvlint-bin -schema trace -causality /tmp/fire-fleet.jsonl
+	/tmp/firebench-bin -experiment fleet -requests 30 -concurrency 2 \
+		-replicas 1,2 -parallel 4 \
+		-trace-out /tmp/fire-fleet2.jsonl > /tmp/fire-fleet-report2.txt
+	cmp /tmp/fire-fleet-report.txt /tmp/fire-fleet-report2.txt
+	cmp /tmp/fire-fleet.jsonl /tmp/fire-fleet2.jsonl
+	@echo fleet-smoke OK
 
 # Differential-execution smoke: the default firebench suite under the
 # tree-walking interpreter and the compiled bytecode backend must render

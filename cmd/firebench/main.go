@@ -30,6 +30,12 @@
 // shedding, supervised microreboot, crash-loop breaker) and attributes
 // every fault to the rung that absorbed it; -trace-out exports the
 // campaign-global span log.
+//
+// The fleet experiment (extra) replicates every chaos campaign behind
+// the deterministic L4 balancer at each -replicas count and reports the
+// goodput and p999 scaling curve; -trace-out exports the experiment-
+// global span log, which carries replica/incarnation stamps on every
+// replica-attributed event.
 package main
 
 import (
@@ -53,12 +59,30 @@ type experiment struct {
 	run   func(r bench.Runner) (string, error)
 }
 
-// obsvOut carries the observability export paths from the flags to the
-// per-app observe experiments.
+// obsvOut carries the export paths and experiment knobs from the flags
+// to the experiment closures.
 type obsvOut struct {
 	traceOut   string
 	metricsOut string
 	profileOut string
+	replicas   string // -replicas: fleet experiment sizes, comma-separated
+}
+
+// parseSizes parses the -replicas flag ("1,2,4,8") into replica counts.
+func parseSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(part, "%d", &n); err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad replica count %q", part)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
 }
 
 // experiments is the single registry every consumer derives from: the
@@ -176,6 +200,30 @@ func experiments(out *obsvOut) []experiment {
 			}
 			return res.Render(), nil
 		}},
+		{name: "fleet", desc: "fleet scaling: the chaos matrix behind the deterministic L4 balancer at 1/2/4/8 replicas (extra)", extra: true, run: func(r bench.Runner) (string, error) {
+			sizes, err := parseSizes(out.replicas)
+			if err != nil {
+				return "", err
+			}
+			res, err := r.Fleet(sizes...)
+			if err != nil {
+				return "", err
+			}
+			if out.traceOut != "" {
+				f, err := os.Create(out.traceOut)
+				if err != nil {
+					return "", err
+				}
+				if err := res.WriteTrace(f); err != nil {
+					f.Close()
+					return "", err
+				}
+				if err := f.Close(); err != nil {
+					return "", err
+				}
+			}
+			return res.Render(), nil
+		}},
 	}
 	for _, app := range apps.All() {
 		exps = append(exps, observeExperiment(app.Name, out))
@@ -257,6 +305,7 @@ func run() int {
 	flag.StringVar(&out.traceOut, "trace-out", "", "write the structured span trace as JSONL to this file (observability experiments)")
 	flag.StringVar(&out.metricsOut, "metrics-out", "", "write the metrics registry as JSONL to this file (observability experiments)")
 	flag.StringVar(&out.profileOut, "profile", "", "write the guest profile as JSONL to this file (observability experiments)")
+	flag.StringVar(&out.replicas, "replicas", "1,2,4,8", "replica counts for the fleet experiment, comma-separated")
 	flag.Parse()
 
 	if *list {

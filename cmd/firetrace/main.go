@@ -201,6 +201,7 @@ type request struct {
 	Outcome string
 	Cause   string // req-lost cause
 	Rung    string
+	Replica int              // serving replica at req-start (0: not a fleet trace)
 	Spans   []obsv.SpanEvent // every span referencing the trace, in order
 }
 
@@ -243,6 +244,7 @@ func analyze(spans []obsv.SpanEvent) *report {
 				rep.dupErrs = append(rep.dupErrs, fmt.Sprintf("trace %d: duplicate req-start", e.Trace))
 			}
 			r.Start = e.Cycles
+			r.Replica = e.Replica
 			r.Spans = append(r.Spans, e)
 		case obsv.SpanReqDone, obsv.SpanReqLost:
 			r := get(e.Trace)
@@ -367,6 +369,61 @@ func (rep *report) breakdown() string {
 	}
 	row("all-done", all)
 
+	// Per-replica attribution (fleet traces only): which replica served
+	// each request's start, and which replicas absorbed migrated
+	// connections. Hand-offs count against the destination replica — the
+	// one that picked up the work.
+	type repRow struct {
+		started, doneOK, lost, handoffsIn int
+		h                                 *obsv.Hist
+	}
+	byRep := map[int]*repRow{}
+	getRep := func(id int) *repRow {
+		row := byRep[id]
+		if row == nil {
+			row = &repRow{h: obsv.NewHist()}
+			byRep[id] = row
+		}
+		return row
+	}
+	for _, r := range rep.Requests {
+		if r.Replica == 0 {
+			continue
+		}
+		row := getRep(r.Replica)
+		row.started++
+		switch r.Outcome {
+		case outDoneOK:
+			row.doneOK++
+		case outLost:
+			row.lost++
+		}
+		if lat := r.Latency(); lat >= 0 && r.Outcome != outLost {
+			row.h.Observe(lat)
+		}
+	}
+	for _, e := range rep.Spans {
+		if e.Kind == obsv.SpanHandoff && e.Replica != 0 {
+			getRep(e.Replica).handoffsIn++
+		}
+	}
+	if len(byRep) > 0 {
+		ids := make([]int, 0, len(byRep))
+		for id := range byRep {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		sb.WriteString("\nRequests by serving replica (req-start attribution; handoffs land on the destination):\n")
+		fmt.Fprintf(&sb, "%-8s %8s %8s %6s %9s %10s %10s %10s\n",
+			"replica", "started", "done-ok", "lost", "handoffs", "p50", "p99", "p999")
+		for _, id := range ids {
+			row := byRep[id]
+			p := row.h.Percentiles()
+			fmt.Fprintf(&sb, "%-8d %8d %8d %6d %9d %10d %10d %10d\n",
+				id, row.started, row.doneOK, row.lost, row.handoffsIn, p.P50, p.P99, p.P999)
+		}
+	}
+
 	// Cycle breakdown: where the campaign's time went. Transaction spans
 	// pair begin→commit/abort/crash per thread; rollback cost is the
 	// trap→resume latency the recovered span reports; reboot-wait is the
@@ -442,9 +499,19 @@ func (rep *report) timeline(n int) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Slowest %d terminated requests:\n", n)
 	for _, r := range done[:n] {
-		fmt.Fprintf(&sb, "trace %d: %d cycles, %s, rung=%s\n", r.Trace, r.Latency(), r.Outcome, r.Rung)
+		fmt.Fprintf(&sb, "trace %d: %d cycles, %s, rung=%s", r.Trace, r.Latency(), r.Outcome, r.Rung)
+		if r.Replica != 0 {
+			fmt.Fprintf(&sb, ", replica=%d", r.Replica)
+		}
+		sb.WriteString("\n")
 		for _, e := range r.Spans {
 			fmt.Fprintf(&sb, "  @%-10d %s", e.Cycles, e.Kind)
+			if e.Replica != 0 {
+				fmt.Fprintf(&sb, " replica=%d", e.Replica)
+				if e.Inc != 0 {
+					fmt.Fprintf(&sb, " inc=%d", e.Inc)
+				}
+			}
 			if e.Call != "" {
 				fmt.Fprintf(&sb, " call=%s", e.Call)
 			}

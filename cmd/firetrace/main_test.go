@@ -87,6 +87,65 @@ func TestBreakdownCycleAccounting(t *testing.T) {
 	}
 }
 
+// Fleet traces carry replica/incarnation stamps; the breakdown grows a
+// per-replica attribution table and the timeline annotates stamped
+// spans. Unstamped traces (the other fixtures) must render unchanged —
+// TestBreakdownCycleAccounting and TestTimelineDeterministic cover that
+// by never mentioning replicas.
+func TestFleetReplicaAttribution(t *testing.T) {
+	rep := loadSpans(t, "testdata/fleet.jsonl")
+	if len(rep.Requests) != 4 {
+		t.Fatalf("requests = %d, want 4", len(rep.Requests))
+	}
+	// Serving replica comes from the req-start span: traces 1, 2 and 4
+	// start on replica 1 (trace 4 on its second incarnation), trace 3 on
+	// replica 2. The failover hand-off does not move trace 2's
+	// attribution — it started on replica 1.
+	for i, want := range []int{1, 1, 2, 1} {
+		if rep.Requests[i].Replica != want {
+			t.Errorf("request %d replica = %d, want %d", i, rep.Requests[i].Replica, want)
+		}
+	}
+
+	b := rep.breakdown()
+	if !strings.Contains(b, "Requests by serving replica") {
+		t.Fatalf("breakdown missing replica table:\n%s", b)
+	}
+	// Replica 1 started 3 requests, all done-ok; replica 2 started one
+	// (lost) and absorbed both hand-offs (the traced failover and the
+	// untraced drain migration).
+	for _, w := range []string{
+		"1               3        3      0         0",
+		"2               1        0      1         2",
+	} {
+		if !strings.Contains(b, w) {
+			t.Errorf("replica table missing %q:\n%s", w, b)
+		}
+	}
+
+	tl := rep.timeline(4)
+	for _, w := range []string{
+		"trace 2: 300 cycles, done-ok, rung=recovered, replica=1",
+		"handoff replica=2 inc=1 cause=failover",
+		"req-start replica=1 inc=2",
+	} {
+		if !strings.Contains(tl, w) {
+			t.Errorf("timeline missing %q:\n%s", w, tl)
+		}
+	}
+
+	// The fixture is causally clean: every started trace terminates once.
+	if errs := rep.violations(); len(errs) != 0 {
+		t.Errorf("violations on fleet fixture: %v", errs)
+	}
+
+	// A replica-free trace must not grow the table.
+	plain := loadSpans(t, "testdata/sample.jsonl")
+	if strings.Contains(plain.breakdown(), "Requests by serving replica") {
+		t.Error("replica table rendered for an unstamped trace")
+	}
+}
+
 func TestViolations(t *testing.T) {
 	rep := loadSpans(t, "testdata/violations.jsonl")
 	errs := rep.violations()

@@ -213,11 +213,17 @@ func (l *ladderRun) reconcile() []string {
 	check("supervisor.restarts", l.Registry.Total("supervisor.restarts"), int64(l.Sup.Restarts))
 	check("supervisor.state_lost", l.Registry.Total("supervisor.state_lost"), int64(l.Sup.StateLost))
 	check("supervisor.conns_lost", l.Registry.Total("supervisor.conns_lost"), int64(l.Sup.ConnsLost))
+	check("supervisor.backoff_cycles_total", l.Registry.Total("supervisor.backoff_cycles_total"), l.Sup.BackoffCycles)
 	var breaker int64
 	if l.Sup.BreakerOpen {
 		breaker = 1
 	}
 	check("supervisor.breaker_open", l.Registry.Total("supervisor.breaker_open"), breaker)
+
+	// Health-surface gauges (current backoff delay, breaker window
+	// occupancy) reconcile against the Stats snapshot like every counter.
+	check("supervisor.backoff_cycles", l.Registry.Total("supervisor.backoff_cycles"), l.Sup.LastBackoff)
+	check("supervisor.breaker_window", l.Registry.Total("supervisor.breaker_window"), int64(l.Sup.Window))
 
 	// Zero silent deaths: every incarnation that died is attributed to a
 	// reboot or to the breaker opening.

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"github.com/firestarter-go/firestarter/internal/ir"
@@ -265,6 +266,27 @@ func (rt *Runtime) markTouched(trace int64) {
 		rt.touched = make(map[int64]bool)
 	}
 	rt.touched[trace] = true
+}
+
+// WasTouched reports whether recovery machinery touched the traced
+// request. The fleet balancer consults it when it terminates requests on
+// behalf of a replica (fail-over, drain) so the clean-vs-recovery
+// latency split survives connection migration.
+func (rt *Runtime) WasTouched(trace int64) bool { return rt.touched[trace] }
+
+// TouchedTraces returns the recovery-touched trace IDs in ascending
+// order. The fleet balancer harvests them when an incarnation dies so
+// touch state outlives the runtime that recorded it.
+func (rt *Runtime) TouchedTraces() []int64 {
+	if len(rt.touched) == 0 {
+		return nil
+	}
+	out := make([]int64, 0, len(rt.touched))
+	for tr := range rt.touched {
+		out = append(out, tr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // emitSpanTrace records one structured span event with an explicit trace

@@ -1,0 +1,120 @@
+package libsim
+
+import (
+	"testing"
+
+	"github.com/firestarter-go/firestarter/internal/mem"
+)
+
+// serveSetup binds a listener and an epoll instance the way the app
+// servers do, returning (epfd, lfd, scratch buffer address).
+func serveSetup(tb testing.TB, o *OS) (epfd, lfd, buf int64) {
+	tb.Helper()
+	lfd, err := o.Call("socket", nil)
+	if err != nil || lfd < 0 {
+		tb.Fatalf("socket: fd=%d err=%v", lfd, err)
+	}
+	if v, err := o.Call("bind", []int64{lfd, 80}); err != nil || v != 0 {
+		tb.Fatalf("bind: v=%d err=%v", v, err)
+	}
+	if _, err := o.Call("listen", []int64{lfd, 16}); err != nil {
+		tb.Fatal(err)
+	}
+	epfd, err = o.Call("epoll_create", nil)
+	if err != nil || epfd < 0 {
+		tb.Fatalf("epoll_create: fd=%d err=%v", epfd, err)
+	}
+	return epfd, lfd, buf
+}
+
+// cycleArgs holds pre-built argument slices for one request cycle, so
+// the measurement below counts the library's allocations, not the test's
+// own `[]int64{...}` literals escaping into the indirect call table.
+type cycleArgs struct {
+	accept, add, wait, read, write, del, close []int64
+}
+
+// requestCycle drives one full request through the library-call surface
+// with full connection churn: connect + accept a fresh conn, epoll-watch
+// it, read the request, write the response, close and drain it. The fd
+// slot and therefore every descriptor number repeats each cycle (lowest
+// free slot), which is what lets the caller pre-build the arg slices.
+func requestCycle(o *OS, a *cycleArgs) {
+	c := o.Connect(80)
+	o.Call("accept", a.accept)
+	o.Call("epoll_ctl", a.add)
+	c.ClientDeliverTraced([]byte("GET /\n"), 7)
+	o.Call("epoll_wait", a.wait)
+	o.Call("read", a.read)
+	o.Call("write", a.write)
+	o.Call("epoll_ctl", a.del)
+	o.Call("close", a.close)
+	c.ClientTake()
+}
+
+func newCycle(tb testing.TB) (*OS, *cycleArgs) {
+	tb.Helper()
+	s := mem.NewSpace()
+	if err := s.Map(mem.GlobalBase, 1<<16); err != nil {
+		tb.Fatal(err)
+	}
+	o := New(s)
+	epfd, lfd, buf := serveSetup(tb, o)
+	buf = mem.GlobalBase
+
+	// One probe cycle to learn the (stable) conn descriptor number.
+	c := o.Connect(80)
+	cfd, err := o.Call("accept", []int64{lfd})
+	if err != nil || cfd < 0 {
+		tb.Fatalf("accept: fd=%d err=%v", cfd, err)
+	}
+	o.Call("close", []int64{cfd})
+	c.ClientTake()
+
+	args := &cycleArgs{
+		accept: []int64{lfd},
+		add:    []int64{epfd, EpollCtlAdd, cfd},
+		wait:   []int64{epfd, buf, 8},
+		read:   []int64{cfd, buf + 64, 64},
+		write:  []int64{cfd, buf + 64, 6},
+		del:    []int64{epfd, EpollCtlDel, cfd},
+		close:  []int64{cfd},
+	}
+	// Warm up: size the fd slab, the epoll bitmap, the lastRead buffer
+	// and the write scratch.
+	for i := 0; i < 4; i++ {
+		requestCycle(o, args)
+	}
+	return o, args
+}
+
+// TestRequestCycleAllocFree pins the alloc-count regression contract for
+// the per-request path: after warm-up, a full connect/accept/epoll/read/
+// write/close cycle performs at most 4 Go allocations — the client-side
+// Conn object and its in/out byte queues (inherent connection churn the
+// test itself drives), never anything per-request on the server side.
+// Before the slab refactor this path also allocated an *FD per accept,
+// an epoll map entry per watch, and a ReadRecord plus a fresh data copy
+// per read (~4 more objects per cycle); this test fails if any of that
+// churn comes back.
+func TestRequestCycleAllocFree(t *testing.T) {
+	o, args := newCycle(t)
+	allocs := testing.AllocsPerRun(200, func() {
+		requestCycle(o, args)
+	})
+	if allocs > 4 {
+		t.Fatalf("request cycle allocates %.1f objects/run, want <= 4", allocs)
+	}
+}
+
+// BenchmarkRequestCycle measures the slab-allocated per-request library
+// path; run with -benchmem to see the allocation count the regression
+// test above pins.
+func BenchmarkRequestCycle(b *testing.B) {
+	o, args := newCycle(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		requestCycle(o, args)
+	}
+}

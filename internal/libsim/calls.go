@@ -38,7 +38,22 @@ type ReadRecord struct {
 }
 
 // LastRead returns the most recent consuming read's record (nil if none).
-func (o *OS) LastRead() *ReadRecord { return o.lastRead }
+// The record and its Data buffer are reused by the next read; consumers
+// (the read/recv compensation) only ever inspect the latest record and
+// copy the bytes out via Unread, so the aliasing is invisible.
+func (o *OS) LastRead() *ReadRecord {
+	if o.lastRead.FD < 0 {
+		return nil
+	}
+	return &o.lastRead
+}
+
+// setLastRead records a consuming read, reusing the Data buffer so the
+// per-request read path allocates nothing in steady state.
+func (o *OS) setLastRead(fd int64, data []byte) {
+	o.lastRead.FD = fd
+	o.lastRead.Data = append(o.lastRead.Data[:0], data...)
+}
 
 // Unread pushes data back to the front of a connection's inbound queue,
 // used by the read/recv compensation action.
@@ -274,7 +289,7 @@ func buildCallTable() map[string]handler {
 
 	// --- sockets -------------------------------------------------------------
 	t["socket"] = handler{0, func(o *OS, a []int64) (int64, error) {
-		fd := o.allocFD(&FD{Kind: FDListener, Listener: &Listener{Opts: map[int64]int64{}}})
+		fd := o.allocFD(FD{Kind: FDListener, Listener: &Listener{Opts: map[int64]int64{}}})
 		if fd < 0 {
 			o.Errno = EMFILE
 			return -1, nil
@@ -334,7 +349,7 @@ func buildCallTable() map[string]handler {
 		}
 		c := s.Listener.queue[0]
 		s.Listener.queue = s.Listener.queue[1:]
-		fd := o.allocFD(&FD{Kind: FDConn, Conn: c})
+		fd := o.allocFD(FD{Kind: FDConn, Conn: c})
 		if fd < 0 {
 			o.Errno = EMFILE
 			return -1, nil
@@ -392,7 +407,7 @@ func buildCallTable() map[string]handler {
 
 	// --- epoll ---------------------------------------------------------------
 	t["epoll_create"] = handler{0, func(o *OS, a []int64) (int64, error) {
-		fd := o.allocFD(&FD{Kind: FDEpoll, Epoll: &Epoll{watched: map[int64]bool{}}})
+		fd := o.allocFD(FD{Kind: FDEpoll, Epoll: &Epoll{}})
 		if fd < 0 {
 			o.Errno = EMFILE
 			return -1, nil
@@ -411,9 +426,9 @@ func buildCallTable() map[string]handler {
 				o.Errno = EBADF
 				return -1, nil
 			}
-			s.Epoll.watched[a[2]] = true
+			s.Epoll.watch(a[2])
 		case EpollCtlDel:
-			delete(s.Epoll.watched, a[2])
+			s.Epoll.unwatch(a[2])
 		default:
 			o.Errno = EINVAL
 			return -1, nil
@@ -771,7 +786,7 @@ func (o *OS) doRead(fd, buf, n int64) (int64, error) {
 		if err := o.writeBytes(buf, data); err != nil {
 			return 0, err
 		}
-		o.lastRead = &ReadRecord{FD: fd, Data: append([]byte(nil), data...)}
+		o.setLastRead(fd, data)
 		o.servingFD = fd
 		if c.pendingTrace != 0 {
 			// First read of a traced request: promote the pending ID to
@@ -802,7 +817,7 @@ func (o *OS) doRead(fd, buf, n int64) (int64, error) {
 		if err := o.writeBytes(buf, chunk); err != nil {
 			return 0, err
 		}
-		o.lastRead = &ReadRecord{FD: fd, Data: append([]byte(nil), chunk...)}
+		o.setLastRead(fd, chunk)
 		got := end - f.Offset
 		f.Offset = end
 		return got, nil
@@ -888,7 +903,7 @@ func (o *OS) doOpen(pathAddr, flags int64) (int64, error) {
 		f.Data = nil
 		o.fs.WriteLog = append(o.fs.WriteLog, "trunc "+path)
 	}
-	fd := o.allocFD(&FD{Kind: FDFile, File: &OpenFile{File: f, Flags: flags}})
+	fd := o.allocFD(FD{Kind: FDFile, File: &OpenFile{File: f, Flags: flags}})
 	if fd < 0 {
 		o.Errno = EMFILE
 		return -1, nil

@@ -116,7 +116,7 @@ type OS struct {
 	Space *mem.Space
 	Errno int64
 
-	fds    []*FD
+	fds    []FD // value slab: slots are reused in place, never freed to the GC
 	heap   *Heap
 	fs     *FS
 	clock  int64 // nanoseconds, advanced by Tick and time calls
@@ -127,9 +127,15 @@ type OS struct {
 	onTrace   TraceFunc
 	threads   ThreadOps
 	deferFree DeferFreeFunc
-	lastRead  *ReadRecord
 	cycles    *int64
-	wscratch  []byte // reusable buffer for doWrite payloads (never escapes)
+	wscratch  []byte  // reusable buffer for doWrite payloads (never escapes)
+	epready   []int64 // reusable ready-list for readyFDs (never escapes)
+
+	// lastRead is held by value and its Data buffer is reused across
+	// reads: only the most recent record is ever reachable (LastRead),
+	// and the read/recv compensation copies the bytes out via Unread
+	// before the next read can overwrite them. FD -1 means no read yet.
+	lastRead ReadRecord
 
 	// servingFD is the connection descriptor most recently read from or
 	// written to — the request the server is currently handling. The
@@ -160,8 +166,9 @@ func New(space *mem.Space) *OS {
 		servingFD: -1,
 	}
 	o.store = space.Store
+	o.lastRead.FD = -1
 	// Reserve stdin/stdout/stderr so application fds start at 3.
-	o.fds = []*FD{{Kind: FDFile}, {Kind: FDFile}, {Kind: FDFile}}
+	o.fds = []FD{{Kind: FDFile}, {Kind: FDFile}, {Kind: FDFile}}
 	return o
 }
 
@@ -251,9 +258,11 @@ func (o *OS) Now() int64 { return o.clock }
 func (o *OS) AdvanceClock(ns int64) { o.clock += ns }
 
 // allocFD finds the lowest free descriptor slot, appends if necessary.
-func (o *OS) allocFD(fd *FD) int64 {
-	for i, s := range o.fds {
-		if s.Kind == FDFree {
+// The table is a value slab: the FD is copied into the slot, so the
+// steady state (slot reuse after CloseFD) allocates nothing.
+func (o *OS) allocFD(fd FD) int64 {
+	for i := range o.fds {
+		if o.fds[i].Kind == FDFree {
 			o.fds[i] = fd
 			return int64(i)
 		}
@@ -265,16 +274,17 @@ func (o *OS) allocFD(fd *FD) int64 {
 	return int64(len(o.fds) - 1)
 }
 
-// lookupFD returns the descriptor or nil.
+// lookupFD returns a pointer into the descriptor slab, or nil. The
+// pointer is only valid until the next allocFD (which may grow the
+// slab); no handler holds one across an allocation.
 func (o *OS) lookupFD(fd int64) *FD {
 	if fd < 0 || fd >= int64(len(o.fds)) {
 		return nil
 	}
-	s := o.fds[fd]
-	if s.Kind == FDFree {
+	if o.fds[fd].Kind == FDFree {
 		return nil
 	}
-	return s
+	return &o.fds[fd]
 }
 
 // CloseFD closes a descriptor Go-side (used by compensation actions). It
@@ -292,7 +302,7 @@ func (o *OS) CloseFD(fd int64) bool {
 		s.Conn.CloseServer()
 	}
 	if fd >= 3 {
-		o.fds[fd] = &FD{Kind: FDFree}
+		o.fds[fd] = FD{Kind: FDFree}
 	}
 	return true
 }
@@ -327,8 +337,8 @@ func (o *OS) ShedConn() int64 {
 // detect descriptor leaks across recovery.
 func (o *OS) OpenFDs() int {
 	n := 0
-	for i, s := range o.fds {
-		if i >= 3 && s.Kind != FDFree {
+	for i := range o.fds {
+		if i >= 3 && o.fds[i].Kind != FDFree {
 			n++
 		}
 	}

@@ -78,6 +78,36 @@ func (c *Conn) ClientTake() []byte {
 // queued, or the client closed (EOF and ECONNRESET are both readable).
 func (c *Conn) Readable() bool { return len(c.in) > 0 || c.clientClosed || c.reset }
 
+// NewConn returns a detached connection, not queued on any listener. The
+// fleet balancer owns the listening endpoint Go-side: it hands detached
+// conns to the workload driver as the client-facing front and proxies
+// their bytes to a replica's real listener.
+func NewConn() *Conn { return &Conn{} }
+
+// ProxyTake drains the client→server direction from the balancer side:
+// everything the client delivered, plus the pending (not yet active)
+// trace ID stamped on it, which is cleared — the balancer re-stamps it
+// on the back-end connection so the replica's first read still promotes
+// it. Returns (nil, 0) when nothing is queued.
+func (c *Conn) ProxyTake() (data []byte, trace int64) {
+	data = c.in
+	trace = c.pendingTrace
+	c.in = nil
+	c.pendingTrace = 0
+	return data, trace
+}
+
+// ProxyDeliver queues response bytes toward the client on behalf of the
+// back-end replica (the balancer-side mirror of a server write).
+func (c *Conn) ProxyDeliver(data []byte) { c.out = append(c.out, data...) }
+
+// ClientGone reports whether the client end is gone (FIN or RST): the
+// balancer drops such conns instead of failing them over.
+func (c *Conn) ClientGone() bool { return c.clientClosed || c.reset }
+
+// ClientResetSeen reports an abortive close specifically (RST).
+func (c *Conn) ClientResetSeen() bool { return c.reset }
+
 // InboundLen returns queued unread bytes (tests).
 func (c *Conn) InboundLen() int { return len(c.in) }
 
@@ -149,16 +179,42 @@ func (o *OS) TruncateSockOut(fd, n int64) bool {
 	return true
 }
 
-// Epoll is an epoll instance: a set of watched descriptors.
+// Epoll is an epoll instance: the watched-descriptor set as a bitmap
+// indexed by fd. Descriptors are small ints from the slab, so the dense
+// representation replaces the old map (one alloc per conn plus hash
+// churn per wait) and makes the ready scan a naturally-ordered sweep.
 type Epoll struct {
-	watched map[int64]bool
+	watched []bool
+}
+
+// watch marks fd as watched, growing the bitmap as needed.
+func (e *Epoll) watch(fd int64) {
+	if fd < 0 {
+		return
+	}
+	for int64(len(e.watched)) <= fd {
+		e.watched = append(e.watched, false)
+	}
+	e.watched[fd] = true
+}
+
+// unwatch clears fd from the watched set.
+func (e *Epoll) unwatch(fd int64) {
+	if fd >= 0 && fd < int64(len(e.watched)) {
+		e.watched[fd] = false
+	}
 }
 
 // readyFDs returns watched descriptors that are currently readable, in
-// ascending fd order (deterministic).
+// ascending fd order (deterministic). The returned slice is the OS's
+// reusable scratch buffer, valid until the next call.
 func (o *OS) readyFDs(ep *Epoll) []int64 {
-	var ready []int64
-	for fd := range ep.watched {
+	ready := o.epready[:0]
+	for i := range ep.watched {
+		if !ep.watched[i] {
+			continue
+		}
+		fd := int64(i)
 		s := o.lookupFD(fd)
 		if s == nil {
 			continue
@@ -176,11 +232,6 @@ func (o *OS) readyFDs(ep *Epoll) []int64 {
 			ready = append(ready, fd)
 		}
 	}
-	// Insertion sort: ready lists are tiny.
-	for i := 1; i < len(ready); i++ {
-		for j := i; j > 0 && ready[j] < ready[j-1]; j-- {
-			ready[j], ready[j-1] = ready[j-1], ready[j]
-		}
-	}
+	o.epready = ready
 	return ready
 }

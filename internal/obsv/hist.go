@@ -88,6 +88,33 @@ func (h *Hist) Observe(v int64) {
 	}
 }
 
+// Merge folds every sample of other into h. Bucket counts add
+// bucket-wise, so a merged histogram reports exactly the counts and
+// quantiles of one fed the concatenated sample streams — the fleet
+// campaign reducer uses this to aggregate per-campaign latency
+// histograms into one per-size readout without keeping raw samples.
+func (h *Hist) Merge(other *Hist) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	if len(other.counts) > len(h.counts) {
+		grown := make([]int64, len(other.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if h.min < 0 || (other.min >= 0 && other.min < h.min) {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
 // Count returns the number of recorded samples.
 func (h *Hist) Count() int64 { return h.count }
 

@@ -28,6 +28,17 @@ const (
 	SpanTruncated   = "truncated"
 )
 
+// Fleet-tier span kinds. The L4 balancer emits replica-up when a replica
+// incarnation boots (including the first boot), replica-down when one
+// dies, and handoff when a live connection migrates between replicas —
+// on fail-over from a dead replica or when draining one whose crash-loop
+// breaker window is filling up.
+const (
+	SpanHandoff     = "handoff"
+	SpanReplicaUp   = "replica-up"
+	SpanReplicaDown = "replica-down"
+)
+
 // Request-lifecycle span kinds (span schema v2). A request's causal chain
 // is bracketed by req-start (the server consumed its first bytes) and
 // exactly one terminal req-done (a validated — or rejected — response
@@ -46,7 +57,9 @@ type SpanEvent struct {
 	Seq     int64  `json:"seq"`
 	Cycles  int64  `json:"cycles"`
 	Thread  int    `json:"thread"`
-	Trace   int64  `json:"trace,omitempty"` // causal request trace ID (0 = none)
+	Replica int    `json:"replica,omitempty"` // 1-based fleet replica (0 = not a fleet run)
+	Inc     int    `json:"inc,omitempty"`     // 1-based supervisor incarnation on that replica
+	Trace   int64  `json:"trace,omitempty"`   // causal request trace ID (0 = none)
 	Kind    string `json:"kind"`
 	Site    int    `json:"site,omitempty"`
 	Call    string `json:"call,omitempty"`

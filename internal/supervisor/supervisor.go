@@ -90,6 +90,38 @@ type Reboot struct {
 	BackoffCycles int64 // backoff charged before the next incarnation
 }
 
+// Phase is the supervisor's externally visible state — the health signal
+// surface the fleet balancer consumes. Idle means no incarnation has
+// been started yet.
+type Phase int
+
+// Supervisor phases.
+const (
+	PhaseIdle Phase = iota
+	PhaseRunning
+	PhaseBackoff     // an incarnation died; the reboot backoff is being waited out
+	PhaseBreakerOpen // the crash-loop breaker opened: no further restarts
+	PhaseDone        // the supervised work completed
+)
+
+// String renders the phase for spans and logs.
+func (p Phase) String() string {
+	switch p {
+	case PhaseIdle:
+		return "idle"
+	case PhaseRunning:
+		return "running"
+	case PhaseBackoff:
+		return "backoff"
+	case PhaseBreakerOpen:
+		return "breaker-open"
+	case PhaseDone:
+		return "done"
+	default:
+		return "unknown"
+	}
+}
+
 // Stats is the supervisor's accounting. The published obsv metrics
 // reconcile exactly with it.
 type Stats struct {
@@ -101,14 +133,24 @@ type Stats struct {
 	BreakerOpen   bool
 	ClockCycles   int64 // campaign clock: run cycles + backoff
 	Reboots       []Reboot
+
+	// LastBackoff is the most recently charged reboot backoff (the
+	// "current backoff delay" gauge); Window is the breaker window
+	// occupancy — restarts still inside the sliding window — at
+	// collection time. Both reconcile with the supervisor.backoff_cycles
+	// and supervisor.breaker_window gauges.
+	LastBackoff int64
+	Window      int
 }
 
 // Supervisor runs a program through restarts under the configured policy.
 type Supervisor struct {
-	cfg    Config
-	stats  Stats
-	recent []int64 // campaign-clock stamps of restarts inside the window
-	spans  obsv.SpanLog
+	cfg         Config
+	stats       Stats
+	recent      []int64 // campaign-clock stamps of restarts inside the window
+	spans       obsv.SpanLog
+	phase       Phase
+	lastBackoff int64
 }
 
 // New returns a supervisor with the given policy.
@@ -125,7 +167,37 @@ func (s *Supervisor) Clock() int64 { return s.stats.ClockCycles }
 func (s *Supervisor) Stats() Stats {
 	st := s.stats
 	st.Reboots = append([]Reboot(nil), s.stats.Reboots...)
+	st.LastBackoff = s.lastBackoff
+	st.Window = s.WindowOccupancy()
 	return st
+}
+
+// Phase returns the supervisor's current phase — the health signal the
+// fleet balancer routes on (Running → assignable, Backoff → stop new
+// assignments and reconnect on recovery, BreakerOpen → down for good).
+func (s *Supervisor) Phase() Phase { return s.phase }
+
+// BreakerOpen reports whether the crash-loop breaker has opened.
+func (s *Supervisor) BreakerOpen() bool { return s.stats.BreakerOpen }
+
+// CurrentBackoff returns the most recently charged reboot backoff in
+// cycles (0 before the first reboot) — the current backoff delay gauge.
+func (s *Supervisor) CurrentBackoff() int64 { return s.lastBackoff }
+
+// WindowOccupancy returns how many restarts are still inside the
+// breaker's sliding window as of the campaign clock: how close the
+// replica is to tripping the breaker. The fleet balancer drains a
+// replica whose window is nearly full; the ladder reconciles the
+// supervisor.breaker_window gauge against it.
+func (s *Supervisor) WindowOccupancy() int {
+	now := s.stats.ClockCycles
+	n := 0
+	for _, t := range s.recent {
+		if t >= now-s.cfg.WindowCycles {
+			n++
+		}
+	}
+	return n
 }
 
 // Spans returns the supervisor's span events (reboot, breaker-open),
@@ -147,62 +219,101 @@ func (s *Supervisor) backoff(k int) int64 {
 	return b
 }
 
+// BeginIncarnation starts the next incarnation incrementally: it returns
+// the incarnation number and its seed (Config.Seed + incarnation) and
+// moves the supervisor to PhaseRunning. Incremental drivers — the fleet
+// balancer interleaves N supervised replicas on one cycle domain — pair
+// it with Advance and RecordDeath/Finish; Supervise is the same loop
+// packaged for the single-process case.
+func (s *Supervisor) BeginIncarnation() (incarnation int, seed int64) {
+	incarnation = s.stats.Incarnations
+	s.stats.Incarnations++
+	s.phase = PhaseRunning
+	return incarnation, s.cfg.Seed + int64(incarnation)
+}
+
+// Advance moves the campaign clock by cycles the running incarnation
+// consumed. Incremental drivers call it per scheduling slice so the
+// breaker window and backoff stamps stay on the shared cycle domain.
+func (s *Supervisor) Advance(cycles int64) { s.stats.ClockCycles += cycles }
+
+// Finish marks the supervised work complete (PhaseDone).
+func (s *Supervisor) Finish() { s.phase = PhaseDone }
+
+// RecordDeath accounts one incarnation death at the current campaign
+// clock: state and connections lost, the crash-loop breaker check, and —
+// if the breaker stays closed — the reboot decision, charging its
+// backoff to the clock. It returns the charged backoff and whether the
+// breaker opened (backoff 0). The next incarnation is due once the
+// caller has observed Clock() advance past the death point plus backoff
+// — i.e. immediately for Supervise, or when the shared cycle domain
+// catches up for the fleet balancer.
+func (s *Supervisor) RecordDeath(incarnation, connsLost int) (backoff int64, open bool) {
+	// The incarnation died (or hung): its in-memory state and open
+	// connections are gone.
+	s.stats.StateLost++
+	s.stats.ConnsLost += connsLost
+	now := s.stats.ClockCycles
+
+	// Crash-loop breaker: count restarts inside the sliding window.
+	cut := 0
+	for cut < len(s.recent) && s.recent[cut] < now-s.cfg.WindowCycles {
+		cut++
+	}
+	s.recent = s.recent[cut:]
+	if len(s.recent) >= s.cfg.MaxRestarts {
+		s.stats.BreakerOpen = true
+		s.phase = PhaseBreakerOpen
+		s.spans.Append(obsv.SpanEvent{
+			Cycles: now,
+			Kind:   obsv.SpanBreakerOpen,
+			Cause:  "crash-loop",
+			Detail: fmt.Sprintf("restarts=%d window=%d", len(s.recent), s.cfg.WindowCycles),
+		})
+		return 0, true
+	}
+	s.recent = append(s.recent, now)
+
+	s.stats.Restarts++
+	backoff = s.backoff(s.stats.Restarts)
+	s.stats.BackoffCycles += backoff
+	s.stats.ClockCycles += backoff
+	s.lastBackoff = backoff
+	s.phase = PhaseBackoff
+	s.stats.Reboots = append(s.stats.Reboots, Reboot{
+		Incarnation:   incarnation,
+		AtCycles:      now,
+		BackoffCycles: backoff,
+	})
+	s.spans.Append(obsv.SpanEvent{
+		Cycles: now,
+		Kind:   obsv.SpanReboot,
+		Cause:  "incarnation died",
+		Detail: fmt.Sprintf("incarnation=%d backoff=%d conns_lost=%d", incarnation, backoff, connsLost),
+	})
+	return backoff, false
+}
+
 // Supervise runs incarnations of the program until one reports Done, the
 // crash-loop breaker opens, or the callback errors. The callback receives
 // the incarnation number and its seed (Config.Seed + incarnation). A
 // breaker-open return is nil — giving up is a reported policy outcome,
 // not an error; check Stats().BreakerOpen.
 func (s *Supervisor) Supervise(run func(incarnation int, seed int64) (RunResult, error)) error {
-	for inc := 0; ; inc++ {
-		s.stats.Incarnations++
-		res, err := run(inc, s.cfg.Seed+int64(inc))
+	for {
+		inc, seed := s.BeginIncarnation()
+		res, err := run(inc, seed)
 		if err != nil {
 			return err
 		}
-		s.stats.ClockCycles += res.Cycles
+		s.Advance(res.Cycles)
 		if res.Done {
+			s.Finish()
 			return nil
 		}
-
-		// The incarnation died (or hung): its in-memory state and open
-		// connections are gone.
-		s.stats.StateLost++
-		s.stats.ConnsLost += res.ConnsLost
-		now := s.stats.ClockCycles
-
-		// Crash-loop breaker: count restarts inside the sliding window.
-		cut := 0
-		for cut < len(s.recent) && s.recent[cut] < now-s.cfg.WindowCycles {
-			cut++
-		}
-		s.recent = s.recent[cut:]
-		if len(s.recent) >= s.cfg.MaxRestarts {
-			s.stats.BreakerOpen = true
-			s.spans.Append(obsv.SpanEvent{
-				Cycles: now,
-				Kind:   obsv.SpanBreakerOpen,
-				Cause:  "crash-loop",
-				Detail: fmt.Sprintf("restarts=%d window=%d", len(s.recent), s.cfg.WindowCycles),
-			})
+		if _, open := s.RecordDeath(inc, res.ConnsLost); open {
 			return nil
 		}
-		s.recent = append(s.recent, now)
-
-		s.stats.Restarts++
-		backoff := s.backoff(s.stats.Restarts)
-		s.stats.BackoffCycles += backoff
-		s.stats.ClockCycles += backoff
-		s.stats.Reboots = append(s.stats.Reboots, Reboot{
-			Incarnation:   inc,
-			AtCycles:      now,
-			BackoffCycles: backoff,
-		})
-		s.spans.Append(obsv.SpanEvent{
-			Cycles: now,
-			Kind:   obsv.SpanReboot,
-			Cause:  "incarnation died",
-			Detail: fmt.Sprintf("incarnation=%d backoff=%d conns_lost=%d", inc, backoff, res.ConnsLost),
-		})
 	}
 }
 
@@ -215,10 +326,17 @@ func (s *Supervisor) PublishMetrics(reg *obsv.Registry, labels ...obsv.Label) {
 	reg.Counter("supervisor.restarts", labels...).Add(int64(st.Restarts))
 	reg.Counter("supervisor.state_lost", labels...).Add(int64(st.StateLost))
 	reg.Counter("supervisor.conns_lost", labels...).Add(int64(st.ConnsLost))
-	reg.Counter("supervisor.backoff_cycles", labels...).Add(st.BackoffCycles)
+	reg.Counter("supervisor.backoff_cycles_total", labels...).Add(st.BackoffCycles)
 	var open int64
 	if st.BreakerOpen {
 		open = 1
 	}
 	reg.Counter("supervisor.breaker_open", labels...).Add(open)
+
+	// Health-surface gauges: the current backoff delay and the breaker
+	// window occupancy — the signals the fleet balancer routes on. Both
+	// reconcile with Stats().LastBackoff / Stats().Window in the ladder's
+	// 3-surface check.
+	reg.Gauge("supervisor.backoff_cycles", labels...).Set(s.lastBackoff)
+	reg.Gauge("supervisor.breaker_window", labels...).Set(int64(s.WindowOccupancy()))
 }

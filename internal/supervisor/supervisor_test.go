@@ -155,17 +155,99 @@ func TestPublishMetricsReconcilesWithStats(t *testing.T) {
 	reg := obsv.NewRegistry()
 	s.PublishMetrics(reg)
 	checks := map[string]int64{
-		"supervisor.incarnations":   int64(st.Incarnations),
-		"supervisor.restarts":       int64(st.Restarts),
-		"supervisor.state_lost":     int64(st.StateLost),
-		"supervisor.conns_lost":     int64(st.ConnsLost),
-		"supervisor.backoff_cycles": st.BackoffCycles,
-		"supervisor.breaker_open":   1,
+		"supervisor.incarnations":         int64(st.Incarnations),
+		"supervisor.restarts":             int64(st.Restarts),
+		"supervisor.state_lost":           int64(st.StateLost),
+		"supervisor.conns_lost":           int64(st.ConnsLost),
+		"supervisor.backoff_cycles_total": st.BackoffCycles,
+		"supervisor.breaker_open":         1,
+		// Health-surface gauges reconcile with the Stats snapshot.
+		"supervisor.backoff_cycles": st.LastBackoff,
+		"supervisor.breaker_window": int64(st.Window),
 	}
 	for name, want := range checks {
 		if got := reg.Total(name); got != want {
 			t.Errorf("%s = %d, want %d", name, got, want)
 		}
+	}
+}
+
+func TestPhaseAndHealthSurface(t *testing.T) {
+	s := New(Config{MaxRestarts: 2, WindowCycles: 1 << 40, BackoffBase: 100, BackoffFactor: 2, BackoffMax: 1000})
+	if s.Phase() != PhaseIdle {
+		t.Fatalf("phase = %v before first incarnation", s.Phase())
+	}
+	inc, seed := s.BeginIncarnation()
+	if inc != 0 || seed != 0 || s.Phase() != PhaseRunning {
+		t.Fatalf("BeginIncarnation = (%d, %d), phase %v", inc, seed, s.Phase())
+	}
+	s.Advance(50)
+	if s.Clock() != 50 {
+		t.Fatalf("clock = %d", s.Clock())
+	}
+	backoff, open := s.RecordDeath(inc, 3)
+	if open || backoff != 100 {
+		t.Fatalf("RecordDeath = (%d, %v)", backoff, open)
+	}
+	if s.Phase() != PhaseBackoff || s.CurrentBackoff() != 100 || s.WindowOccupancy() != 1 {
+		t.Fatalf("phase %v backoff %d window %d", s.Phase(), s.CurrentBackoff(), s.WindowOccupancy())
+	}
+	if s.Clock() != 150 {
+		t.Fatalf("clock = %d after backoff charge", s.Clock())
+	}
+
+	inc, _ = s.BeginIncarnation()
+	if s.Phase() != PhaseRunning {
+		t.Fatalf("phase = %v after restart", s.Phase())
+	}
+	s.Advance(10)
+	if backoff, open = s.RecordDeath(inc, 0); open || backoff != 200 {
+		t.Fatalf("RecordDeath = (%d, %v)", backoff, open)
+	}
+	if s.WindowOccupancy() != 2 {
+		t.Fatalf("window = %d", s.WindowOccupancy())
+	}
+
+	// Third death inside the window trips the breaker (MaxRestarts 2).
+	inc, _ = s.BeginIncarnation()
+	s.Advance(10)
+	if _, open = s.RecordDeath(inc, 0); !open {
+		t.Fatal("breaker did not open")
+	}
+	if s.Phase() != PhaseBreakerOpen || !s.BreakerOpen() {
+		t.Fatalf("phase %v, BreakerOpen %v", s.Phase(), s.BreakerOpen())
+	}
+	st := s.Stats()
+	if st.LastBackoff != 200 || st.Window != 2 {
+		t.Fatalf("stats health fields = %+v", st)
+	}
+}
+
+func TestWindowOccupancyDecaysWithClock(t *testing.T) {
+	s := New(Config{MaxRestarts: 8, WindowCycles: 100, BackoffBase: 1, BackoffFactor: 1, BackoffMax: 1})
+	inc, _ := s.BeginIncarnation()
+	s.Advance(10)
+	s.RecordDeath(inc, 0)
+	if s.WindowOccupancy() != 1 {
+		t.Fatalf("window = %d right after death", s.WindowOccupancy())
+	}
+	// The clock moving past the window forgives the restart without any
+	// further death: occupancy is a pure function of clock and stamps.
+	s.Advance(200)
+	if s.WindowOccupancy() != 0 {
+		t.Fatalf("window = %d after decay", s.WindowOccupancy())
+	}
+}
+
+func TestSuperviseEndsInDonePhase(t *testing.T) {
+	s := New(Config{})
+	if err := s.Supervise(func(int, int64) (RunResult, error) {
+		return RunResult{Done: true, Cycles: 1}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Phase() != PhaseDone {
+		t.Fatalf("phase = %v", s.Phase())
 	}
 }
 

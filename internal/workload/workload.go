@@ -39,6 +39,19 @@ type Generator interface {
 	Check(req, resp []byte) bool
 }
 
+// Server abstracts the driven endpoint so the driver can front things
+// other than one machine on one OS — the fleet balancer implements it
+// over N supervised replicas. Connect returns a client connection to the
+// served port (nil if nothing is accepting), Slice advances the whole
+// backend until it blocks, and Cycles/Steps report the backend's
+// throughput clock (wall cycles across replicas for a fleet).
+type Server interface {
+	Connect(port int64) *libsim.Conn
+	Slice(budget int64) interp.Outcome
+	Cycles() int64
+	Steps() int64
+}
+
 // TraceSink receives request-lifecycle notifications from a tracing
 // driver. core.Runtime implements it: terminals become req-done/req-lost
 // spans and ReqDone reports whether recovery machinery touched the
@@ -122,6 +135,11 @@ type Driver struct {
 	// (max per-thread) rather than one machine's count.
 	S *sched.Sched
 
+	// Srv, when non-nil, is driven in place of OS/M/S entirely: the
+	// driver connects, slices and reads the clock through the Server
+	// interface. The fleet balancer plugs in here.
+	Srv Server
+
 	// StepBudget bounds each machine slice (default 2M instructions).
 	StepBudget int64
 
@@ -195,7 +213,7 @@ func (d *Driver) Run(total int) Result {
 		// Feed requests.
 		for i, c := range clients {
 			if c.conn == nil || c.conn.ServerClosed() {
-				c.conn = d.OS.Connect(d.Port)
+				c.conn = d.connect()
 				c.resp = nil
 				c.pending = false
 				if c.conn == nil {
@@ -306,9 +324,21 @@ func (d *Driver) Run(total int) Result {
 	return res
 }
 
-// cycles returns the throughput clock: wall cycles under a scheduler, the
-// machine's cycle count otherwise.
+// connect opens a new client connection to the served port.
+func (d *Driver) connect() *libsim.Conn {
+	if d.Srv != nil {
+		return d.Srv.Connect(d.Port)
+	}
+	return d.OS.Connect(d.Port)
+}
+
+// cycles returns the throughput clock: the Server's clock when one is
+// plugged in, wall cycles under a scheduler, the machine's cycle count
+// otherwise.
 func (d *Driver) cycles() int64 {
+	if d.Srv != nil {
+		return d.Srv.Cycles()
+	}
 	if d.S != nil {
 		return d.S.WallCycles()
 	}
@@ -316,20 +346,26 @@ func (d *Driver) cycles() int64 {
 }
 
 func (d *Driver) steps() int64 {
+	if d.Srv != nil {
+		return d.Srv.Steps()
+	}
 	if d.S != nil {
 		return d.S.TotalSteps()
 	}
 	return d.M.Steps
 }
 
-// slice runs the machine (or all runnable threads) until it blocks;
-// returns false when the server died or exited.
+// slice runs the machine (or all runnable threads, or the plugged-in
+// Server) until it blocks; returns false when the server died or exited.
 func (d *Driver) slice(res *Result) bool {
 	for {
 		var out interp.Outcome
-		if d.S != nil {
+		switch {
+		case d.Srv != nil:
+			out = d.Srv.Slice(d.StepBudget)
+		case d.S != nil:
 			out = d.S.Run(d.StepBudget)
-		} else {
+		default:
 			out = d.M.Run(d.StepBudget)
 		}
 		switch out.Kind {
