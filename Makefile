@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-smoke obsv-smoke chaos-smoke trace-smoke fleet-smoke diff-smoke eval examples cover clean
+.PHONY: all build test vet bench bench-smoke obsv-smoke chaos-smoke trace-smoke fleet-smoke openloop-smoke diff-smoke eval examples cover clean
 
 all: build vet test
 
@@ -112,6 +112,27 @@ fleet-smoke:
 	cmp /tmp/fire-fleet-report.txt /tmp/fire-fleet-report2.txt
 	cmp /tmp/fire-fleet.jsonl /tmp/fire-fleet2.jsonl
 	@echo fleet-smoke OK
+
+# Open-loop workload smoke: the offered-load sweep (Poisson arrivals at
+# fixed multiples of the calibrated service rate, 20k-client population
+# with churn, slow readers, fragmentation and pipelining), serial vs
+# -parallel 4 — the rendered latency-vs-load ladder and the
+# experiment-global span log must compare byte-for-byte, and the span
+# log must pass the trace schema AND trace-ID causality (every offered
+# arrival reaches exactly one terminal, shed arrivals included). The
+# experiment itself fails on any stats/metrics/span reconciliation
+# mismatch or silent incarnation death.
+openloop-smoke:
+	$(GO) build -o /tmp/firebench-bin ./cmd/firebench
+	$(GO) build -o /tmp/obsvlint-bin ./cmd/obsvlint
+	/tmp/firebench-bin -experiment openloop -requests 60 \
+		-trace-out /tmp/fire-openloop.jsonl > /tmp/fire-openloop-report.txt
+	/tmp/obsvlint-bin -schema trace -causality /tmp/fire-openloop.jsonl
+	/tmp/firebench-bin -experiment openloop -requests 60 -parallel 4 \
+		-trace-out /tmp/fire-openloop2.jsonl > /tmp/fire-openloop-report2.txt
+	cmp /tmp/fire-openloop-report.txt /tmp/fire-openloop-report2.txt
+	cmp /tmp/fire-openloop.jsonl /tmp/fire-openloop2.jsonl
+	@echo openloop-smoke OK
 
 # Differential-execution smoke: the default firebench suite under the
 # tree-walking interpreter and the compiled bytecode backend must render

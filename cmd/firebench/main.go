@@ -36,6 +36,15 @@
 // goodput and p999 scaling curve; -trace-out exports the experiment-
 // global span log, which carries replica/incarnation stamps on every
 // replica-attributed event.
+//
+// The openloop experiment (extra) calibrates the hardened web server's
+// recovery-inclusive service rate closed-loop, then offers fixed
+// multiples of it on a deterministic Poisson arrival schedule — a large
+// modeled client population with connection churn, slow readers,
+// fragmented writes and pipelining — behind the supervised fleet. The
+// table reports latency vs offered load, the clean/recovery p999 split
+// and the shedding knee; -trace-out exports the experiment-global span
+// log.
 package main
 
 import (
@@ -206,6 +215,26 @@ func experiments(out *obsvOut) []experiment {
 				return "", err
 			}
 			res, err := r.Fleet(sizes...)
+			if err != nil {
+				return "", err
+			}
+			if out.traceOut != "" {
+				f, err := os.Create(out.traceOut)
+				if err != nil {
+					return "", err
+				}
+				if err := res.WriteTrace(f); err != nil {
+					f.Close()
+					return "", err
+				}
+				if err := f.Close(); err != nil {
+					return "", err
+				}
+			}
+			return res.Render(), nil
+		}},
+		{name: "openloop", desc: "open-loop offered-load sweep: latency vs load and the shedding knee over the supervised fleet (extra)", extra: true, run: func(r bench.Runner) (string, error) {
+			res, err := r.OpenLoop()
 			if err != nil {
 				return "", err
 			}

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	firestarter "github.com/firestarter-go/firestarter"
+	"github.com/firestarter-go/firestarter/internal/workload"
 )
 
 func main() {
@@ -58,8 +59,9 @@ func run() int {
 			return 1
 		}
 		res := srv.DriveWorkload(app.Protocol, app.Port, *requests, 4, *seed)
-		fmt.Printf("%s: completed %d requests (%d bad), %.0f cycles/request\n",
-			app.Name, res.Completed, res.BadResp, res.CyclesPerRequest())
+		fmt.Printf("%s: completed %d requests (%d bad), %s cycles/request\n",
+			app.Name, res.Completed, res.BadResp,
+			workload.FormatCPR(res.CyclesPerRequest()))
 		if res.ServerDied {
 			fmt.Printf("server DIED (trap %d)\n", res.TrapCode)
 		}

@@ -14,7 +14,9 @@
 // The summary always prints: span/request totals, terminal outcomes
 // (done-ok / done-bad / lost / unterminated), orphaned trace
 // references, and the per-rung request counts. -breakdown adds the
-// per-rung tail-latency table (p50/p90/p99/p999 in cycles) and the
+// per-rung tail-latency table — completed count, offered count (every
+// request attributed to the rung, lost ones included, so open-loop
+// sheds stay visible), and p50/p90/p99/p999 in cycles — and the
 // campaign cycle breakdown (tx-committed, tx-aborted, rollback,
 // reboot-wait). -timeline N prints the N slowest terminated requests
 // with their full span sequences. -strict exits non-zero if any request
@@ -338,12 +340,14 @@ func (rep *report) summary(path string) string {
 // breakdown.
 func (rep *report) breakdown() string {
 	var sb strings.Builder
-	sb.WriteString("Request latency by rung (cycles, req-start to terminal):\n")
-	fmt.Fprintf(&sb, "%-10s %7s %10s %10s %10s %10s %10s\n",
-		"rung", "count", "p50", "p90", "p99", "p999", "max")
+	sb.WriteString("Request latency by rung (cycles, req-start to terminal; offered counts every attributed request, lost included):\n")
+	fmt.Fprintf(&sb, "%-10s %7s %8s %10s %10s %10s %10s %10s\n",
+		"rung", "count", "offered", "p50", "p90", "p99", "p999", "max")
 	hists := map[string]*obsv.Hist{}
+	offered := map[string]int{}
 	all := obsv.NewHist()
 	for _, r := range rep.Requests {
+		offered[r.Rung]++
 		lat := r.Latency()
 		if lat < 0 || r.Outcome == outLost {
 			continue
@@ -356,18 +360,21 @@ func (rep *report) breakdown() string {
 		h.Observe(lat)
 		all.Observe(lat)
 	}
-	row := func(name string, h *obsv.Hist) {
-		if h == nil || h.Count() == 0 {
+	row := func(name string, h *obsv.Hist, off int) {
+		if off == 0 && (h == nil || h.Count() == 0) {
 			return
 		}
+		if h == nil {
+			h = obsv.NewHist()
+		}
 		p := h.Percentiles()
-		fmt.Fprintf(&sb, "%-10s %7d %10d %10d %10d %10d %10d\n",
-			name, h.Count(), p.P50, p.P90, p.P99, p.P999, h.Max())
+		fmt.Fprintf(&sb, "%-10s %7d %8d %10d %10d %10d %10d %10d\n",
+			name, h.Count(), off, p.P50, p.P90, p.P99, p.P999, h.Max())
 	}
 	for i := len(rungOrder) - 1; i >= 0; i-- {
-		row(rungOrder[i], hists[rungOrder[i]])
+		row(rungOrder[i], hists[rungOrder[i]], offered[rungOrder[i]])
 	}
-	row("all-done", all)
+	row("all-done", all, len(rep.Requests))
 
 	// Per-replica attribution (fleet traces only): which replica served
 	// each request's start, and which replicas absorbed migrated

@@ -85,6 +85,16 @@ func TestBreakdownCycleAccounting(t *testing.T) {
 	if !strings.Contains(b, "all-done         3") {
 		t.Errorf("all-done row wrong:\n%s", b)
 	}
+	// The offered column counts lost requests too: the shed rung renders
+	// with 0 completions but 1 offered, and all-done offers all 4.
+	for _, w := range []string{
+		"shed             0        1",
+		"all-done         3        4",
+	} {
+		if !strings.Contains(b, w) {
+			t.Errorf("offered column missing %q:\n%s", w, b)
+		}
+	}
 }
 
 // Fleet traces carry replica/incarnation stamps; the breakdown grows a

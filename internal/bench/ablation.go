@@ -8,6 +8,7 @@ import (
 	"github.com/firestarter-go/firestarter/internal/core"
 	"github.com/firestarter-go/firestarter/internal/faultinj"
 	"github.com/firestarter-go/firestarter/internal/htm"
+	"github.com/firestarter-go/firestarter/internal/workload"
 )
 
 // Ablation experiments probe the design choices the paper fixes without
@@ -81,8 +82,9 @@ func (d DivertResult) Render() string {
 	fmt.Fprintf(&sb, "%-32s %8s %11s %10s %6s %14s\n",
 		"policy", "crashes", "injections", "completed", "bad", "cycles/req")
 	for _, row := range d.Rows {
-		fmt.Fprintf(&sb, "%-32s %8d %11d %10d %6d %14.0f\n",
-			row.Policy, row.Crashes, row.Injections, row.Completed, row.Bad, row.CyclesPerReq)
+		fmt.Fprintf(&sb, "%-32s %8d %11d %10d %6d %14s\n",
+			row.Policy, row.Crashes, row.Injections, row.Completed, row.Bad,
+			workload.FormatCPR(row.CyclesPerReq))
 	}
 	return sb.String()
 }

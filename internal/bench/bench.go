@@ -10,6 +10,7 @@ package bench
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/firestarter-go/firestarter/internal/apps"
 	"github.com/firestarter-go/firestarter/internal/core"
@@ -191,9 +192,12 @@ func (r Runner) measure(app *apps.App, o bootOpts) (*instance, workload.Result, 
 }
 
 // overheadPct converts a variant/baseline cycles-per-request pair into the
-// paper's "normalized performance overhead" percentage.
+// paper's "normalized performance overhead" percentage. Dead-server runs
+// report +Inf cycles/request (Result.CyclesPerRequest); any non-finite
+// input would poison the whole column, so the aggregation degrades to 0
+// and the run's death stays visible through the completed/failed columns.
 func overheadPct(variant, baseline float64) float64 {
-	if baseline == 0 {
+	if baseline == 0 || math.IsInf(variant, 0) || math.IsInf(baseline, 0) {
 		return 0
 	}
 	return (variant/baseline - 1) * 100

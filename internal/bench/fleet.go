@@ -6,10 +6,8 @@ import (
 	"strings"
 
 	"github.com/firestarter-go/firestarter/internal/apps"
-	"github.com/firestarter-go/firestarter/internal/core"
 	"github.com/firestarter-go/firestarter/internal/faultinj"
 	"github.com/firestarter-go/firestarter/internal/fleet"
-	"github.com/firestarter-go/firestarter/internal/htm"
 	"github.com/firestarter-go/firestarter/internal/obsv"
 	"github.com/firestarter-go/firestarter/internal/supervisor"
 	"github.com/firestarter-go/firestarter/internal/workload"
@@ -84,23 +82,7 @@ func (r Runner) fleetRun(app *apps.App, fault *faultinj.Fault, size int, seed in
 		Port:     app.Port,
 		Sup:      supervisor.Config{Seed: seed},
 	}
-	bootRep := func(rep, inc int, bootSeed int64) (*fleet.Backend, error) {
-		f := *fault
-		inst, err := boot(app, bootOpts{
-			fault:   &f,
-			backend: r.Backend,
-			cfg:     core.Config{HTM: htm.Config{Seed: bootSeed}},
-		})
-		if err != nil {
-			return nil, err
-		}
-		inst.rt.EnableSpans()
-		if err := armQuiesce(inst); err != nil {
-			return nil, err
-		}
-		return &fleet.Backend{OS: inst.os, Exec: fleet.MachineExec(inst.m), RT: inst.rt}, nil
-	}
-	fl := fleet.New(fcfg, bootRep)
+	fl := fleet.New(fcfg, r.fleetBoot(app, fault))
 	d := &workload.Driver{
 		Port:        app.Port,
 		Gen:         workload.ForProtocol(app.Protocol),

@@ -217,8 +217,9 @@ func (o *ObserveResult) WriteProfile(w io.Writer) error { return o.Profile.Write
 // volume, and the profiler's top-N table.
 func (o *ObserveResult) Render() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "Observability: %s hardened, %d completed (%d bad), %.0f cycles/req\n",
-		o.App, o.Workload.Completed, o.Workload.BadResp, o.Workload.CyclesPerRequest())
+	fmt.Fprintf(&sb, "Observability: %s hardened, %d completed (%d bad), %s cycles/req\n",
+		o.App, o.Workload.Completed, o.Workload.BadResp,
+		workload.FormatCPR(o.Workload.CyclesPerRequest()))
 	fmt.Fprintf(&sb, "spans: %d recorded, %d dropped; metrics: %d series\n",
 		len(o.Spans), o.Dropped, o.Registry.Len())
 	sb.WriteString("\nRequest latency (cycles, delivery to validated response):\n")

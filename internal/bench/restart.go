@@ -7,6 +7,7 @@ import (
 	"github.com/firestarter-go/firestarter/internal/apps"
 	"github.com/firestarter-go/firestarter/internal/faultinj"
 	"github.com/firestarter-go/firestarter/internal/supervisor"
+	"github.com/firestarter-go/firestarter/internal/workload"
 )
 
 // RestartRow is one strategy's outcome against the same persistent fault.
@@ -99,9 +100,7 @@ func (l *ladderRun) row(strategy string) RestartRow {
 		StateLost: l.Sup.StateLost,
 		Sheds:     int(l.Sheds),
 	}
-	if l.Completed > 0 {
-		row.CyclesPerReq = float64(l.Cycles) / float64(l.Completed)
-	}
+	row.CyclesPerReq = workload.Result{Cycles: l.Cycles, Completed: l.Completed}.CyclesPerRequest()
 	return row
 }
 
@@ -112,8 +111,9 @@ func (d RestartResult) Render() string {
 	fmt.Fprintf(&sb, "%-28s %10s %8s %9s %11s %7s %14s\n",
 		"strategy", "completed", "failed", "restarts", "state lost", "sheds", "cycles/req")
 	for _, row := range d.Rows {
-		fmt.Fprintf(&sb, "%-28s %10d %8d %9d %11d %7d %14.0f\n",
-			row.Strategy, row.Completed, row.Failed, row.Restarts, row.StateLost, row.Sheds, row.CyclesPerReq)
+		fmt.Fprintf(&sb, "%-28s %10d %8d %9d %11d %7d %14s\n",
+			row.Strategy, row.Completed, row.Failed, row.Restarts, row.StateLost, row.Sheds,
+			workload.FormatCPR(row.CyclesPerReq))
 	}
 	return sb.String()
 }

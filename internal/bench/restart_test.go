@@ -7,10 +7,14 @@ import "testing"
 // full client pool (r.Concurrency) as failed even when fewer requests
 // were outstanding or the campaign owed fewer, driving `remaining`
 // negative and inflating Failed past the request budget. With
-// Requests=20, Concurrency=8, Seed=1 the server dies when only 4
-// requests remain, so the old code reports Completed+Failed = 24 > 20.
+// Requests=116, Concurrency=8, Seed=1 the server dies after completing
+// 112 requests with the full burst of 8 in flight but only 4 still owed,
+// so the old code reports Completed+Failed = 120 > 116. (The per-client
+// request streams need enough depth per client to reach the INCR cases
+// that arm the fault — each client draws its own seq, so the crash sits
+// at request 112 rather than the shared-rng scenario's 16.)
 func TestRestartBaselineDoesNotOvercountLostRequests(t *testing.T) {
-	r := Runner{Requests: 20, Concurrency: 8, Seed: 1}
+	r := Runner{Requests: 116, Concurrency: 8, Seed: 1}
 	res, err := r.AblationRestartBaseline()
 	if err != nil {
 		t.Fatal(err)

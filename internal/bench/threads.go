@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -243,7 +244,7 @@ func (r Runner) Threads() (ThreadsResult, error) {
 	for _, rows := range [][]ThreadsRow{out.FaultFree, out.Faulted} {
 		base := rows[0].WallPerReq
 		for i := range rows {
-			if rows[i].WallPerReq > 0 {
+			if rows[i].WallPerReq > 0 && !math.IsInf(rows[i].WallPerReq, 0) && !math.IsInf(base, 0) {
 				rows[i].Speedup = base / rows[i].WallPerReq
 			}
 		}
@@ -257,8 +258,8 @@ func renderThreadsTable(sb *strings.Builder, title string, rows []ThreadsRow) {
 		"workers", "completed", "bad", "wall-cyc/req", "speedup",
 		"htm-txs", "capacity", "interrupt", "conflict", "explicit", "stm-cmt", "inject")
 	for _, row := range rows {
-		fmt.Fprintf(sb, "%7d %9d %4d %14.0f %7.2fx %9d %9d %10d %9d %9d %8d %7d\n",
-			row.Workers, row.Completed, row.BadResp, row.WallPerReq, row.Speedup,
+		fmt.Fprintf(sb, "%7d %9d %4d %14s %7.2fx %9d %9d %10d %9d %9d %8d %7d\n",
+			row.Workers, row.Completed, row.BadResp, workload.FormatCPR(row.WallPerReq), row.Speedup,
 			row.HTMBegins, row.ByCapacity, row.ByInterrupt, row.ByConfl, row.ByExpl,
 			row.STMCommits, row.Injections)
 	}

@@ -739,6 +739,13 @@ func (f *Fleet) pump() bool {
 			continue
 		}
 		vc.refreshStarted()
+		if vc.started {
+			// Mirror the back-end promotion onto the client-facing front:
+			// a pipelining client gates its next traced request on the
+			// server having started this one, and the front is the only
+			// endpoint it can observe.
+			vc.front.PromoteTrace(vc.trace)
+		}
 
 		// Client gone (FIN or RST): propagate and drop — a conn whose
 		// client left is never failed over.

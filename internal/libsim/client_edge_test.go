@@ -1,0 +1,200 @@
+package libsim
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/firestarter-go/firestarter/internal/mem"
+)
+
+// acceptConn binds a listener on port, connects a client and accepts it,
+// returning the client conn and the server-side fd.
+func acceptConn(t *testing.T, o *OS, port int64) (*Conn, int64) {
+	t.Helper()
+	s := call(t, o, "socket")
+	call(t, o, "bind", s, port)
+	call(t, o, "listen", s, 16)
+	c := o.Connect(port)
+	if c == nil {
+		t.Fatal("Connect failed")
+	}
+	fd := call(t, o, "accept", s)
+	if fd < 0 {
+		t.Fatalf("accept = %d", fd)
+	}
+	return c, fd
+}
+
+// TestSlowReaderBackpressure models a slow-loris-style reader: the server
+// keeps writing while the client drains its end a few bytes at a time (or
+// not at all). The undrained bytes must stay queued without perturbing the
+// server's writes, partial takes must preserve byte order, and shedding
+// the connection must not destroy responses already written — the client
+// still drains them after the server side is gone.
+func TestSlowReaderBackpressure(t *testing.T) {
+	o := newOS(t)
+	c, fd := acceptConn(t, o, 80)
+
+	resp := putStr(t, o, 0x2000, "aaaabbbbccccdddd")
+	if w := call(t, o, "write", fd, resp, 16); w != 16 {
+		t.Fatalf("write = %d", w)
+	}
+	if c.OutboundLen() != 16 {
+		t.Fatalf("outbound = %d, want 16", c.OutboundLen())
+	}
+
+	// Partial drains come out in order and shrink the backlog.
+	if got := string(c.ClientTakeN(4)); got != "aaaa" {
+		t.Fatalf("first take = %q", got)
+	}
+	if got := string(c.ClientTakeN(6)); got != "bbbbcc" {
+		t.Fatalf("second take = %q", got)
+	}
+	if c.OutboundLen() != 6 {
+		t.Fatalf("outbound after takes = %d, want 6", c.OutboundLen())
+	}
+
+	// A reader that never drains: the server's writes keep landing.
+	if w := call(t, o, "write", fd, resp, 16); w != 16 {
+		t.Fatalf("second write = %d", w)
+	}
+	if c.OutboundLen() != 22 {
+		t.Fatalf("outbound with sleeping reader = %d, want 22", c.OutboundLen())
+	}
+	if got := c.ClientTakeN(0); got != nil {
+		t.Fatalf("zero take = %q", got)
+	}
+
+	// Shed the connection mid-backlog: the server end closes, but the
+	// bytes it already wrote still reach the slow client.
+	o.SetServingFD(fd)
+	if shed := o.ShedConn(); shed != fd {
+		t.Fatalf("ShedConn = %d, want %d", shed, fd)
+	}
+	if !c.ServerClosed() {
+		t.Fatal("shed did not close the server end")
+	}
+	if got := string(c.ClientTakeN(100)); got != "ccddddaaaabbbbccccdddd" {
+		t.Fatalf("drain after shed = %q", got)
+	}
+	if c.OutboundLen() != 0 {
+		t.Fatalf("outbound after full drain = %d", c.OutboundLen())
+	}
+}
+
+// TestFragmentedRequestBoundaries delivers one request split across
+// multiple client writes at every possible byte boundary: the server-side
+// reads must reassemble the exact bytes, and a trace stamped on the first
+// fragment must promote on the server's first read regardless of where
+// the split falls.
+func TestFragmentedRequestBoundaries(t *testing.T) {
+	req := "GET /x\n"
+	for cut := 1; cut < len(req); cut++ {
+		o := newOS(t)
+		c, fd := acceptConn(t, o, 80)
+
+		c.ClientDeliverTraced([]byte(req[:cut]), 42)
+		c.ClientDeliver([]byte(req[cut:]))
+		if c.Trace() != 0 {
+			t.Fatalf("cut=%d: trace active before any server read", cut)
+		}
+
+		buf := int64(mem.GlobalBase + 0x1000)
+		var got strings.Builder
+		for got.Len() < len(req) {
+			n := call(t, o, "read", fd, buf, 4) // small reads: arbitrary regrouping
+			if n <= 0 {
+				t.Fatalf("cut=%d: read = %d with %d bytes assembled", cut, n, got.Len())
+			}
+			b, _ := o.Space.ReadBytes(buf, n)
+			got.Write(b)
+			if c.Trace() != 42 {
+				t.Fatalf("cut=%d: trace not promoted on first read", cut)
+			}
+		}
+		if got.String() != req {
+			t.Fatalf("cut=%d: reassembled %q, want %q", cut, got.String(), req)
+		}
+	}
+}
+
+// TestPipelinedRequestsOneConnection sends two requests back-to-back on
+// one connection before the server answers either: the server reads the
+// concatenated bytes, answers in order, and the responses drain in FIFO
+// order. The trace slot is single-entry, so the second request's ID is
+// stamped only after the first promoted — the ordering contract the
+// open-loop driver enforces before pipelining a traced request.
+func TestPipelinedRequestsOneConnection(t *testing.T) {
+	o := newOS(t)
+	c, fd := acceptConn(t, o, 80)
+
+	c.ClientDeliverTraced([]byte("one\n"), 7)
+	buf := int64(mem.GlobalBase + 0x1000)
+	if n := call(t, o, "read", fd, buf, 64); n != 4 {
+		t.Fatalf("read = %d", n)
+	}
+	if c.Trace() != 7 {
+		t.Fatal("first request's trace not promoted")
+	}
+
+	// First request started: the client may now pipeline the second one
+	// even though no response has been written yet.
+	c.ClientDeliverTraced([]byte("two\n"), 8)
+	r1 := putStr(t, o, 0x2000, "ONE\n")
+	if w := call(t, o, "write", fd, r1, 4); w != 4 {
+		t.Fatalf("write = %d", w)
+	}
+	if n := call(t, o, "read", fd, buf, 64); n != 4 {
+		t.Fatalf("second read = %d", n)
+	}
+	if c.Trace() != 8 {
+		t.Fatal("second request's trace not promoted")
+	}
+	r2 := putStr(t, o, 0x3000, "TWO\n")
+	if w := call(t, o, "write", fd, r2, 4); w != 4 {
+		t.Fatalf("second write = %d", w)
+	}
+
+	// FIFO drain, also under a partial (slow) take.
+	if got := string(c.ClientTakeN(5)); got != "ONE\nT" {
+		t.Fatalf("pipelined drain = %q", got)
+	}
+	if got := string(c.ClientTake()); got != "WO\n" {
+		t.Fatalf("pipelined tail = %q", got)
+	}
+}
+
+// TestPipelinedRequestsShedMidStream sheds the connection between the two
+// pipelined requests: the first response survives for the client to
+// drain, the second request's bytes die with the connection (reads fail
+// once the fd is gone), and the client observes the close.
+func TestPipelinedRequestsShedMidStream(t *testing.T) {
+	o := newOS(t)
+	c, fd := acceptConn(t, o, 80)
+
+	c.ClientDeliverTraced([]byte("one\n"), 7)
+	buf := int64(mem.GlobalBase + 0x1000)
+	call(t, o, "read", fd, buf, 64)
+	r1 := putStr(t, o, 0x2000, "ONE\n")
+	call(t, o, "write", fd, r1, 4)
+
+	c.ClientDeliverTraced([]byte("two\n"), 8)
+	o.SetServingFD(fd)
+	if shed := o.ShedConn(); shed != fd {
+		t.Fatalf("ShedConn = %d, want %d", shed, fd)
+	}
+
+	if !c.ServerClosed() {
+		t.Fatal("client cannot see the shed")
+	}
+	if got := string(c.ClientTake()); got != "ONE\n" {
+		t.Fatalf("response written before shed = %q", got)
+	}
+	// The shed fd is recycled: a further server read must not succeed.
+	if r := call(t, o, "read", fd, buf, 64); r != -1 {
+		t.Fatalf("read on shed fd = %d, want -1", r)
+	}
+	if c.InboundLen() == 0 {
+		t.Fatal("unread pipelined request vanished without the close accounting for it")
+	}
+}

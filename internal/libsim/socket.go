@@ -54,6 +54,20 @@ func (c *Conn) ClientDeliverTraced(data []byte, trace int64) {
 // Trace returns the connection's active trace ID (0 = untraced).
 func (c *Conn) Trace() int64 { return c.trace }
 
+// PromoteTrace marks trace as this connection's active trace if it is the
+// one still pending. A proxy that forwarded the request to a back-end
+// whose first read promoted it there calls this to mirror the promotion
+// onto the client-facing front, so a pipelining client can observe that
+// the server has started consuming its request.
+func (c *Conn) PromoteTrace(trace int64) {
+	if trace != 0 && c.pendingTrace == trace {
+		c.pendingTrace = 0
+	}
+	if trace != 0 {
+		c.trace = trace
+	}
+}
+
 // ClientClose marks the client end closed (FIN).
 func (c *Conn) ClientClose() { c.clientClosed = true }
 
@@ -73,6 +87,27 @@ func (c *Conn) ClientTake() []byte {
 	c.out = nil
 	return out
 }
+
+// ClientTakeN drains at most n response bytes, leaving the rest queued —
+// a slow reader whose receive window admits only part of what the server
+// wrote. The undrained remainder keeps exerting backpressure exactly like
+// a real socket buffer: the server's writes still land, the client just
+// hasn't consumed them.
+func (c *Conn) ClientTakeN(n int) []byte {
+	if n <= 0 || len(c.out) == 0 {
+		return nil
+	}
+	if n >= len(c.out) {
+		return c.ClientTake()
+	}
+	out := append([]byte(nil), c.out[:n]...)
+	c.out = append(c.out[:0], c.out[n:]...)
+	return out
+}
+
+// OutboundLen returns bytes written by the server but not yet drained by
+// the client — the slow-reader backlog.
+func (c *Conn) OutboundLen() int { return len(c.out) }
 
 // Readable reports whether a server-side read would make progress: data is
 // queued, or the client closed (EOF and ECONNRESET are both readable).

@@ -17,6 +17,7 @@ package workload
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"math/rand"
 	"strconv"
 
@@ -113,12 +114,26 @@ func (r Result) PublishMetrics(reg *obsv.Registry, labels ...obsv.Label) {
 	reg.Counter("workload.stalled", labels...).Add(stalled)
 }
 
-// CyclesPerRequest is the throughput metric (lower is better).
+// CyclesPerRequest is the throughput metric (lower is better). A run
+// that completed nothing is infinitely slow, not infinitely fast — it
+// returns +Inf, which FormatCPR renders as "-" so a dead server never
+// shows up as the best row of a lower-is-better table.
 func (r Result) CyclesPerRequest() float64 {
 	if r.Completed == 0 {
-		return 0
+		return math.Inf(1)
 	}
 	return float64(r.Cycles) / float64(r.Completed)
+}
+
+// FormatCPR renders a cycles-per-request value for a table cell:
+// finite values keep the historical %.0f form, while the +Inf of a run
+// that completed nothing prints as "-". Pad with %Ns to preserve
+// column alignment.
+func FormatCPR(v float64) string {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'f', 0, 64)
 }
 
 // Driver drives one machine with concurrent simulated clients.
@@ -143,6 +158,19 @@ type Driver struct {
 	// StepBudget bounds each machine slice (default 2M instructions).
 	StepBudget int64
 
+	// StallCycles bounds the backend cycles the driver lets progress-free
+	// rounds consume before declaring the run stalled (default
+	// DefaultStallCycles). It replaces the old progress-free *round*
+	// counter as the primary stall detector: a long in-server compute
+	// burst — slices that exhaust their step budget without a response
+	// ready yet — consumes cycles but is real work, and no longer trips
+	// the detector until the budget is spent. A server that is *blocked*
+	// with requests queued and nothing moving is stuck now (its clock
+	// barely advances, so a cycle budget alone would never fire); that
+	// zero-progress fixpoint still stalls after stallRounds consecutive
+	// blocked rounds, matching the old closed-loop behavior.
+	StallCycles int64
+
 	// Metrics, when non-nil, receives the run's outcome counters (and,
 	// under a scheduler, the per-thread cycle accounting) when Run
 	// returns. Collection-time only: the drive loop never touches it.
@@ -161,11 +189,28 @@ type Driver struct {
 	TraceBase int64
 }
 
+// DefaultStallCycles is the default Driver.StallCycles: generous
+// enough for any legitimate compute burst or supervised reboot wait,
+// small enough that a livelocked server is still caught.
+const DefaultStallCycles = 50_000_000
+
+// stallRounds is the consecutive-blocked-round limit: a server that is
+// blocked (not step-limited) while nothing progresses is already at a
+// fixpoint, and this preserves the old detector's promptness there.
+const stallRounds = 10
+
 type clientState struct {
 	conn    *libsim.Conn
 	req     []byte
 	resp    []byte
 	pending bool
+
+	// rng is the client's private request stream, seeded Seed^clientID:
+	// request content depends only on (seed, client, position in the
+	// client's own stream), never on cross-client delivery order, so a
+	// reconnect or a recovery-induced reordering cannot reshuffle what
+	// every *other* client is about to send.
+	rng *rand.Rand
 
 	trace  int64 // in-flight request's trace ID (0 = untraced)
 	sentAt int64 // cycles() when the request was delivered
@@ -181,7 +226,9 @@ func (d *Driver) Run(total int) Result {
 	if d.StepBudget <= 0 {
 		d.StepBudget = 2_000_000
 	}
-	rng := rand.New(rand.NewSource(d.Seed))
+	if d.StallCycles <= 0 {
+		d.StallCycles = DefaultStallCycles
+	}
 	var res Result
 	if d.Sink != nil {
 		res.CleanLatency = obsv.NewHist()
@@ -193,7 +240,7 @@ func (d *Driver) Run(total int) Result {
 	startSteps := d.steps()
 
 	// Let the server finish startup and block on epoll_wait.
-	if !d.slice(&res) {
+	if ok, _ := d.slice(&res); !ok {
 		res.Cycles = d.cycles() - startCycles
 		res.Steps = d.steps() - startSteps
 		if d.Metrics != nil {
@@ -204,12 +251,14 @@ func (d *Driver) Run(total int) Result {
 
 	clients := make([]*clientState, d.Concurrency)
 	for i := range clients {
-		clients[i] = &clientState{}
+		clients[i] = &clientState{rng: rand.New(rand.NewSource(d.Seed ^ int64(i)))}
 	}
 
-	idle := 0
+	idleRounds := 0
+	var idleCycles int64
 	for res.Completed+res.BadResp < total {
 		progressed := false
+		roundStart := d.cycles()
 		// Feed requests.
 		for i, c := range clients {
 			if c.conn == nil || c.conn.ServerClosed() {
@@ -221,7 +270,7 @@ func (d *Driver) Run(total int) Result {
 				}
 			}
 			if !c.pending {
-				c.req = d.Gen.Next(i, rng)
+				c.req = d.Gen.Next(i, c.rng)
 				if d.Sink != nil {
 					nextTrace++
 					c.trace = nextTrace
@@ -236,7 +285,8 @@ func (d *Driver) Run(total int) Result {
 			}
 		}
 
-		if !d.slice(&res) {
+		ok, busy := d.slice(&res)
+		if !ok {
 			break
 		}
 
@@ -288,10 +338,20 @@ func (d *Driver) Run(total int) Result {
 		}
 
 		if progressed {
-			idle = 0
+			idleRounds, idleCycles = 0, 0
 		} else {
-			idle++
-			if idle > 10 {
+			// Progress-free round. A busy server (slice exhausted its
+			// step budget mid-computation) is doing real work: charge the
+			// cycle budget only. A blocked one is at a fixpoint — more
+			// rounds cost almost nothing and change nothing — so the
+			// consecutive-round limit fires at the old promptness.
+			idleCycles += d.cycles() - roundStart
+			if busy {
+				idleRounds = 0
+			} else {
+				idleRounds++
+			}
+			if idleRounds > stallRounds || idleCycles > d.StallCycles {
 				res.Stalled = true
 				break
 			}
@@ -356,8 +416,10 @@ func (d *Driver) steps() int64 {
 }
 
 // slice runs the machine (or all runnable threads, or the plugged-in
-// Server) until it blocks; returns false when the server died or exited.
-func (d *Driver) slice(res *Result) bool {
+// Server) until it blocks; ok is false when the server died or exited,
+// and busy reports a slice that exhausted its step budget mid-work (the
+// stall detector must not count such rounds as idle).
+func (d *Driver) slice(res *Result) (ok, busy bool) {
 	for {
 		var out interp.Outcome
 		switch {
@@ -370,19 +432,19 @@ func (d *Driver) slice(res *Result) bool {
 		}
 		switch out.Kind {
 		case interp.OutBlocked:
-			return true
+			return true, false
 		case interp.OutStepLimit:
 			// Long-running slice (an accept/handle burst); treat like a
 			// block so the driver can drain and keep feeding.
-			return true
+			return true, true
 		case interp.OutTrapped:
 			res.ServerDied = true
 			res.TrapCode = out.Code
-			return false
+			return false, false
 		case interp.OutExited:
-			return false
+			return false, false
 		default:
-			return false
+			return false, false
 		}
 	}
 }
@@ -486,13 +548,15 @@ func (g *HTTPGen) Check(req, resp []byte) bool {
 // SET/GET workload).
 type RedisGen struct {
 	Keys int
-	seq  int
+	seq  map[int]int // per-client statement counter (stream stability)
 	vals map[string]string
 	last map[int]string // client → last request kind+key
 }
 
 // Next implements Generator: a SET/GET-dominated mix with the secondary
-// commands (INCR, EXISTS, DEL) redis-benchmark also exercises.
+// commands (INCR, EXISTS, DEL) redis-benchmark also exercises. The
+// statement counter is keyed per client so a client's stream depends
+// only on its own position, never on cross-client delivery order.
 func (g *RedisGen) Next(i int, rng *rand.Rand) []byte {
 	if g.Keys <= 0 {
 		g.Keys = 16
@@ -500,12 +564,14 @@ func (g *RedisGen) Next(i int, rng *rand.Rand) []byte {
 	if g.vals == nil {
 		g.vals = map[string]string{}
 		g.last = map[int]string{}
+		g.seq = map[int]int{}
 	}
-	g.seq++
+	g.seq[i]++
+	seq := g.seq[i]
 	key := fmt.Sprintf("k%d", rng.Intn(g.Keys))
-	switch g.seq % 8 {
+	switch seq % 8 {
 	case 1, 3, 5:
-		val := fmt.Sprintf("v%d", g.seq)
+		val := fmt.Sprintf("v%d", seq)
 		g.vals[key] = val
 		return []byte("SET " + key + " " + val + "\n")
 	case 7:
@@ -550,20 +616,24 @@ func (g *RedisGen) Check(req, resp []byte) bool {
 // SQLGen drives the PostgreSQL analog with INSERT/SELECT statements.
 type SQLGen struct {
 	Keys int
-	seq  int
+	seq  map[int]int // per-client statement counter (stream stability)
 }
 
 // Next implements Generator: INSERT/SELECT-dominated with occasional
-// DELETE and COUNT statements.
+// DELETE and COUNT statements, sequenced per client like RedisGen.
 func (g *SQLGen) Next(i int, rng *rand.Rand) []byte {
 	if g.Keys <= 0 {
 		g.Keys = 16
 	}
-	g.seq++
+	if g.seq == nil {
+		g.seq = map[int]int{}
+	}
+	g.seq[i]++
+	seq := g.seq[i]
 	key := rng.Intn(g.Keys)
-	switch g.seq % 8 {
+	switch seq % 8 {
 	case 1, 3, 5:
-		return []byte(fmt.Sprintf("INSERT %d %d\n", key, g.seq))
+		return []byte(fmt.Sprintf("INSERT %d %d\n", key, seq))
 	case 6:
 		return []byte(fmt.Sprintf("DELETE %d\n", key))
 	case 7:

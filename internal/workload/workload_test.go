@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -430,5 +432,210 @@ int main() {
 	}
 	if res.Completed != 0 {
 		t.Fatalf("completed = %d on a mute server", res.Completed)
+	}
+}
+
+// TestCyclesPerRequestDeadServerNotFree is the regression test for
+// Result.CyclesPerRequest returning 0 when nothing completed: in a
+// lower-is-better table a server that died before its first response
+// rendered as infinitely fast. A dead run must report +Inf and render
+// as "-".
+func TestCyclesPerRequestDeadServerNotFree(t *testing.T) {
+	dead := Result{Cycles: 12345, ServerDied: true}
+	if cpr := dead.CyclesPerRequest(); !math.IsInf(cpr, 1) {
+		t.Fatalf("dead server cycles/request = %v, want +Inf", cpr)
+	}
+	if s := FormatCPR(dead.CyclesPerRequest()); s != "-" {
+		t.Errorf("dead server renders as %q, want -", s)
+	}
+	live := Result{Cycles: 100, Completed: 4}
+	if cpr := live.CyclesPerRequest(); cpr != 25 {
+		t.Errorf("live cycles/request = %v, want 25", cpr)
+	}
+	if s := FormatCPR(live.CyclesPerRequest()); s != "25" {
+		t.Errorf("live renders as %q, want 25", s)
+	}
+	if s := FormatCPR(math.NaN()); s != "-" {
+		t.Errorf("NaN renders as %q, want -", s)
+	}
+}
+
+// TestDriverSurvivesComputeBurst is the regression test for the stall
+// detector counting progress-free rounds instead of cycles: a request
+// whose in-server handling burns more than stallRounds slice budgets of
+// pure compute used to flip Stalled even though the server was making
+// steady progress. The busy (step-limited) rounds must not count toward
+// the blocked-round limit, and the cycle budget must be generous enough
+// to absorb the burst.
+func TestDriverSurvivesComputeBurst(t *testing.T) {
+	src := `
+int g_spin;
+int g_conns[64];
+struct c { int fd; int rlen; char rbuf[256]; };
+int main() {
+	int s = socket();
+	if (bind(s, 9000) == -1) { return 1; }
+	if (listen(s, 16) == -1) { return 2; }
+	int ep = epoll_create();
+	epoll_ctl(ep, 1, s);
+	int events[8];
+	while (1) {
+		int n = epoll_wait(ep, events, 8);
+		if (n < 0) { continue; }
+		for (int i = 0; i < n; i++) {
+			int fd = events[i];
+			if (fd == s) {
+				int nf = accept(s);
+				if (nf < 0) { continue; }
+				struct c *cc = calloc(1, sizeof(struct c));
+				if (!cc) { close(nf); continue; }
+				cc->fd = nf;
+				g_conns[nf] = cc;
+				epoll_ctl(ep, 1, nf);
+			} else {
+				struct c *cc = g_conns[fd];
+				if (!cc) { continue; }
+				int got = read(fd, cc->rbuf + cc->rlen, 255 - cc->rlen);
+				if (got <= 0) { continue; }
+				cc->rlen = cc->rlen + got;
+				int start = 0;
+				for (int j = 0; j < cc->rlen; j++) {
+					if (cc->rbuf[j] == '\n') {
+						for (int k = 0; k < 20000; k++) { g_spin = g_spin + k; }
+						write(fd, cc->rbuf + start, j - start + 1);
+						start = j + 1;
+					}
+				}
+				cc->rlen = 0;
+			}
+		}
+	}
+	return 0;
+}`
+	prog, err := minic.Compile(src, minic.Config{KnownLib: libsim.Known})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := libsim.New(mem.NewSpace())
+	m, err := interp.New(prog, o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tiny slice budget makes the 20k-iteration burn span dozens of
+	// step-limited rounds with no client-visible progress.
+	d := &Driver{OS: o, M: m, Port: 9000, Gen: &echoGen{}, Concurrency: 1, Seed: 1, StepBudget: 2000}
+	res := d.Run(3)
+	if res.Stalled {
+		t.Fatalf("compute burst misdetected as stall: %+v", res)
+	}
+	if res.ServerDied || res.Completed != 3 || res.BadResp != 0 {
+		t.Fatalf("result = %+v, want 3 clean completions", res)
+	}
+}
+
+// rngGen derives each request's body from the rng stream and records the
+// per-client sequences so two runs can be compared draw for draw.
+type rngGen struct{ got map[int][]string }
+
+func (g *rngGen) Next(i int, rng *rand.Rand) []byte {
+	if g.got == nil {
+		g.got = map[int][]string{}
+	}
+	req := fmt.Sprintf("r%d\n", rng.Int63())
+	g.got[i] = append(g.got[i], req)
+	return []byte(req)
+}
+func (g *rngGen) Split(buf []byte) int {
+	for i, b := range buf {
+		if b == '\n' {
+			return i + 1
+		}
+	}
+	return 0
+}
+func (g *rngGen) Check(req, resp []byte) bool { return string(req) == string(resp) }
+
+// echoFake is a Go-side Server: every Slice echoes the inbound bytes of
+// each accepted connection and advances a synthetic cycle clock. At the
+// closeAt-th served request it closes that connection server-side
+// (dropping the request) and refuses the next reconnect once — the
+// connection-churn shape a crashing incarnation produces.
+type echoFake struct {
+	conns        []*libsim.Conn
+	clock        int64
+	served       int
+	closeAt      int
+	failConnects int
+}
+
+func (s *echoFake) Connect(port int64) *libsim.Conn {
+	if s.failConnects > 0 {
+		s.failConnects--
+		return nil
+	}
+	c := libsim.NewConn()
+	s.conns = append(s.conns, c)
+	return c
+}
+
+func (s *echoFake) Slice(budget int64) interp.Outcome {
+	s.clock += 1000
+	for _, c := range s.conns {
+		if c.ServerClosed() {
+			continue
+		}
+		data, _ := c.ProxyTake()
+		if len(data) == 0 {
+			continue
+		}
+		s.served++
+		if s.closeAt > 0 && s.served == s.closeAt {
+			c.CloseServer()
+			s.failConnects = 1
+			continue
+		}
+		c.ProxyDeliver(data)
+	}
+	return interp.Outcome{Kind: interp.OutBlocked}
+}
+
+func (s *echoFake) Cycles() int64 { return s.clock }
+func (s *echoFake) Steps() int64  { return s.clock }
+
+// TestRequestStreamsStableUnderChurn is the regression test for request
+// generation drawing from one shared rng in delivery order: a reconnect
+// after connection churn made one client skip a round, shifting every
+// later client's draws and changing the workload bytes as a function of
+// failure timing. With per-client rngs the common prefix of every
+// client's request stream must be identical with and without churn.
+func TestRequestStreamsStableUnderChurn(t *testing.T) {
+	run := func(closeAt int) map[int][]string {
+		g := &rngGen{}
+		d := &Driver{Srv: &echoFake{closeAt: closeAt}, Port: 9000, Gen: g, Concurrency: 4, Seed: 7}
+		res := d.Run(40)
+		if res.Stalled || res.ServerDied {
+			t.Fatalf("closeAt=%d: run failed: %+v", closeAt, res)
+		}
+		return g.got
+	}
+	calm := run(0)
+	churned := run(6)
+	if len(calm) != 4 || len(churned) != 4 {
+		t.Fatalf("client counts = %d/%d, want 4", len(calm), len(churned))
+	}
+	for i, want := range calm {
+		got := churned[i]
+		n := len(got)
+		if len(want) < n {
+			n = len(want)
+		}
+		if n == 0 {
+			t.Fatalf("client %d drew no requests", i)
+		}
+		for j := 0; j < n; j++ {
+			if got[j] != want[j] {
+				t.Fatalf("client %d request %d changed under churn: %q vs %q", i, j, got[j], want[j])
+			}
+		}
 	}
 }
