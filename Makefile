@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-smoke obsv-smoke chaos-smoke trace-smoke fleet-smoke openloop-smoke diff-smoke eval examples cover clean
+.PHONY: all build test vet bench bench-smoke obsv-smoke chaos-smoke trace-smoke fleet-smoke openloop-smoke domains-smoke diff-smoke eval examples cover clean
 
 all: build vet test
 
@@ -133,6 +133,28 @@ openloop-smoke:
 	cmp /tmp/fire-openloop-report.txt /tmp/fire-openloop-report2.txt
 	cmp /tmp/fire-openloop.jsonl /tmp/fire-openloop2.jsonl
 	@echo openloop-smoke OK
+
+# Heap-domain smoke: the undo-vs-discard ablation plus the fail-silent
+# containment matrix on the arena-pooled servers, serial vs -parallel 4
+# — the rendered tables and the containment span log must compare
+# byte-for-byte, and the span log must pass the trace schema AND
+# causality, including the domain ordering rules (a discard only after a
+# crash, a switch before any non-zero-domain discard, every violation
+# resolved by its crash). The experiment itself fails on any cross-
+# request taint leak or stats/metrics/span reconciliation mismatch.
+domains-smoke:
+	$(GO) build -o /tmp/firebench-bin ./cmd/firebench
+	$(GO) build -o /tmp/obsvlint-bin ./cmd/obsvlint
+	/tmp/firebench-bin -experiment domains -requests 60 -faults 4 \
+		-concurrency 2 \
+		-trace-out /tmp/fire-domains.jsonl > /tmp/fire-domains-report.txt
+	/tmp/obsvlint-bin -schema trace -causality /tmp/fire-domains.jsonl
+	/tmp/firebench-bin -experiment domains -requests 60 -faults 4 \
+		-concurrency 2 -parallel 4 \
+		-trace-out /tmp/fire-domains2.jsonl > /tmp/fire-domains-report2.txt
+	cmp /tmp/fire-domains-report.txt /tmp/fire-domains-report2.txt
+	cmp /tmp/fire-domains.jsonl /tmp/fire-domains2.jsonl
+	@echo domains-smoke OK
 
 # Differential-execution smoke: the default firebench suite under the
 # tree-walking interpreter and the compiled bytecode backend must render

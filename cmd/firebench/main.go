@@ -233,6 +233,33 @@ func experiments(out *obsvOut) []experiment {
 			}
 			return res.Render(), nil
 		}},
+		{name: "domains", desc: "heap domains: undo-vs-discard ablation + fail-silent containment on the pool servers (extra)", extra: true, run: func(r bench.Runner) (string, error) {
+			var sb strings.Builder
+			ab, err := r.AblationDomains()
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(ab.Render() + "\n")
+			ct, err := r.Containment()
+			if err != nil {
+				return "", err
+			}
+			if out.traceOut != "" {
+				f, err := os.Create(out.traceOut)
+				if err != nil {
+					return "", err
+				}
+				if err := ct.WriteTrace(f); err != nil {
+					f.Close()
+					return "", err
+				}
+				if err := f.Close(); err != nil {
+					return "", err
+				}
+			}
+			sb.WriteString(ct.Render())
+			return sb.String(), nil
+		}},
 		{name: "openloop", desc: "open-loop offered-load sweep: latency vs load and the shedding knee over the supervised fleet (extra)", extra: true, run: func(r bench.Runner) (string, error) {
 			res, err := r.OpenLoop()
 			if err != nil {

@@ -190,6 +190,36 @@ func TestTimelineDeterministic(t *testing.T) {
 	}
 }
 
+// TestTimelineRendersDomainEvents covers the rewind-and-discard span
+// kinds: a request whose crash transaction ran under the domain variant
+// must render its switch, violation (with the trapping address) and O(1)
+// discard inline in the timeline, attribute to the recovered rung, and
+// pass -strict.
+func TestTimelineRendersDomainEvents(t *testing.T) {
+	rep := loadSpans(t, "testdata/domains.jsonl")
+	if len(rep.Requests) != 1 {
+		t.Fatalf("requests = %d, want 1", len(rep.Requests))
+	}
+	r := rep.Requests[0]
+	if r.Outcome != outDoneOK || r.Rung != "recovered" {
+		t.Fatalf("request = %s rung=%s, want done-ok/recovered", r.Outcome, r.Rung)
+	}
+	if errs := rep.violations(); len(errs) != 0 {
+		t.Fatalf("strict violations on domain trace: %v", errs)
+	}
+	tl := rep.timeline(1)
+	for _, w := range []string{
+		"domain-switch dom=3",
+		"domain-violation addr=0x60000040 dom=3",
+		"crash call=arena_alloc variant=domain cause=domain-violation",
+		"domain-discard variant=domain dom=3 mark=64",
+	} {
+		if !strings.Contains(tl, w) {
+			t.Errorf("timeline missing %q:\n%s", w, tl)
+		}
+	}
+}
+
 func TestWriteChromeIsValidJSON(t *testing.T) {
 	rep := loadSpans(t, "testdata/sample.jsonl")
 	var buf bytes.Buffer

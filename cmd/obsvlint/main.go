@@ -25,6 +25,14 @@
 // started, and no other span references a trace with no req-start. A
 // req-lost without a req-start is legal — the request was delivered but
 // the server died before reading it.
+//
+// -causality also enforces the heap-domain ordering contracts: a
+// domain-discard's domain must have been switched to first (dom=0 is
+// exempt — a crash before the request's first allocation discards an
+// empty arena), a discard is legal on a thread only while its most
+// recent transaction boundary is a crash (so a discard can never follow
+// the same transaction's commit), and a domain-violation's very next
+// span on that thread must be the crash, shed or unrecovered it becomes.
 package main
 
 import (
@@ -34,6 +42,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // maxErrors caps the per-file error report so a thoroughly corrupt file
@@ -46,7 +56,7 @@ func main() {
 
 func run() int {
 	schema := flag.String("schema", "", "expected schema: trace, metrics or profile")
-	causality := flag.Bool("causality", false, "validate trace-ID causal chains (trace schema only)")
+	causality := flag.Bool("causality", false, "validate trace-ID causal chains and heap-domain ordering (trace schema only)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "obsvlint: no files given")
@@ -134,6 +144,79 @@ func (c *causalState) errors(report func(format string, args ...any)) {
 	}
 }
 
+// domainState tracks the heap-domain ordering rules of one trace file.
+// Unlike the trace-ID chains these are order-sensitive, so violations
+// are reported at the offending line rather than at end of file.
+type domainState struct {
+	switched map[int64]bool   // domains a domain-switch has made current
+	boundary map[int64]string // last transaction-boundary kind per thread
+	pending  map[int64]int    // domain-violation line awaiting its crash, per thread
+}
+
+func newDomainState() *domainState {
+	return &domainState{
+		switched: map[int64]bool{},
+		boundary: map[int64]string{},
+		pending:  map[int64]int{},
+	}
+}
+
+// observe folds one span into the domain state, reporting any ordering
+// violation at the current line.
+func (d *domainState) observe(lineNo int, thread int64, kind, detail string, report func(format string, args ...any)) {
+	if from, ok := d.pending[thread]; ok {
+		switch kind {
+		case "crash", "shed", "unrecovered":
+		default:
+			report("line %d: domain-violation (line %d) followed by %q, want crash/shed/unrecovered",
+				lineNo, from, kind)
+		}
+		delete(d.pending, thread)
+	}
+	switch kind {
+	case "begin", "commit", "abort", "crash":
+		d.boundary[thread] = kind
+	case "domain-switch":
+		if dom, ok := detailDom(detail); ok {
+			d.switched[dom] = true
+		}
+	case "domain-discard":
+		if b := d.boundary[thread]; b != "crash" {
+			if b == "" {
+				b = "no transaction boundary"
+			}
+			report("line %d: domain-discard after %q, want crash", lineNo, b)
+		}
+		if dom, ok := detailDom(detail); ok && dom != 0 && !d.switched[dom] {
+			report("line %d: domain-discard of dom %d with no prior domain-switch", lineNo, dom)
+		}
+	case "domain-violation":
+		d.pending[thread] = lineNo
+	}
+}
+
+// finish reports violations still awaiting their crash at end of file.
+func (d *domainState) finish(report func(format string, args ...any)) {
+	lines := map[int64]int{}
+	for _, ln := range d.pending {
+		lines[int64(ln)] = 1
+	}
+	for _, ln := range sortedKeys(lines) {
+		report("line %d: domain-violation with no following span", ln)
+	}
+}
+
+// detailDom extracts the dom=N token of a domain span's detail field.
+func detailDom(detail string) (int64, bool) {
+	for _, field := range strings.Fields(detail) {
+		if rest, ok := strings.CutPrefix(field, "dom="); ok {
+			dom, err := strconv.ParseInt(rest, 10, 64)
+			return dom, err == nil
+		}
+	}
+	return 0, false
+}
+
 // sortedKeys returns the map's keys in ascending order (deterministic
 // error output).
 func sortedKeys(m map[int64]int) []int64 {
@@ -175,6 +258,7 @@ func lintFile(path, schema string, causality bool) []string {
 		totals     int
 	)
 	causal := newCausalState()
+	domains := newDomainState()
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -214,6 +298,9 @@ func lintFile(path, schema string, causality bool) []string {
 			if causality {
 				trace, _ := num(obj["trace"])
 				causal.observe(kind, trace)
+				thread, _ := num(obj["thread"])
+				detail, _ := obj["detail"].(string)
+				domains.observe(lineNo, thread, kind, detail, report)
 			}
 		case "metrics":
 			typ, _ := obj["type"].(string)
@@ -252,6 +339,7 @@ func lintFile(path, schema string, causality bool) []string {
 		report("%d total rows, want exactly 1", totals)
 	}
 	if causality {
+		domains.finish(report)
 		causal.errors(report)
 	}
 	if suppressed > 0 {

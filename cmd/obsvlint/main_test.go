@@ -62,6 +62,42 @@ func TestLintCausality(t *testing.T) {
 	}
 }
 
+// TestLintDomainRules exercises the heap-domain ordering contracts on a
+// hand-corrupted trace: a discard after a commit, a discard of a domain
+// never switched to, a violation whose next span is not its crash, and a
+// violation dangling at end of file. The legal shapes interleaved with
+// them (switch→crash→discard, a dom=0 discard, violation→crash ordering
+// handled via retry spans) must stay silent.
+func TestLintDomainRules(t *testing.T) {
+	// Without -causality the file is plain well-formed JSONL.
+	if errs := lintFile("testdata/domains.jsonl", "trace", false); len(errs) != 0 {
+		t.Fatalf("schema-only lint found errors: %v", errs)
+	}
+	errs := lintFile("testdata/domains.jsonl", "trace", true)
+	joined := strings.Join(errs, "\n")
+	wants := []string{
+		`line 8: domain-discard after "commit", want crash`,
+		"line 10: domain-discard of dom 2 with no prior domain-switch",
+		`line 13: domain-violation (line 12) followed by "retry"`,
+		"line 15: domain-violation with no following span",
+	}
+	for _, w := range wants {
+		if !strings.Contains(joined, w) {
+			t.Errorf("missing error %q in:\n%s", w, joined)
+		}
+	}
+	if len(errs) != len(wants) {
+		t.Errorf("got %d errors, want %d:\n%s", len(errs), len(wants), joined)
+	}
+	// The legal discards (line 5 after a crash, line 11's dom=0 empty
+	// arena) must not be flagged.
+	for _, legal := range []string{"line 5", "line 11"} {
+		if strings.Contains(joined, legal+":") {
+			t.Errorf("legal span reported: %s", joined)
+		}
+	}
+}
+
 // TestLintErrorCap keeps a thoroughly corrupt file's report readable.
 func TestLintErrorCap(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "storm.jsonl")

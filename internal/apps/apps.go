@@ -60,9 +60,9 @@ func All() []*App {
 	return []*App{Nginx(), Apache(), Lighttpd(), Redis(), Postgres()}
 }
 
-// ByName returns the named app or nil.
+// ByName returns the named app (including the pool variants) or nil.
 func ByName(name string) *App {
-	for _, a := range All() {
+	for _, a := range append(All(), PoolApps()...) {
 		if a.Name == name {
 			return a
 		}

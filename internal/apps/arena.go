@@ -1,0 +1,713 @@
+package apps
+
+import "github.com/firestarter-go/firestarter/internal/libsim"
+
+// Pool variants: the same servers restructured around per-request memory
+// pools (the apache apr_pool / nginx request-pool idiom). Request-scoped
+// buffers come from arena_alloc and are reclaimed wholesale by one
+// arena_reset at request end — there are no per-chunk frees on the
+// request path. Cross-request state (the redis database entries, the
+// per-connection con/client structs) stays on the ordinary heap.
+//
+// With the runtime's heap domains off, arena_alloc degrades to malloc
+// and arena_reset to a no-op, so the same program text runs under the
+// HTM/STM strategies for the ablation's baseline rows. With domains on,
+// each request's pool is a protection-domain-tagged arena the
+// rewind-and-discard strategy can snapshot and roll back in O(1).
+
+// LighttpdPool returns the pool-allocating Lighttpd variant (its own
+// port so it can run beside the original).
+func LighttpdPool() *App {
+	return &App{
+		Name:        "lighttpd-pool",
+		Port:        8083,
+		Protocol:    "http",
+		QuiesceFunc: "main",
+		Setup:       docRoot,
+		Source:      lighttpdPoolSrc,
+	}
+}
+
+// RedisPool returns the pool-allocating Redis variant.
+func RedisPool() *App {
+	return &App{
+		Name:        "redis-pool",
+		Port:        6380,
+		Protocol:    "redis",
+		QuiesceFunc: "main",
+		Setup:       func(o *libsim.OS) {},
+		Source:      redisPoolSrc,
+	}
+}
+
+// PoolApps returns the arena-allocating server variants (the heap-domain
+// ablation and containment subjects).
+func PoolApps() []*App {
+	return []*App{LighttpdPool(), RedisPool()}
+}
+
+const lighttpdPoolSrc = `
+// lighttpd-pool-sim: modular event-driven HTTP server, request pools.
+
+int g_listen = -1;
+int g_epoll = -1;
+int g_stop = 0;
+int g_requests = 0;
+int g_conns[128];
+
+struct con {
+	int fd;
+	int rlen;
+	int dav_fd;       // mod_webdav per-connection resource
+	char rbuf[512];
+};
+
+int lt_append(char *dst, int pos, char *s) {
+	int n = strlen(s);
+	memcpy(dst + pos, s, n);
+	return pos + n;
+}
+
+int lt_int(char *dst, int pos, int v) {
+	char tmp[24];
+	int i = 0;
+	if (v == 0) { dst[pos] = '0'; return pos + 1; }
+	while (v > 0) { tmp[i] = '0' + v % 10; v /= 10; i++; }
+	while (i > 0) { i--; dst[pos] = tmp[i]; pos++; }
+	return pos;
+}
+
+int http_reply(int fd, int code, char *body, int blen) {
+	char hdr[192];
+	int pos = 0;
+	pos = lt_append(hdr, pos, "HTTP/1.1 ");
+	pos = lt_int(hdr, pos, code);
+	if (code == 200) {
+		pos = lt_append(hdr, pos, " OK");
+	} else if (code == 404) {
+		pos = lt_append(hdr, pos, " Not Found");
+	} else if (code == 403) {
+		pos = lt_append(hdr, pos, " Forbidden");
+	} else {
+		pos = lt_append(hdr, pos, " Internal Server Error");
+	}
+	pos = lt_append(hdr, pos, "\r\nContent-Length: ");
+	pos = lt_int(hdr, pos, blen);
+	pos = lt_append(hdr, pos, "\r\n\r\n");
+	if (write(fd, hdr, pos) < 0) { return -1; }
+	if (blen > 0) {
+		if (write(fd, body, blen) < 0) { return -1; }
+	}
+	return 0;
+}
+
+int http_error(int fd, int code) {
+	char body[48];
+	int pos = 0;
+	if (code == 404) {
+		pos = lt_append(body, pos, "404 - Not Found");
+	} else if (code == 403) {
+		pos = lt_append(body, pos, "403 - Forbidden");
+	} else {
+		pos = lt_append(body, pos, "500 - Internal Server Error");
+	}
+	return http_reply(fd, code, body, pos);
+}
+
+// mod_status: generated status page from the request pool.
+int mod_status(int fd) {
+	char *page = arena_alloc(128);
+	if (!page) {
+		puts("lighttpd-pool: status alloc failed");
+		return http_error(fd, 500);
+	}
+	int pos = lt_append(page, 0, "<html>requests handled: ");
+	pos = lt_int(page, pos, g_requests);
+	pos = lt_append(page, pos, "</html>");
+	return http_reply(fd, 200, page, pos);
+}
+
+// mod_webdav: PROPFIND over /dav resources; the response document is
+// pool-allocated and reclaimed with the request.
+int mod_webdav(struct con *c, char *path) {
+	char full[256];
+	int pos = lt_append(full, 0, path);
+	full[pos] = 0;
+	int f = open64(full, 0);
+	if (f == -1) {
+		puts("lighttpd-pool: webdav open failed");
+		return http_error(c->fd, 403);
+	}
+	c->dav_fd = f;
+	int st[2];
+	if (fstat(f, st) == -1) {
+		close(f);
+		c->dav_fd = -1;
+		return http_error(c->fd, 500);
+	}
+	int size = st[0];
+	char *xml = arena_alloc(size + 96);
+	if (!xml) {
+		puts("lighttpd-pool: webdav alloc failed");
+		close(f);
+		c->dav_fd = -1;
+		return http_error(c->fd, 500);
+	}
+	memset(xml, 0, size + 96);
+	int xpos = lt_append(xml, 0, "<propfind><size>");
+	xpos = lt_int(xml, xpos, size);
+	xpos = lt_append(xml, xpos, "</size><data>");
+	int got = pread(f, xml + xpos, size, 0);
+	if (got < 0) {
+		close(f);
+		c->dav_fd = -1;
+		return http_error(c->fd, 500);
+	}
+	xpos = xpos + got;
+	xpos = lt_append(xml, xpos, "</data></propfind>");
+	close(f);
+	c->dav_fd = -1;
+	return http_reply(c->fd, 200, xml, xpos);
+}
+
+// mod_largefile: delivery path for big resources (own allocation site).
+int mod_largefile(int fd, int f, int size) {
+	char *body = arena_alloc(size + 1);
+	if (!body) {
+		puts("lighttpd-pool: large alloc failed");
+		close(f);
+		return http_error(fd, 500);
+	}
+	memset(body, 0, size + 1);
+	int got = pread(f, body, size, 0);
+	if (got < 0) {
+		close(f);
+		return http_error(fd, 500);
+	}
+	close(f);
+	return http_reply(fd, 200, body, got);
+}
+
+// mod_staticfile: plain file delivery from the request pool.
+int mod_staticfile(int fd, char *path) {
+	char full[256];
+	int pos = lt_append(full, 0, "/www");
+	if (strcmp(path, "/") == 0) {
+		pos = lt_append(full, pos, "/index.html");
+	} else {
+		pos = lt_append(full, pos, path);
+	}
+	full[pos] = 0;
+	int f = open(full, 0);
+	if (f == -1) {
+		return http_error(fd, 404);
+	}
+	int st[2];
+	if (fstat(f, st) == -1) {
+		close(f);
+		return http_error(fd, 500);
+	}
+	int size = st[0];
+	if (size > 32768) {
+		return mod_largefile(fd, f, size);
+	}
+	char *body = arena_alloc(size + 1);
+	if (!body) {
+		puts("lighttpd-pool: alloc failed, aborting request");
+		close(f);
+		return http_error(fd, 500);
+	}
+	memset(body, 0, size + 1);
+	int got = pread(f, body, size, 0);
+	if (got < 0) {
+		close(f);
+		return http_error(fd, 500);
+	}
+	close(f);
+	return http_reply(fd, 200, body, got);
+}
+
+// mod_ssi: include processing (simplified: serve the .shtml source).
+int mod_ssi(int fd) {
+	char full[24];
+	int pos = lt_append(full, 0, "/www/ssi.shtml");
+	full[pos] = 0;
+	int f = open(full, 0);
+	if (f == -1) {
+		return http_error(fd, 404);
+	}
+	int st[2];
+	if (fstat(f, st) == -1) {
+		close(f);
+		return http_error(fd, 500);
+	}
+	int size = st[0];
+	char *body = arena_alloc(size + 1);
+	if (!body) {
+		close(f);
+		return http_error(fd, 500);
+	}
+	int got = pread(f, body, size, 0);
+	if (got < 0) {
+		close(f);
+		return http_error(fd, 500);
+	}
+	close(f);
+	return http_reply(fd, 200, body, got);
+}
+
+// dispatch walks the module chain, first match wins.
+int dispatch(struct con *c, char *path) {
+	g_requests = g_requests + 1;
+	if (strcmp(path, "/quit") == 0) {
+		g_stop = 1;
+		char none[4];
+		return http_reply(c->fd, 200, none, 0);
+	}
+	if (strcmp(path, "/status") == 0) {
+		return mod_status(c->fd);
+	}
+	if (strncmp(path, "/dav", 4) == 0) {
+		return mod_webdav(c, path);
+	}
+	if (strncmp(path, "/ssi", 4) == 0) {
+		return mod_ssi(c->fd);
+	}
+	return mod_staticfile(c->fd, path);
+}
+
+void con_close(struct con *c) {
+	epoll_ctl(g_epoll, 2, c->fd);
+	close(c->fd);
+	if (c->dav_fd >= 0) {
+		close(c->dav_fd);
+	}
+	g_conns[c->fd] = 0;
+	free(c);
+}
+
+void con_read(struct con *c) {
+	int n = read(c->fd, c->rbuf + c->rlen, 511 - c->rlen);
+	if (n == 0) { con_close(c); return; }
+	if (n < 0) {
+		if (errno() == 11) { return; }
+		con_close(c);
+		return;
+	}
+	c->rlen = c->rlen + n;
+	c->rbuf[c->rlen] = 0;
+	if (c->rlen < 4) { return; }
+	int e = c->rlen;
+	if (c->rbuf[e-4] != '\r' || c->rbuf[e-3] != '\n' || c->rbuf[e-2] != '\r' || c->rbuf[e-1] != '\n') {
+		return;
+	}
+	// Parse the request line (accepts GET and PROPFIND).
+	int i = 0;
+	while (c->rbuf[i] != ' ' && c->rbuf[i] != 0) { i++; }
+	if (c->rbuf[i] == 0) { con_close(c); return; }
+	i++;
+	int start = i;
+	while (c->rbuf[i] != ' ' && c->rbuf[i] != 0) { i++; }
+	if (c->rbuf[i] == 0) { con_close(c); return; }
+	c->rbuf[i] = 0;
+	int rc = dispatch(c, c->rbuf + start);
+	// Request end: reclaim the whole pool in one call.
+	arena_reset();
+	if (rc < 0) {
+		con_close(c);
+		return;
+	}
+	c->rlen = 0;
+}
+
+void con_accept() {
+	while (1) {
+		int fd = accept(g_listen);
+		if (fd < 0) { return; }
+		if (fd >= 128) { close(fd); return; }
+		struct con *c = malloc(sizeof(struct con));
+		if (!c) {
+			puts("lighttpd-pool: accept alloc failed");
+			close(fd);
+			return;
+		}
+		c->fd = fd;
+		c->rlen = 0;
+		c->dav_fd = -1;
+		g_conns[fd] = c;
+		if (epoll_ctl(g_epoll, 1, fd) == -1) {
+			close(fd);
+			g_conns[fd] = 0;
+			free(c);
+			return;
+		}
+	}
+}
+
+int main() {
+	int s = socket();
+	if (s == -1) { puts("lighttpd-pool: socket failed"); return 1; }
+	if (setsockopt(s, 2, 1) == -1) {
+		puts("lighttpd-pool: setsockopt failed");
+		close(s);
+		return 1;
+	}
+	if (bind(s, 8083) == -1) {
+		puts("lighttpd-pool: bind failed");
+		close(s);
+		return 1;
+	}
+	if (listen(s, 64) == -1) {
+		puts("lighttpd-pool: listen failed");
+		close(s);
+		return 1;
+	}
+	g_listen = s;
+	int ep = epoll_create();
+	if (ep == -1) { puts("lighttpd-pool: epoll_create failed"); return 1; }
+	g_epoll = ep;
+	if (epoll_ctl(ep, 1, s) == -1) { return 1; }
+	puts("lighttpd-pool-sim: ready");
+
+	int events[16];
+	while (!g_stop) {
+		int n = epoll_wait(ep, events, 16);
+		if (n < 0) { continue; }
+		for (int i = 0; i < n; i++) {
+			int fd = events[i];
+			if (fd == g_listen) {
+				con_accept();
+			} else {
+				struct con *c = g_conns[fd];
+				if (c) { con_read(c); }
+			}
+		}
+	}
+	return 0;
+}
+`
+
+const redisPoolSrc = `
+// redis-pool-sim: in-memory key-value store, request pools.
+
+int g_listen = -1;
+int g_epoll = -1;
+int g_stop = 0;
+int g_conns[128];
+int g_buckets[64];     // bucket heads (struct entry*)
+int g_keys = 0;
+
+struct entry {
+	char *key;
+	char *val;
+	struct entry *next;
+};
+
+struct client {
+	int fd;
+	int rlen;
+	char rbuf[512];
+};
+
+int rhash(char *s) {
+	int h = 5381;
+	int i = 0;
+	while (s[i]) {
+		h = h * 33 + s[i];
+		i++;
+	}
+	if (h < 0) { h = -h; }
+	return h % 64;
+}
+
+int itoa_r(char *dst, int v) {
+	char tmp[24];
+	int i = 0;
+	int pos = 0;
+	if (v < 0) { dst[0] = '-'; pos = 1; v = -v; }
+	if (v == 0) { dst[pos] = '0'; dst[pos+1] = 0; return pos + 1; }
+	while (v > 0) { tmp[i] = '0' + v % 10; v /= 10; i++; }
+	while (i > 0) { i--; dst[pos] = tmp[i]; pos++; }
+	dst[pos] = 0;
+	return pos;
+}
+
+// rstrdup copies onto the ordinary heap: database entries outlive the
+// request that created them.
+char *rstrdup(char *s) {
+	int n = strlen(s);
+	char *d = malloc(n + 1);
+	if (!d) { return NULL; }
+	memcpy(d, s, n + 1);
+	return d;
+}
+
+// astrdup copies into the request pool: command tokens and response
+// buffers die with the request.
+char *astrdup(char *s) {
+	int n = strlen(s);
+	char *d = arena_alloc(n + 1);
+	if (!d) { return NULL; }
+	memcpy(d, s, n + 1);
+	return d;
+}
+
+struct entry *lookup(char *key) {
+	int b = rhash(key);
+	struct entry *e = g_buckets[b];
+	while (e) {
+		if (strcmp(e->key, key) == 0) { return e; }
+		e = e->next;
+	}
+	return NULL;
+}
+
+// db_set inserts or updates; returns 0 on success, -1 on OOM.
+int db_set(char *key, char *val) {
+	struct entry *e = lookup(key);
+	if (e) {
+		char *nv = rstrdup(val);
+		if (!nv) { return -1; }
+		free(e->val);
+		e->val = nv;
+		return 0;
+	}
+	struct entry *ne = malloc(sizeof(struct entry));
+	if (!ne) { return -1; }
+	ne->key = rstrdup(key);
+	if (!ne->key) {
+		free(ne);
+		return -1;
+	}
+	ne->val = rstrdup(val);
+	if (!ne->val) {
+		free(ne->key);
+		free(ne);
+		return -1;
+	}
+	int b = rhash(key);
+	ne->next = g_buckets[b];
+	g_buckets[b] = ne;
+	g_keys = g_keys + 1;
+	return 0;
+}
+
+int db_del(char *key) {
+	int b = rhash(key);
+	struct entry *e = g_buckets[b];
+	struct entry *prev = NULL;
+	while (e) {
+		if (strcmp(e->key, key) == 0) {
+			if (prev) {
+				prev->next = e->next;
+			} else {
+				g_buckets[b] = e->next;
+			}
+			free(e->key);
+			free(e->val);
+			free(e);
+			g_keys = g_keys - 1;
+			return 1;
+		}
+		prev = e;
+		e = e->next;
+	}
+	return 0;
+}
+
+int reply(int fd, char *s) {
+	int n = strlen(s);
+	if (write(fd, s, n) < 0) { return -1; }
+	return 0;
+}
+
+// execute runs one command line. The line is duplicated into the request
+// pool before tokenizing, and bulk replies are built there too — every
+// command allocates, which is exactly the shape the rewind strategy's
+// O(1) discard pays off on.
+int execute(int fd, char *line) {
+	char *l = astrdup(line);
+	if (!l) { return reply(fd, "-OOM\n"); }
+	// Tokenize: cmd key [value].
+	int i = 0;
+	while (l[i] != ' ' && l[i] != 0) { i++; }
+	if (l[i] == 0) {
+		if (strcmp(l, "QUIT") == 0) {
+			g_stop = 1;
+			return reply(fd, "+OK\n");
+		}
+		return reply(fd, "-ERR\n");
+	}
+	l[i] = 0;
+	char *cmd = l;
+	char *key = l + i + 1;
+	int j = 0;
+	while (key[j] != ' ' && key[j] != 0) { j++; }
+	char *val = NULL;
+	if (key[j] == ' ') {
+		key[j] = 0;
+		val = key + j + 1;
+	}
+
+	if (strcmp(cmd, "SET") == 0) {
+		if (!val) { return reply(fd, "-ERR\n"); }
+		if (db_set(key, val) == -1) {
+			puts("redis-pool: oom on SET");
+			return reply(fd, "-OOM\n");
+		}
+		return reply(fd, "+OK\n");
+	}
+	if (strcmp(cmd, "GET") == 0) {
+		struct entry *e = lookup(key);
+		if (!e) { return reply(fd, "$-1\n"); }
+		int n = strlen(e->val);
+		char *out = arena_alloc(n + 3);
+		if (!out) { return reply(fd, "-OOM\n"); }
+		out[0] = '$';
+		memcpy(out + 1, e->val, n);
+		out[n+1] = '\n';
+		if (write(fd, out, n + 2) < 0) { return -1; }
+		return 0;
+	}
+	if (strcmp(cmd, "DEL") == 0) {
+		if (db_del(key)) { return reply(fd, ":1\n"); }
+		return reply(fd, ":0\n");
+	}
+	if (strcmp(cmd, "EXISTS") == 0) {
+		if (lookup(key)) { return reply(fd, ":1\n"); }
+		return reply(fd, ":0\n");
+	}
+	if (strcmp(cmd, "INCR") == 0) {
+		struct entry *e = lookup(key);
+		char num[32];
+		if (!e) {
+			num[0] = '1';
+			num[1] = 0;
+			if (db_set(key, num) == -1) {
+				puts("redis-pool: oom on INCR");
+				return reply(fd, "-OOM\n");
+			}
+			return reply(fd, ":1\n");
+		}
+		int v = atoi(e->val) + 1;
+		itoa_r(num, v);
+		char *nv = rstrdup(num);
+		if (!nv) {
+			puts("redis-pool: oom on INCR");
+			return reply(fd, "-OOM\n");
+		}
+		free(e->val);
+		e->val = nv;
+		char *out = arena_alloc(40);
+		if (!out) { return reply(fd, "-OOM\n"); }
+		out[0] = ':';
+		int n = itoa_r(out + 1, v);
+		out[n+1] = '\n';
+		if (write(fd, out, n + 2) < 0) { return -1; }
+		return 0;
+	}
+	return reply(fd, "-ERR\n");
+}
+
+void client_close(struct client *c) {
+	epoll_ctl(g_epoll, 2, c->fd);
+	close(c->fd);
+	g_conns[c->fd] = 0;
+	free(c);
+}
+
+void client_read(struct client *c) {
+	int n = read(c->fd, c->rbuf + c->rlen, 511 - c->rlen);
+	if (n == 0) { client_close(c); return; }
+	if (n < 0) {
+		if (errno() == 11) { return; }
+		client_close(c);
+		return;
+	}
+	c->rlen = c->rlen + n;
+	// Process every complete line in the buffer.
+	int start = 0;
+	for (int i = 0; i < c->rlen; i++) {
+		if (c->rbuf[i] == '\n') {
+			c->rbuf[i] = 0;
+			int rc = execute(c->fd, c->rbuf + start);
+			// Request end: the command's pool dies here.
+			arena_reset();
+			if (rc < 0) {
+				client_close(c);
+				return;
+			}
+			start = i + 1;
+		}
+	}
+	// Shift the partial tail to the front.
+	int rest = c->rlen - start;
+	if (rest > 0 && start > 0) {
+		memcpy(c->rbuf, c->rbuf + start, rest);
+	}
+	c->rlen = rest;
+}
+
+void client_accept() {
+	while (1) {
+		int fd = accept(g_listen);
+		if (fd < 0) { return; }
+		if (fd >= 128) { close(fd); return; }
+		struct client *c = malloc(sizeof(struct client));
+		if (!c) {
+			puts("redis-pool: accept alloc failed");
+			close(fd);
+			return;
+		}
+		c->fd = fd;
+		c->rlen = 0;
+		g_conns[fd] = c;
+		if (epoll_ctl(g_epoll, 1, fd) == -1) {
+			close(fd);
+			g_conns[fd] = 0;
+			free(c);
+			return;
+		}
+	}
+}
+
+int main() {
+	int s = socket();
+	if (s == -1) { puts("redis-pool: socket failed"); return 1; }
+	if (setsockopt(s, 2, 1) == -1) {
+		close(s);
+		return 1;
+	}
+	if (bind(s, 6380) == -1) {
+		puts("redis-pool: bind failed");
+		close(s);
+		return 1;
+	}
+	if (listen(s, 64) == -1) {
+		close(s);
+		return 1;
+	}
+	g_listen = s;
+	int ep = epoll_create();
+	if (ep == -1) { return 1; }
+	g_epoll = ep;
+	if (epoll_ctl(ep, 1, s) == -1) { return 1; }
+	puts("redis-pool-sim: ready");
+
+	int events[16];
+	while (!g_stop) {
+		int n = epoll_wait(ep, events, 16);
+		if (n < 0) { continue; }
+		for (int i = 0; i < n; i++) {
+			int fd = events[i];
+			if (fd == g_listen) {
+				client_accept();
+			} else {
+				struct client *c = g_conns[fd];
+				if (c) { client_read(c); }
+			}
+		}
+	}
+	return 0;
+}
+`

@@ -1,0 +1,91 @@
+package apps_test
+
+import (
+	"testing"
+
+	"github.com/firestarter-go/firestarter/internal/apps"
+	"github.com/firestarter-go/firestarter/internal/core"
+	"github.com/firestarter-go/firestarter/internal/faultinj"
+	"github.com/firestarter-go/firestarter/internal/workload"
+)
+
+// TestPoolAppsCompile mirrors TestAllAppsCompile for the pool variants.
+func TestPoolAppsCompile(t *testing.T) {
+	for _, app := range apps.PoolApps() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			prog, err := app.Compile()
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if err := prog.Validate(); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			if apps.ByName(app.Name) == nil {
+				t.Fatalf("ByName(%q) = nil", app.Name)
+			}
+		})
+	}
+}
+
+// TestPoolAppsServeWorkload runs the pool variants under every checkpoint
+// strategy that can host them. With arenas off (plain hybrid) arena_alloc
+// degrades to malloc; with domains on, request buffers live in
+// domain-tagged arenas and the containment audit must come back clean.
+func TestPoolAppsServeWorkload(t *testing.T) {
+	cfgs := map[string]core.Config{
+		"hybrid":         {},
+		"hybrid-domains": {EnableDomains: true},
+		"stm-domains":    {Mode: core.ModeSTMOnly, EnableDomains: true},
+		"rewind":         {Mode: core.ModeRewind},
+	}
+	for _, app := range apps.PoolApps() {
+		for name, cfg := range cfgs {
+			app, cfg := app, cfg
+			t.Run(app.Name+"/"+name, func(t *testing.T) {
+				o, m, rt := startHardened(t, app, cfg)
+				d := &workload.Driver{
+					OS: o, M: m, Port: app.Port,
+					Gen:         workload.ForProtocol(app.Protocol),
+					Concurrency: 4, Seed: 1,
+				}
+				res := d.Run(60)
+				if res.ServerDied {
+					t.Fatalf("server died (trap %d); stdout:\n%s", res.TrapCode, tail(o.Stdout()))
+				}
+				if res.Completed < 55 {
+					t.Fatalf("completed %d/60 (bad %d, stalled %v)", res.Completed, res.BadResp, res.Stalled)
+				}
+				if res.BadResp > 5 {
+					t.Errorf("bad responses: %d", res.BadResp)
+				}
+				st := rt.Stats()
+				if cfg.EnableDomains || cfg.Mode == core.ModeRewind {
+					if !o.ArenasEnabled() {
+						t.Fatal("domains on but arenas not enabled")
+					}
+					ast := o.ArenaStats()
+					if ast.Allocs == 0 || ast.Retires == 0 {
+						t.Fatalf("pool app made no arena allocations: %+v", ast)
+					}
+					if st.DomainSwitches == 0 || st.DomainRetires != ast.Retires {
+						t.Fatalf("domain lifecycle: stats %+v vs arenas %+v", st, ast)
+					}
+					if leaks := faultinj.CheckReach(o.WriteTaints()); len(leaks) != 0 {
+						t.Fatalf("containment leaks on a clean run: %v", leaks)
+					}
+				} else if o.ArenasEnabled() {
+					t.Fatal("arenas enabled without domains")
+				}
+				if cfg.Mode == core.ModeRewind {
+					if st.DomainBegins == 0 || st.DomainCommits == 0 {
+						t.Fatalf("rewind mode ran no domain transactions: %+v", st)
+					}
+					if st.HTMBegins != 0 || st.STMBegins != 0 {
+						t.Fatalf("rewind mode used other strategies: %+v", st)
+					}
+				}
+			})
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/firestarter-go/firestarter/internal/apps"
+	"github.com/firestarter-go/firestarter/internal/faultinj"
 	"github.com/firestarter-go/firestarter/internal/obsv"
 	"github.com/firestarter-go/firestarter/internal/supervisor"
 	"github.com/firestarter-go/firestarter/internal/workload"
@@ -36,6 +37,23 @@ type ladderRun struct {
 	ReqsDone  int64
 	ReqsLost  int64
 	Traces    int64
+
+	// Heap-domain accounting (all zero unless the campaign enabled the
+	// rewind-and-discard strategy): runtime domain counters, libsim arena
+	// counters, and the corruption-reach audit over every connection
+	// write — Taints writes checked, Leaks the (must-be-empty) verdicts.
+	DomainBegins     int64
+	DomainCommits    int64
+	DomainSwitches   int64
+	DomainRetires    int64
+	DomainDiscards   int64
+	DomainViolations int64
+	DomainLatches    int64
+	ArenaAllocs      int64
+	ArenaFallbacks   int64
+	ArenaRetires     int64
+	Taints           int64
+	Leaks            []faultinj.Leak
 
 	Sup supervisor.Stats
 
@@ -115,6 +133,22 @@ func (r Runner) ladderRun(app *apps.App, o bootOpts, sc supervisor.Config) (*lad
 			lr.ReqStarts += st.ReqStarts
 			lr.ReqsDone += st.ReqsDone
 			lr.ReqsLost += st.ReqsLost
+			lr.DomainBegins += st.DomainBegins
+			lr.DomainCommits += st.DomainCommits
+			lr.DomainSwitches += st.DomainSwitches
+			lr.DomainRetires += st.DomainRetires
+			lr.DomainDiscards += st.DomainDiscards
+			lr.DomainViolations += st.DomainViolations
+			lr.DomainLatches += st.DomainLatches
+			if inst.os.ArenasEnabled() {
+				ast := inst.os.ArenaStats()
+				lr.ArenaAllocs += ast.Allocs
+				lr.ArenaFallbacks += ast.Fallbacks
+				lr.ArenaRetires += ast.Retires
+				taints := inst.os.WriteTaints()
+				lr.Taints += int64(len(taints))
+				lr.Leaks = append(lr.Leaks, faultinj.CheckReach(taints)...)
+			}
 			for _, e := range inst.rt.Spans() {
 				e.Cycles += offset
 				e.Seq = 0
@@ -235,6 +269,19 @@ func (l *ladderRun) reconcile() []string {
 	check("core.req_done", l.Registry.Total("core.req_done"), l.ReqsDone)
 	check("core.req_lost", l.Registry.Total("core.req_lost"), l.ReqsLost)
 
+	// Heap-domain surfaces. Domains-off campaigns publish none of these
+	// metrics and accumulate zero stats, so every check degrades to 0 == 0.
+	check("core.domain_begins", l.Registry.Total("core.domain_begins"), l.DomainBegins)
+	check("core.domain_commits", l.Registry.Total("core.domain_commits"), l.DomainCommits)
+	check("core.domain_switches", l.Registry.Total("core.domain_switches"), l.DomainSwitches)
+	check("core.domain_retires", l.Registry.Total("core.domain_retires"), l.DomainRetires)
+	check("core.domain_discards", l.Registry.Total("core.domain_discards"), l.DomainDiscards)
+	check("core.domain_violations", l.Registry.Total("core.domain_violations"), l.DomainViolations)
+	check("core.domain_latches", l.Registry.Total("core.domain_latches"), l.DomainLatches)
+	check("core.arena_allocs", l.Registry.Total("core.arena_allocs"), l.ArenaAllocs)
+	check("core.arena_fallbacks", l.Registry.Total("core.arena_fallbacks"), l.ArenaFallbacks)
+	check("core.arena_retires", l.Registry.Total("core.arena_retires"), l.ArenaRetires)
+
 	// Span log cross-check (skipped if the bounded log overflowed).
 	if l.Dropped == 0 {
 		counts := map[string]int64{}
@@ -248,6 +295,10 @@ func (l *ladderRun) reconcile() []string {
 		check("span:"+obsv.SpanReqStart, counts[obsv.SpanReqStart], l.ReqStarts)
 		check("span:"+obsv.SpanReqDone, counts[obsv.SpanReqDone], l.ReqsDone)
 		check("span:"+obsv.SpanReqLost, counts[obsv.SpanReqLost], l.ReqsLost)
+		check("span:"+obsv.SpanDomainSwitch, counts[obsv.SpanDomainSwitch], l.DomainSwitches)
+		check("span:"+obsv.SpanDomainDiscard, counts[obsv.SpanDomainDiscard], l.DomainDiscards)
+		check("span:"+obsv.SpanDomainViolation, counts[obsv.SpanDomainViolation], l.DomainViolations)
+		check("span:"+obsv.SpanLatchDomains, counts[obsv.SpanLatchDomains], l.DomainLatches)
 		errs = append(errs, traceCausality(l.Spans)...)
 	}
 	return errs

@@ -56,6 +56,11 @@ const (
 	// ModeSTMOnly checkpoints every transaction in software (the
 	// paper's full-protection, high-overhead baseline).
 	ModeSTMOnly
+	// ModeRewind checkpoints every transaction with the rewind-and-discard
+	// strategy: registers snapshot only, per-request arena memory discarded
+	// in O(1) on rollback (the heap-domain ablation baseline). Implies
+	// EnableDomains.
+	ModeRewind
 )
 
 // String returns the mode name used in benchmark output.
@@ -67,6 +72,8 @@ func (m Mode) String() string {
 		return "HTM-only"
 	case ModeSTMOnly:
 		return "STM-only"
+	case ModeRewind:
+		return "Rewind"
 	default:
 		return fmt.Sprintf("mode(%d)", int(m))
 	}
@@ -86,6 +93,15 @@ const (
 	costSignal       = 2000 // signal delivery + handler entry/exit
 	costShed         = 3000 // connection teardown + longjmp to the quiesce point
 	costRegSavePer   = 1    // per register saved by the STM setjmp analog
+
+	// Rewind-and-discard strategy costs: entry switches the protection
+	// domain and snapshots registers only (no undo log, no HTM begin);
+	// commit is a register drop; discard unmaps/rezeros the arena tail in
+	// O(1) — the constant below is the whole rollback, independent of how
+	// many stores the transaction made.
+	costDomainBegin   = 8
+	costDomainCommit  = 2
+	costDomainDiscard = 30
 )
 
 // Config parameterizes the runtime.
@@ -127,6 +143,28 @@ type Config struct {
 	// forever. 0 means the default (32); shedding is inert anyway until
 	// ArmQuiesce registers a quiesce point.
 	MaxSheds int
+
+	// EnableDomains switches on the rewind-and-discard checkpoint
+	// strategy as a third option beside HTM and STM: per-request arenas
+	// are carved from domain-tagged memory, the §IV-C policy may latch a
+	// gate to domains, and cross-domain accesses trap as a new fail-stop
+	// crash cause. Off by default — the domains-off fast path is
+	// byte-identical to a build without this feature. ModeRewind implies
+	// it. Single-threaded runs only (the scheduler tier excludes it).
+	EnableDomains bool
+
+	// DomainUndoMin is the per-commit mean undo-log volume (entries per
+	// STM commit, sampled every SampleSize commits) above which an
+	// STM-latched gate latches onward to the rewind strategy — the point
+	// where O(1) discard beats per-store undo logging. 0 means the
+	// default (24).
+	DomainUndoMin int64
+
+	// DomainBackoffMax bounds rewind-strategy back-off: after this many
+	// domain transactions that overflowed their arena into the heap
+	// (escaping O(1) discard), the gate re-latches to STM and the undo
+	// threshold doubles. 0 means the default (4).
+	DomainBackoffMax int
 }
 
 // withDefaults fills zero values with the paper's defaults.
@@ -146,6 +184,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxSheds == 0 {
 		c.MaxSheds = 32
 	}
+	if c.Mode == ModeRewind {
+		c.EnableDomains = true
+	}
+	if c.DomainUndoMin == 0 {
+		c.DomainUndoMin = 24
+	}
+	if c.DomainBackoffMax == 0 {
+		c.DomainBackoffMax = 4
+	}
 	return c
 }
 
@@ -157,6 +204,15 @@ type gateState struct {
 	stmLatched bool // permanent STM (policy decision)
 	oneShotSTM bool // next execution in STM (post-abort re-execution)
 	oneShotRaw bool // next execution unprotected (ModeHTMOnly fallback)
+	oneShotDom bool // next execution under the rewind strategy (domain retry)
+
+	// Rewind-strategy policy state (§IV-C extended to three options).
+	stmTxs     int64 // STM commits since the gate latched to STM
+	stmUndo    int64 // undo-log entries across those commits
+	capAborts  int64 // HTM capacity aborts (rewind skips the STM detour)
+	domLatched bool  // permanently on the rewind strategy
+	domBackoff int   // domain transactions that overflowed into the heap
+	undoMin    int64 // per-gate undo-volume threshold (doubles on back-off)
 
 	crashes       int  // consecutive STM crashes in the current episode
 	injectPending bool // inject at next gate execution
@@ -185,6 +241,17 @@ type txState struct {
 	startSteps int64
 	deferred   []deferredCall
 	comps      []func()
+
+	// Rewind-and-discard strategy: the IR only knows the HTM and STM
+	// variants, so a domain transaction executes the HTM-shaped code path
+	// (variant ir.TxHTM, no per-store instrumentation) with htmTx nil —
+	// routeStore falls through to raw stores — and dom marks it for the
+	// runtime. arenaMark is the O(1) checkpoint: the live arena's bump
+	// offset at entry (-1 when no arena was live). fallbackMark snapshots
+	// the arena manager's heap-fallback counter for the back-off policy.
+	dom          bool
+	arenaMark    int64
+	fallbackMark int64
 }
 
 // Stats aggregates runtime behaviour for the evaluation harness.
@@ -201,6 +268,21 @@ type Stats struct {
 	Injections   int64 // persistent faults bypassed by injection
 	Unrecovered  int64 // crashes the runtime could not recover
 	DeferredRuns int64
+
+	// Rewind-and-discard strategy accounting. DomainSwitches counts
+	// current-domain register switches (a request's first arena
+	// allocation); DomainRetires counts arenas discarded at request end;
+	// DomainDiscards counts crash rollbacks that rewound an arena in
+	// O(1); DomainViolations counts cross-domain accesses trapping as a
+	// fail-stop crash cause; DomainLatches counts gates the §IV-C policy
+	// latched to the rewind strategy.
+	DomainBegins     int64
+	DomainCommits    int64
+	DomainSwitches   int64
+	DomainRetires    int64
+	DomainDiscards   int64
+	DomainViolations int64
+	DomainLatches    int64
 
 	// Sheds counts requests dropped by the shedding rung: otherwise-fatal
 	// crashes absorbed by resetting the offending connection and resuming
@@ -271,6 +353,7 @@ type Runtime struct {
 		site    int
 		variant int64
 		raw     bool
+		dom     bool
 		snap    *interp.Snapshot
 	}
 	lastCall map[int]*callRecord
@@ -315,6 +398,19 @@ func New(tr *transform.Result, os *libsim.OS, cfg Config) *Runtime {
 	rt.stats.EmbedSites = map[int]bool{}
 	rt.stats.BreakSites = map[int]bool{}
 	rt.spans.Limit = cfg.TraceLimit
+	if cfg.EnableDomains {
+		// Per-request arenas over protection domains: the libsim arena
+		// manager owns the memory half; these hooks thread its lifecycle
+		// into the runtime's stats and span log.
+		os.EnableArenas()
+		os.SetArenaHooks(
+			func(dom int32) {
+				rt.stats.DomainSwitches++
+				rt.emitSpan(obsv.SpanDomainSwitch, 0, "", "", fmt.Sprintf("dom=%d", dom))
+			},
+			func(dom int32) { rt.stats.DomainRetires++ },
+		)
+	}
 	// Route library-internal writes to application memory through the
 	// active transaction.
 	os.SetStore(func(addr, val int64, width int) error {
@@ -400,6 +496,15 @@ func (rt *Runtime) GateLatchedSTM(site int) bool {
 		return false
 	}
 	return rt.gs[site].stmLatched
+}
+
+// GateLatchedDomains reports whether a gate has permanently switched to
+// the rewind-and-discard strategy (tests and the ablation experiments).
+func (rt *Runtime) GateLatchedDomains(site int) bool {
+	if site <= 0 || site >= len(rt.gs) {
+		return false
+	}
+	return rt.gs[site].domLatched
 }
 
 // LatchSTM pins a gate to STM permanently before execution — the paper's
@@ -553,6 +658,7 @@ func (rt *Runtime) Gate(m *interp.Machine, siteID int, snap *interp.Snapshot) (i
 	rt.pending.site = siteID
 	rt.pending.snap = snap
 	rt.pending.raw = false
+	rt.pending.dom = false
 
 	if st.injectPending || st.sticky {
 		st.injectPending = false
@@ -567,13 +673,23 @@ func (rt *Runtime) Gate(m *interp.Machine, siteID int, snap *interp.Snapshot) (i
 	switch rt.cfg.Mode {
 	case ModeSTMOnly:
 		variant = ir.TxSTM
+	case ModeRewind:
+		// Every gate runs the rewind-and-discard strategy. The IR has no
+		// third flow variant: a domain transaction executes the HTM-shaped
+		// code path (no per-store instrumentation) with the dom flag
+		// routing it past the hardware model.
+		rt.pending.dom = true
 	case ModeHTMOnly:
 		if st.oneShotRaw {
 			st.oneShotRaw = false
 			rt.pending.raw = true
 		}
 	default: // ModeHybrid
-		if st.stmLatched || st.oneShotSTM {
+		switch {
+		case st.domLatched || st.oneShotDom:
+			st.oneShotDom = false
+			rt.pending.dom = true
+		case st.stmLatched || st.oneShotSTM:
 			st.oneShotSTM = false
 			variant = ir.TxSTM
 		}
@@ -625,7 +741,17 @@ func (rt *Runtime) TxBegin(m *interp.Machine, siteID int, variant int64) error {
 		stdoutMark: rt.os.StdoutLen(),
 		startSteps: m.Steps,
 	}
-	if variant == ir.TxHTM {
+	if rt.pending.dom {
+		// Rewind-and-discard: switch nothing, log nothing — record the
+		// live arena's bump offset and snapshot registers only. Rollback
+		// is O(1) regardless of how many stores follow.
+		rt.pending.dom = false
+		tx.dom = true
+		tx.arenaMark = rt.os.ArenaTxMark()
+		tx.fallbackMark = rt.os.ArenaStats().Fallbacks
+		rt.stats.DomainBegins++
+		m.Cycles += costDomainBegin
+	} else if variant == ir.TxHTM {
 		tx.htmTx = rt.tsx.Begin(rt.os.Space)
 		rt.stats.HTMBegins++
 		m.Cycles += costHTMBegin
@@ -646,9 +772,17 @@ func (rt *Runtime) TxBegin(m *interp.Machine, siteID int, variant int64) error {
 	rt.cur = tx
 	rt.curVariant = variant
 	if rt.spanAll {
-		rt.emitSpan(obsv.SpanBegin, tx.site, variantName(variant), "", "")
+		rt.emitSpan(obsv.SpanBegin, tx.site, txVariantName(tx), "", "")
 	}
 	return nil
+}
+
+// txVariantName renders a live transaction's strategy for span output.
+func txVariantName(tx *txState) string {
+	if tx.dom {
+		return "domain"
+	}
+	return variantName(tx.variant)
 }
 
 // TxEnd implements interp.Runtime: commit.
@@ -667,13 +801,18 @@ func (rt *Runtime) TxEnd(m *interp.Machine) error {
 		}
 		rt.stats.TxWriteLines = append(rt.stats.TxWriteLines, wset)
 	}
-	if tx.htmTx != nil {
+	if tx.dom {
+		rt.stats.DomainCommits++
+		m.Cycles += costDomainCommit
+		rt.domCommitPolicy(tx)
+	} else if tx.htmTx != nil {
 		if err := tx.htmTx.Commit(); err != nil {
 			return err
 		}
 		rt.stats.HTMCommits++
 		m.Cycles += costHTMCommit
 	} else if tx.variant == ir.TxSTM {
+		entries := int64(rt.undo.Len())
 		if err := rt.undo.Commit(); err != nil {
 			return err
 		}
@@ -682,10 +821,11 @@ func (rt *Runtime) TxEnd(m *interp.Machine) error {
 		}
 		rt.stats.STMCommits++
 		m.Cycles += costSTMCommit
+		rt.stmCommitPolicy(tx.site, entries)
 	}
 	rt.cur = nil
 	if rt.spanAll {
-		rt.emitSpan(obsv.SpanCommit, tx.site, variantName(tx.variant), "", "")
+		rt.emitSpan(obsv.SpanCommit, tx.site, txVariantName(tx), "", "")
 	}
 
 	// A committed transaction closes its gate's crash episode.
@@ -706,6 +846,67 @@ func (rt *Runtime) TxEnd(m *interp.Machine) error {
 		}
 	}
 	return nil
+}
+
+// undoMin returns the gate's current undo-volume latch threshold (the
+// configured default until back-off doubles it).
+func (rt *Runtime) undoMin(st *gateState) int64 {
+	if st.undoMin == 0 {
+		return rt.cfg.DomainUndoMin
+	}
+	return st.undoMin
+}
+
+// stmCommitPolicy extends the §IV-C dynamic policy to the third strategy:
+// an STM-latched gate whose mean undo-log volume (sampled every
+// SampleSize commits) reaches the threshold latches onward to
+// rewind-and-discard — the regime where O(1) discard beats replaying a
+// long undo log on every crash.
+func (rt *Runtime) stmCommitPolicy(site int, entries int64) {
+	if rt.cfg.Mode != ModeHybrid || !rt.cfg.EnableDomains {
+		return
+	}
+	st := rt.state(site)
+	if !st.stmLatched || st.domLatched {
+		return
+	}
+	st.stmTxs++
+	st.stmUndo += entries
+	if st.stmTxs%rt.cfg.SampleSize != 0 {
+		return
+	}
+	if mean := st.stmUndo / st.stmTxs; mean >= rt.undoMin(st) {
+		st.domLatched = true
+		rt.stats.DomainLatches++
+		rt.emit(EvLatchDomains, site,
+			fmt.Sprintf("undo_mean=%d min=%d", mean, rt.undoMin(st)))
+	}
+}
+
+// domCommitPolicy applies rewind-strategy back-off: a domain transaction
+// that overflowed its arena into the heap escaped O(1) discard. After
+// DomainBackoffMax such commits the gate re-latches to STM and the undo
+// threshold doubles, so a gate only returns to domains once its undo
+// volume clears a strictly higher bar.
+func (rt *Runtime) domCommitPolicy(tx *txState) {
+	if rt.cfg.Mode != ModeHybrid {
+		return
+	}
+	st := rt.state(tx.site)
+	if !st.domLatched || rt.os.ArenaStats().Fallbacks == tx.fallbackMark {
+		return
+	}
+	st.domBackoff++
+	if st.domBackoff < rt.cfg.DomainBackoffMax {
+		return
+	}
+	st.undoMin = 2 * rt.undoMin(st)
+	st.domLatched = false
+	st.domBackoff = 0
+	st.stmTxs, st.stmUndo = 0, 0
+	st.stmLatched = true
+	rt.emitSpan(obsv.SpanLatchSTM, tx.site, "", "backoff",
+		fmt.Sprintf("fallbacks=%d undo_min=%d", rt.cfg.DomainBackoffMax, st.undoMin))
 }
 
 // Store implements interp.Runtime.
@@ -785,7 +986,28 @@ func (rt *Runtime) Handle(m *interp.Machine, err error) interp.Action {
 
 	// Everything else is a fail-stop crash: an interpreter trap, heap
 	// corruption, or a wild memory access inside a library call.
-	return rt.handleCrash(m)
+	return rt.handleCrash(m, err)
+}
+
+// domainViolation extracts the faulting address of a cross-domain access
+// trap (ir.TrapDomain) — the fail-stop crash cause heap domains introduce
+// so fail-silent corruption is contained instead of spreading.
+func domainViolation(err error) (int64, bool) {
+	var trap *interp.Trap
+	if errors.As(err, &trap) && trap.Code == ir.TrapDomain {
+		return trap.Addr, true
+	}
+	return 0, false
+}
+
+// noteViolation counts and records a cross-domain trap. The violation
+// span is emitted immediately before the crash/shed/unrecovered span it
+// becomes, so the causal chain reads: violation → how the ladder handled
+// it.
+func (rt *Runtime) noteViolation(site int, addr int64) {
+	rt.stats.DomainViolations++
+	rt.emitSpan(obsv.SpanDomainViolation, site, "", "",
+		fmt.Sprintf("addr=%#x dom=%d", addr, rt.os.Space.CurrentDomain()))
 }
 
 // handleHTMAbort processes a capacity/interrupt abort: the hardware rolled
@@ -816,11 +1038,25 @@ func (rt *Runtime) handleHTMAbort(m *interp.Machine, cause htm.AbortCause) inter
 func (rt *Runtime) noteHTMAbort(site int, cause htm.AbortCause) {
 	st := rt.state(site)
 	st.htmAborts++
+	if cause == htm.AbortCapacity {
+		st.capAborts++
+	}
 	rt.stats.HTMAborts++
 	rt.emitSpan(obsv.SpanAbort, site, "htm", cause.String(),
 		fmt.Sprintf("aborts=%d execs=%d", st.htmAborts, st.execs))
 	if rt.cfg.Mode == ModeHybrid && st.htmAborts%rt.cfg.SampleSize == 0 {
 		if float64(st.htmAborts)/float64(st.execs) > rt.cfg.Threshold {
+			if rt.cfg.EnableDomains && !st.domLatched && st.capAborts*2 >= st.htmAborts {
+				// Capacity-dominant aborts: the write set is what does
+				// not fit, so the undo log would be long too — latch
+				// straight to rewind-and-discard, skipping the STM
+				// detour.
+				st.domLatched = true
+				rt.stats.DomainLatches++
+				rt.emit(EvLatchDomains, site,
+					fmt.Sprintf("cap_aborts=%d aborts=%d", st.capAborts, st.htmAborts))
+				return
+			}
 			if !st.stmLatched {
 				rt.emit(EvLatchSTM, site, "")
 			}
@@ -870,7 +1106,7 @@ func (rt *Runtime) shed(m *interp.Machine, site int, reason string) interp.Actio
 }
 
 // handleCrash processes a fail-stop trap.
-func (rt *Runtime) handleCrash(m *interp.Machine) interp.Action {
+func (rt *Runtime) handleCrash(m *interp.Machine, err error) interp.Action {
 	tx := rt.cur
 	if tx == nil || tx.variant == 0 {
 		// Unprotected execution (startup, post-irrecoverable region, or
@@ -879,6 +1115,9 @@ func (rt *Runtime) handleCrash(m *interp.Machine) interp.Action {
 		site := 0
 		if tx != nil {
 			site = tx.site
+		}
+		if addr, ok := domainViolation(err); ok {
+			rt.noteViolation(site, addr)
 		}
 		if rt.canShed() {
 			m.Cycles += costSignal
@@ -907,35 +1146,66 @@ func (rt *Runtime) handleCrash(m *interp.Machine) interp.Action {
 		return interp.ActionContinue
 	}
 
-	// Crash under STM: this is a confirmed fail-stop fault.
+	// Crash under STM or a domain-armed transaction: a confirmed
+	// fail-stop fault.
 	latStart := m.Cycles
 	rt.stats.Crashes++
-	rt.emitSpan(obsv.SpanCrash, tx.site, "stm", "", "")
-	undone, rerr := rt.undo.Rollback()
-	if rerr != nil {
-		// The undo log could not restore memory: the heap is inconsistent,
-		// so neither shedding nor restarting the region is safe. Die — but
-		// visibly: the death must appear in the trace and span log like
-		// every other unrecovered crash.
-		rt.stats.Unrecovered++
-		rt.emit(EvUnrecovered, tx.site, fmt.Sprintf("undo-log rollback failed: %v", rerr))
-		return interp.ActionDie
+	cause := ""
+	if addr, ok := domainViolation(err); ok {
+		cause = "domain-violation"
+		rt.noteViolation(tx.site, addr)
 	}
-	m.Cycles += int64(undone) * costSTMUndoEntry
-	if rt.domain != nil {
-		rt.domain.ReleaseLock(rt.tid)
+	if tx.dom {
+		// Rewind-and-discard rollback: no undo replay. Compensations and
+		// deferred effects revert as usual, then the arena's bump pointer
+		// rewinds to the entry mark (tail rezeroed, O(1) in the cost
+		// model) and the register snapshot restores.
+		rt.emitSpan(obsv.SpanCrash, tx.site, "domain", cause, "")
+		rt.rollbackSideEffects(tx)
+		dom := rt.os.ActiveArenaDom()
+		mark := tx.arenaMark
+		if mark < 0 {
+			mark = 0 // the arena opened inside the transaction: discard it all
+		}
+		rt.os.ArenaTxRewind(mark)
+		m.Restore(tx.snap)
+		m.Cycles += costSignal + costDomainDiscard
+		rt.cur = nil
+		rt.stats.DomainDiscards++
+		rt.emitSpan(obsv.SpanDomainDiscard, tx.site, "domain", "",
+			fmt.Sprintf("dom=%d mark=%d", dom, mark))
+	} else {
+		rt.emitSpan(obsv.SpanCrash, tx.site, "stm", cause, "")
+		undone, rerr := rt.undo.Rollback()
+		if rerr != nil {
+			// The undo log could not restore memory: the heap is inconsistent,
+			// so neither shedding nor restarting the region is safe. Die — but
+			// visibly: the death must appear in the trace and span log like
+			// every other unrecovered crash.
+			rt.stats.Unrecovered++
+			rt.emit(EvUnrecovered, tx.site, fmt.Sprintf("undo-log rollback failed: %v", rerr))
+			return interp.ActionDie
+		}
+		m.Cycles += int64(undone) * costSTMUndoEntry
+		if rt.domain != nil {
+			rt.domain.ReleaseLock(rt.tid)
+		}
+		rt.rollbackSideEffects(tx)
+		m.Restore(tx.snap)
+		m.Cycles += costSignal
+		rt.cur = nil
 	}
-	rt.rollbackSideEffects(tx)
-	m.Restore(tx.snap)
-	m.Cycles += costSignal
-	rt.cur = nil
 
 	st := rt.state(tx.site)
 	st.crashes++
 	switch {
 	case st.crashes <= rt.cfg.RetryTransient:
-		// Assume transient: re-execute (still under STM).
-		st.oneShotSTM = true
+		// Assume transient: re-execute under the same strategy.
+		if tx.dom {
+			st.oneShotDom = true
+		} else {
+			st.oneShotSTM = true
+		}
 		rt.stats.Retries++
 		rt.emit(EvRetry, tx.site, fmt.Sprintf("attempt=%d", st.crashes))
 	default:

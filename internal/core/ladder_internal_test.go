@@ -62,7 +62,7 @@ func TestShedAbsorbsCrashOutsideTransaction(t *testing.T) {
 		t.Fatal("quiesce not armed")
 	}
 
-	if act := rt.handleCrash(m); act != interp.ActionContinue {
+	if act := rt.handleCrash(m, nil); act != interp.ActionContinue {
 		t.Fatalf("action = %v, want continue", act)
 	}
 	s := rt.Stats()
@@ -83,10 +83,10 @@ func TestShedExhaustionEscalatesToDeath(t *testing.T) {
 	rt.EnableSpans()
 	rt.ArmQuiesce(m)
 
-	if act := rt.handleCrash(m); act != interp.ActionContinue {
+	if act := rt.handleCrash(m, nil); act != interp.ActionContinue {
 		t.Fatalf("first crash: action = %v, want continue (shed)", act)
 	}
-	if act := rt.handleCrash(m); act != interp.ActionDie {
+	if act := rt.handleCrash(m, nil); act != interp.ActionDie {
 		t.Fatalf("second crash: action = %v, want die (sheds exhausted)", act)
 	}
 	s := rt.Stats()
@@ -111,7 +111,7 @@ func TestShedOnPersistentFaultWithoutInjectableGate(t *testing.T) {
 	rt.gs[site].crashes = 1 // next crash exceeds RetryTransient
 	rt.gs[site].injected = true
 
-	if act := rt.handleCrash(m); act != interp.ActionContinue {
+	if act := rt.handleCrash(m, nil); act != interp.ActionContinue {
 		t.Fatalf("action = %v, want continue (shed)", act)
 	}
 	s := rt.Stats()
@@ -145,7 +145,7 @@ func TestRollbackFailureIsVisiblyUnrecovered(t *testing.T) {
 	// An STM transaction whose undo log was never begun: Rollback fails.
 	rt.cur = &txState{site: 1, variant: ir.TxSTM, snap: m.Snapshot()}
 
-	if act := rt.handleCrash(m); act != interp.ActionDie {
+	if act := rt.handleCrash(m, nil); act != interp.ActionDie {
 		t.Fatalf("action = %v, want die", act)
 	}
 	s := rt.Stats()

@@ -32,6 +32,25 @@ func (rt *Runtime) PublishMetrics(reg *obsv.Registry, labels ...obsv.Label) {
 	reg.Counter("core.req_done", labels...).Add(s.ReqsDone)
 	reg.Counter("core.req_lost", labels...).Add(s.ReqsLost)
 
+	if rt.cfg.EnableDomains {
+		// The heap-domain surface exists only when the feature is on, so
+		// a domains-off run publishes byte-identical metrics to a build
+		// without it. All seven reconcile exactly with Stats(), and the
+		// arena counters with libsim's ArenaStats().
+		reg.Counter("core.domain_begins", labels...).Add(s.DomainBegins)
+		reg.Counter("core.domain_commits", labels...).Add(s.DomainCommits)
+		reg.Counter("core.domain_switches", labels...).Add(s.DomainSwitches)
+		reg.Counter("core.domain_retires", labels...).Add(s.DomainRetires)
+		reg.Counter("core.domain_discards", labels...).Add(s.DomainDiscards)
+		reg.Counter("core.domain_violations", labels...).Add(s.DomainViolations)
+		reg.Counter("core.domain_latches", labels...).Add(s.DomainLatches)
+		ast := rt.os.ArenaStats()
+		reg.Counter("core.arena_allocs", labels...).Add(ast.Allocs)
+		reg.Counter("core.arena_fallbacks", labels...).Add(ast.Fallbacks)
+		reg.Counter("core.arena_retires", labels...).Add(ast.Retires)
+		reg.Gauge("core.arena_slabs", labels...).Add(ast.Slabs)
+	}
+
 	reg.Gauge("core.sites_gate", labels...).Add(int64(len(s.GateSites)))
 	reg.Gauge("core.sites_embed", labels...).Add(int64(len(s.EmbedSites)))
 	reg.Gauge("core.sites_break", labels...).Add(int64(len(s.BreakSites)))

@@ -30,6 +30,10 @@ const (
 	EvReqStart
 	EvReqDone
 	EvReqLost
+	EvLatchDomains
+	EvDomainSwitch
+	EvDomainDiscard
+	EvDomainViolation
 )
 
 // String returns the event name.
@@ -63,6 +67,14 @@ func (k EventKind) String() string {
 		return "req-done"
 	case EvReqLost:
 		return "req-lost"
+	case EvLatchDomains:
+		return "latch-domains"
+	case EvDomainSwitch:
+		return "domain-switch"
+	case EvDomainDiscard:
+		return "domain-discard"
+	case EvDomainViolation:
+		return "domain-violation"
 	default:
 		return fmt.Sprintf("event(%d)", int(k))
 	}
@@ -144,6 +156,14 @@ func flatKind(e obsv.SpanEvent) EventKind {
 		return EvReqDone
 	case obsv.SpanReqLost:
 		return EvReqLost
+	case obsv.SpanLatchDomains:
+		return EvLatchDomains
+	case obsv.SpanDomainSwitch:
+		return EvDomainSwitch
+	case obsv.SpanDomainDiscard:
+		return EvDomainDiscard
+	case obsv.SpanDomainViolation:
+		return EvDomainViolation
 	default:
 		return 0
 	}
@@ -221,6 +241,8 @@ func (rt *Runtime) emit(kind EventKind, site int, detail string) {
 		k = obsv.SpanRecovered
 	case EvShed:
 		k = obsv.SpanShed
+	case EvLatchDomains:
+		k = obsv.SpanLatchDomains
 	default:
 		return
 	}
@@ -250,7 +272,8 @@ func (rt *Runtime) emitSpan(kind string, site int, variant, cause, detail string
 func recoveryKind(kind string) bool {
 	switch kind {
 	case obsv.SpanAbort, obsv.SpanCrash, obsv.SpanRetry, obsv.SpanInject,
-		obsv.SpanLatchSTM, obsv.SpanRecovered, obsv.SpanUnrecovered, obsv.SpanShed:
+		obsv.SpanLatchSTM, obsv.SpanRecovered, obsv.SpanUnrecovered, obsv.SpanShed,
+		obsv.SpanLatchDomains, obsv.SpanDomainDiscard, obsv.SpanDomainViolation:
 		return true
 	}
 	return false

@@ -1,0 +1,81 @@
+package faultinj
+
+// Corruption-reach checking for the heap-domain containment guarantee.
+//
+// The rewind-and-discard strategy claims that discarding a request's
+// protection domain contains fail-silent corruption: once a domain is
+// discarded, no later response may carry bytes derived from its memory.
+// libsim records the domain provenance of every connection write (the
+// WriteTaint audit trail); CheckReach turns that record into leak
+// verdicts the chaos containment table asserts are empty.
+
+import (
+	"fmt"
+
+	"github.com/firestarter-go/firestarter/internal/libsim"
+)
+
+// Leak is one containment violation: a connection write whose source
+// bytes derive from a protection domain other than the request being
+// served — either a domain that was already discarded (a stale pointer
+// surviving recovery) or a live foreign request's domain (cross-request
+// snooping).
+type Leak struct {
+	Seq     int64   // write sequence number from the audit trail
+	FD      int64   // connection written
+	Trace   int64   // request trace of that connection (0 untraced)
+	Addr    int64   // guest source buffer
+	Serving int32   // domain register at write time
+	Doms    []int32 // offending source domains
+	Stale   bool    // at least one offending domain was already discarded
+}
+
+// String renders the leak for test failures and the containment report.
+func (l Leak) String() string {
+	kind := "foreign"
+	if l.Stale {
+		kind = "stale"
+	}
+	return fmt.Sprintf("write seq=%d fd=%d trace=%d addr=%#x serving=%d %s doms=%v",
+		l.Seq, l.FD, l.Trace, l.Addr, l.Serving, kind, l.Doms)
+}
+
+// CheckReach audits a run's connection writes against the domain tags of
+// their source ranges. A write is clean when every tagged source page
+// belongs to the serving request's own domain; shared (untagged) memory
+// is always legal — static strings, globals and the heap are not
+// request-private. Anything else is a leak: bytes from a discarded
+// domain's addresses (Stale) or from a live foreign domain.
+func CheckReach(taints []libsim.WriteTaint) []Leak {
+	var leaks []Leak
+	for _, t := range taints {
+		var bad []int32
+		stale := false
+		for _, d := range t.Doms {
+			if d == t.Serving && !staleDom(t.Stale, d) {
+				continue
+			}
+			bad = append(bad, d)
+			if staleDom(t.Stale, d) {
+				stale = true
+			}
+		}
+		if len(bad) == 0 {
+			continue
+		}
+		leaks = append(leaks, Leak{
+			Seq: t.Seq, FD: t.FD, Trace: t.Trace, Addr: t.Addr,
+			Serving: t.Serving, Doms: bad, Stale: stale,
+		})
+	}
+	return leaks
+}
+
+func staleDom(stale []int32, d int32) bool {
+	for _, s := range stale {
+		if s == d {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,53 @@
+package faultinj_test
+
+import (
+	"testing"
+
+	"github.com/firestarter-go/firestarter/internal/faultinj"
+	"github.com/firestarter-go/firestarter/internal/libsim"
+)
+
+// TestCheckReachHandBuiltLeaks feeds the checker a hand-built audit trail
+// covering every verdict class: clean same-domain writes, shared-memory
+// writes, a write sourcing a live foreign request's domain, and a write
+// sourcing a domain that had already been discarded (the stale-pointer
+// case the rewind strategy must contain).
+func TestCheckReachHandBuiltLeaks(t *testing.T) {
+	taints := []libsim.WriteTaint{
+		// Clean: response bytes from the serving request's own arena.
+		{Seq: 1, FD: 5, Trace: 101, Addr: 0x6000_0000, Len: 64, Serving: 1, Doms: []int32{1}},
+		// Clean: shared memory only (no tagged pages at all).
+		{Seq: 2, FD: 5, Trace: 101, Addr: 0x1000_0000, Len: 16, Serving: 1},
+		// Leak: bytes from live foreign domain 2 while serving domain 1.
+		{Seq: 3, FD: 5, Trace: 101, Addr: 0x6001_0000, Len: 32, Serving: 1, Doms: []int32{1, 2}},
+		// Leak: bytes from domain 1, discarded by the time of the write.
+		{Seq: 4, FD: 7, Trace: 102, Addr: 0x6000_0040, Len: 8, Serving: 3,
+			Doms: []int32{1}, Stale: []int32{1}},
+	}
+	leaks := faultinj.CheckReach(taints)
+	if len(leaks) != 2 {
+		t.Fatalf("leaks = %d (%v), want 2", len(leaks), leaks)
+	}
+	if leaks[0].Seq != 3 || leaks[0].Stale || len(leaks[0].Doms) != 1 || leaks[0].Doms[0] != 2 {
+		t.Errorf("foreign leak = %+v", leaks[0])
+	}
+	if leaks[1].Seq != 4 || !leaks[1].Stale || leaks[1].Doms[0] != 1 {
+		t.Errorf("stale leak = %+v", leaks[1])
+	}
+	if leaks[1].Trace != 102 || leaks[1].Serving != 3 {
+		t.Errorf("leak attribution = %+v", leaks[1])
+	}
+}
+
+// TestCheckReachCleanRun asserts the empty verdict on an all-clean trail
+// (what the chaos containment table requires of every cell).
+func TestCheckReachCleanRun(t *testing.T) {
+	taints := []libsim.WriteTaint{
+		{Seq: 1, Serving: 1, Doms: []int32{1}},
+		{Seq: 2, Serving: 2, Doms: []int32{2}},
+		{Seq: 3, Serving: 0}, // boot-time write, no arena live
+	}
+	if leaks := faultinj.CheckReach(taints); len(leaks) != 0 {
+		t.Fatalf("clean run produced leaks: %v", leaks)
+	}
+}

@@ -103,6 +103,9 @@ func (b *bytecodeBackend) fail(m *Machine, err error, co TickCoalescer, tickLive
 			if ae := (*mem.AccessError)(nil); errors.As(err, &ae) {
 				trap.Addr = ae.Addr
 			}
+			if de := (*mem.DomainError)(nil); errors.As(err, &de) {
+				trap.Code, trap.Addr = ir.TrapDomain, de.Addr
+			}
 		}
 		m.exited = true
 		return Outcome{Kind: OutTrapped, Code: trap.Code, Trap: trap}, true
@@ -298,6 +301,8 @@ resync:
 					f.Blk, f.Idx = in.Blk, in.Idx
 					if errors.Is(err, mem.ErrUnmapped) {
 						err = m.trapHere(ir.TrapBadAccess, addr)
+					} else if errors.Is(err, mem.ErrDomain) {
+						err = m.trapHere(ir.TrapDomain, addr)
 					}
 					out, done := b.fail(m, err, co, &tickLive)
 					if done {
@@ -521,6 +526,8 @@ resync:
 					f.Blk, f.Idx = in.Blk, in.Idx
 					if errors.Is(err, mem.ErrUnmapped) {
 						err = m.trapHere(ir.TrapBadAccess, addr)
+					} else if errors.Is(err, mem.ErrDomain) {
+						err = m.trapHere(ir.TrapDomain, addr)
 					}
 					out, done := b.fail(m, err, co, &tickLive)
 					if done {

@@ -587,6 +587,9 @@ func (m *Machine) runTree(maxSteps int64) Outcome {
 				if ae := (*mem.AccessError)(nil); errors.As(err, &ae) {
 					trap.Addr = ae.Addr
 				}
+				if de := (*mem.DomainError)(nil); errors.As(err, &de) {
+					trap.Code, trap.Addr = ir.TrapDomain, de.Addr
+				}
 			}
 			m.exited = true
 			return Outcome{Kind: OutTrapped, Code: trap.Code, Trap: trap}
@@ -641,6 +644,9 @@ func (m *Machine) step() error {
 		if err != nil {
 			if errors.Is(err, mem.ErrUnmapped) {
 				return m.trapHere(ir.TrapBadAccess, f.Regs[in.A]+in.Imm)
+			}
+			if errors.Is(err, mem.ErrDomain) {
+				return m.trapHere(ir.TrapDomain, f.Regs[in.A]+in.Imm)
 			}
 			// Non-memory errors (a pending conflict abort) go to the
 			// runtime's Handle like a failing store would.
@@ -746,6 +752,9 @@ func (m *Machine) step() error {
 func (m *Machine) storeError(err error, addr int64) error {
 	if errors.Is(err, mem.ErrUnmapped) {
 		return m.trapHere(ir.TrapBadAccess, addr)
+	}
+	if errors.Is(err, mem.ErrDomain) {
+		return m.trapHere(ir.TrapDomain, addr)
 	}
 	return err
 }

@@ -61,6 +61,7 @@ const (
 	TrapDivZero   = 3 // division by zero
 	TrapBadAccess = 4 // set by the interpreter on unmapped memory access
 	TrapBadCall   = 5 // OpCall whose callee cannot be resolved at run time
+	TrapDomain    = 6 // cross-domain access under heap-domain isolation
 )
 
 // BinKind enumerates binary operators for OpBin.

@@ -115,6 +115,9 @@ func buildCallTable() map[string]handler {
 		return o.alloc(a[0] * a[1])
 	}}
 	t["realloc"] = handler{2, func(o *OS, a []int64) (int64, error) {
+		if o.arenaOwns(a[0]) {
+			return o.arenaRealloc(a[0], a[1])
+		}
 		if o.oomNow() {
 			o.Errno = ENOMEM
 			return 0, nil
@@ -147,12 +150,22 @@ func buildCallTable() map[string]handler {
 		if a[0] == 0 {
 			return 0, nil
 		}
+		if o.arenaOwns(a[0]) {
+			return 0, nil // bump arenas reclaim wholesale at request end
+		}
 		if o.deferFree != nil && o.deferFree(a[0]) {
 			return 0, nil
 		}
 		if !o.heap.Free(a[0]) {
 			return 0, ErrCorrupt
 		}
+		return 0, nil
+	}}
+	t["arena_alloc"] = handler{1, func(o *OS, a []int64) (int64, error) {
+		return o.ArenaAlloc(a[0])
+	}}
+	t["arena_reset"] = handler{0, func(o *OS, a []int64) (int64, error) {
+		o.ArenaReset()
 		return 0, nil
 	}}
 	t["mmap"] = handler{1, func(o *OS, a []int64) (int64, error) {
@@ -858,6 +871,9 @@ func (o *OS) doWrite(fd, buf, n int64) (int64, error) {
 		if c.serverClosed {
 			o.Errno = EPIPE
 			return -1, nil
+		}
+		if o.arena.on {
+			o.auditWrite(fd, buf, n, c.trace)
 		}
 		c.out = append(c.out, data...)
 		o.servingFD = fd

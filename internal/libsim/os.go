@@ -146,6 +146,10 @@ type OS struct {
 	// ports maps bound port → listener for the client side (netsim).
 	ports map[int64]*Listener
 
+	// arena is the per-request bump-arena manager (see arena.go);
+	// inert until EnableArenas.
+	arena arenaState
+
 	// OOMAfter, when positive, makes the allocator fail with ENOMEM
 	// after that many more successful allocations (fault-injection aid).
 	OOMAfter int64
@@ -300,6 +304,11 @@ func (o *OS) CloseFD(fd int64) bool {
 		s.Listener.closed = true
 	case FDConn:
 		s.Conn.CloseServer()
+		// The owning request is over (close or shed): discard its arena
+		// so the slab never leaks across connections.
+		if o.arena.cur != nil && o.arena.cur.fd == fd {
+			o.arenaRetire()
+		}
 	}
 	if fd >= 3 {
 		o.fds[fd] = FD{Kind: FDFree}

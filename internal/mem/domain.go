@@ -1,0 +1,130 @@
+// Heap protection domains: an MPK-style tagging model over the paged
+// space. Every mapped page carries a domain ID (0 = shared, the default);
+// the space holds a current-domain register, and scalar guest accesses
+// (Load/Store — the interpreter's memory traffic) to a page tagged with a
+// foreign non-zero domain fail with a DomainError, which the interpreter
+// converts into a fail-stop trap exactly like a segfault. Bulk operations
+// (ReadBytes/WriteBytes/ReadInto/ReadCString) model kernel copies and are
+// deliberately unchecked, mirroring how PKU register state does not
+// constrain the kernel; the libsim write-path audit (WriteTaints) covers
+// that gap for containment checking instead.
+//
+// The checks are entirely off the fast path until EnableDomains is called:
+// a disabled space adds a single always-false branch per access and no map
+// lookups, so the cost model and all existing outputs are unchanged.
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Arena segment: per-request bump-pointer arenas are carved from this
+// range, between the heap and the stack segments, so a domain-tagged
+// arena address is never confused with an ordinary heap or stack address.
+const (
+	ArenaBase  = 0x6000_0000
+	ArenaLimit = 0x7000_0000
+)
+
+// ErrDomain is returned for a guest access to a page owned by a foreign
+// protection domain. The interpreter turns it into a fail-stop trap
+// (TrapDomain), a new crash cause attributed like any other.
+var ErrDomain = errors.New("mem: cross-domain access")
+
+// DomainError describes a cross-domain access; it wraps ErrDomain so
+// callers can match with errors.Is while recovering the faulting address
+// and the two domains involved.
+type DomainError struct {
+	Addr  int64
+	Width int
+	Write bool
+	Dom   int32 // owning domain of the touched page
+	Cur   int32 // current domain register at the time of access
+}
+
+// Error implements error.
+func (e *DomainError) Error() string {
+	kind := "read"
+	if e.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("mem: %s of %d bytes at %#x owned by domain %d (current domain %d)",
+		kind, e.Width, e.Addr, e.Dom, e.Cur)
+}
+
+// Unwrap makes errors.Is(err, ErrDomain) hold.
+func (e *DomainError) Unwrap() error { return ErrDomain }
+
+// EnableDomains switches on domain checking for this space. Before the
+// first call every access behaves exactly as without the feature.
+func (s *Space) EnableDomains() {
+	s.domOn = true
+	if s.pageDom == nil {
+		s.pageDom = make(map[int64]int32)
+	}
+}
+
+// DomainsEnabled reports whether domain checking is on.
+func (s *Space) DomainsEnabled() bool { return s.domOn }
+
+// SetDomain sets the current-domain register. Domain 0 is the shared
+// domain: code running in it may touch only untagged pages, and pages
+// tagged 0 are accessible from every domain.
+func (s *Space) SetDomain(d int32) { s.curDom = d }
+
+// CurrentDomain returns the current-domain register.
+func (s *Space) CurrentDomain() int32 { return s.curDom }
+
+// TagDomain tags every page covering [addr, addr+size) with dom. The
+// range must be mapped. Tagging with 0 clears the tag.
+func (s *Space) TagDomain(addr, size int64, dom int32) error {
+	if size <= 0 || addr < 0 || addr+size < addr {
+		return fmt.Errorf("%w: tag [%#x, +%d)", ErrBadRange, addr, size)
+	}
+	if s.pageDom == nil {
+		s.pageDom = make(map[int64]int32)
+	}
+	first := addr / PageSize
+	last := (addr + size - 1) / PageSize
+	for p := first; p <= last; p++ {
+		if _, ok := s.pages[p]; !ok {
+			return fmt.Errorf("%w: tag of unmapped page %#x", ErrUnmapped, p*PageSize)
+		}
+		if dom == 0 {
+			delete(s.pageDom, p)
+		} else {
+			s.pageDom[p] = dom
+		}
+	}
+	return nil
+}
+
+// PageDomain returns the domain tag of the page containing addr (0 for
+// untagged or unmapped pages).
+func (s *Space) PageDomain(addr int64) int32 {
+	if s.pageDom == nil || addr < 0 {
+		return 0
+	}
+	return s.pageDom[addr/PageSize]
+}
+
+// domDeny reports whether the current domain may not access pageIdx,
+// returning the owning domain. Only called with s.domOn set.
+func (s *Space) domDeny(pageIdx int64) (int32, bool) {
+	d := s.pageDom[pageIdx]
+	return d, d != 0 && d != s.curDom
+}
+
+// domCheckRange applies the domain check to every page of a
+// page-straddling scalar access (the slow path of Load/Store).
+func (s *Space) domCheckRange(addr int64, width int, write bool) error {
+	first := addr / PageSize
+	last := (addr + int64(width) - 1) / PageSize
+	for p := first; p <= last; p++ {
+		if d, deny := s.domDeny(p); deny {
+			return &DomainError{Addr: addr, Width: width, Write: write, Dom: d, Cur: s.curDom}
+		}
+	}
+	return nil
+}

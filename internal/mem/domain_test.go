@@ -1,0 +1,201 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestUnmapInvalidatesTLB is the fails-if-broken regression test for the
+// Unmap/TLB contract: every unmapped page must leave the translation
+// cache, including pages unmapped by partially-covering ranges. If Unmap
+// forgot the TLB (delete the pages map entry only), a warm cache entry
+// would keep serving the stale page and the post-unmap access would
+// silently succeed instead of trapping.
+func TestUnmapInvalidatesTLB(t *testing.T) {
+	s := NewSpace()
+	if err := s.Map(HeapBase, 4*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the TLB on every page we are about to unmap.
+	for p := int64(0); p < 4; p++ {
+		if err := s.Store(HeapBase+p*PageSize, 0x42+p, 8); err != nil {
+			t.Fatalf("warm store page %d: %v", p, err)
+		}
+	}
+	// Partial unmap: the range starts and ends mid-page, so only the two
+	// fully covered middle pages go away; the edge pages stay mapped.
+	if err := s.Unmap(HeapBase+100, 3*PageSize-50); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		page   int64
+		mapped bool
+	}{
+		{0, true}, {1, false}, {2, false}, {3, true},
+	} {
+		_, err := s.Load(HeapBase+tc.page*PageSize, 8)
+		if tc.mapped && err != nil {
+			t.Errorf("page %d: expected mapped, Load err = %v", tc.page, err)
+		}
+		if !tc.mapped && !errors.Is(err, ErrUnmapped) {
+			t.Errorf("page %d: unmapped page served from stale TLB entry (err = %v, want ErrUnmapped)", tc.page, err)
+		}
+	}
+}
+
+// TestUnmapInvalidatesAliasedTLBSlot covers the direct-mapped collision
+// case: two pages tlbSize apart share a cache slot, and unmapping one
+// must not leave the slot pointing at the dead page.
+func TestUnmapInvalidatesAliasedTLBSlot(t *testing.T) {
+	s := NewSpace()
+	lo := int64(HeapBase)
+	hi := lo + tlbSize*PageSize // same slot as lo
+	if err := s.Map(lo, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Map(hi, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	// Touch hi then lo: the shared slot now holds lo.
+	if err := s.Store(hi, 1, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store(lo, 2, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unmap(lo, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(lo, 8); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("unmapped page behind warm aliased slot: err = %v, want ErrUnmapped", err)
+	}
+	if v, err := s.Load(hi, 8); err != nil || v != 1 {
+		t.Fatalf("aliasing survivor page: v=%d err=%v, want 1, nil", v, err)
+	}
+}
+
+func TestDomainsOffIsUnchecked(t *testing.T) {
+	s := NewSpace()
+	if err := s.Map(ArenaBase, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	// Without EnableDomains even a tag would not be consulted; accesses
+	// from the (implicit) shared domain succeed.
+	if err := s.Store(ArenaBase, 7, 8); err != nil {
+		t.Fatalf("domains-off store: %v", err)
+	}
+	if v, err := s.Load(ArenaBase, 8); err != nil || v != 7 {
+		t.Fatalf("domains-off load: v=%d err=%v", v, err)
+	}
+}
+
+func TestCrossDomainAccessTraps(t *testing.T) {
+	s := NewSpace()
+	s.EnableDomains()
+	if err := s.Map(ArenaBase, 2*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TagDomain(ArenaBase, PageSize, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TagDomain(ArenaBase+PageSize, PageSize, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shared domain (0) may not touch a tagged page.
+	err := s.Store(ArenaBase, 1, 8)
+	if !errors.Is(err, ErrDomain) {
+		t.Fatalf("shared->dom3 store err = %v, want ErrDomain", err)
+	}
+	var de *DomainError
+	if !errors.As(err, &de) || de.Dom != 3 || de.Cur != 0 || !de.Write {
+		t.Fatalf("DomainError = %+v", de)
+	}
+
+	// The owning domain may.
+	s.SetDomain(3)
+	if err := s.Store(ArenaBase, 11, 8); err != nil {
+		t.Fatalf("dom3 store to own page: %v", err)
+	}
+	if v, err := s.Load(ArenaBase, 8); err != nil || v != 11 {
+		t.Fatalf("dom3 load of own page: v=%d err=%v", v, err)
+	}
+	// ... but not a sibling domain's page.
+	if _, err := s.Load(ArenaBase+PageSize, 8); !errors.Is(err, ErrDomain) {
+		t.Fatalf("dom3->dom4 load err = %v, want ErrDomain", err)
+	}
+	// Shared pages stay reachable from any domain.
+	if err := s.Map(HeapBase, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store(HeapBase, 9, 8); err != nil {
+		t.Fatalf("dom3 store to shared page: %v", err)
+	}
+}
+
+func TestCrossDomainStraddlingAccessTraps(t *testing.T) {
+	s := NewSpace()
+	s.EnableDomains()
+	if err := s.Map(ArenaBase, 2*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TagDomain(ArenaBase+PageSize, PageSize, 5); err != nil {
+		t.Fatal(err)
+	}
+	// An 8-byte store straddling from an untagged page into a foreign
+	// domain's page must take the slow-path check too.
+	addr := int64(ArenaBase + PageSize - 4)
+	if err := s.Store(addr, 1, 8); !errors.Is(err, ErrDomain) {
+		t.Fatalf("straddling store err = %v, want ErrDomain", err)
+	}
+	if _, err := s.Load(addr, 8); !errors.Is(err, ErrDomain) {
+		t.Fatalf("straddling load err = %v, want ErrDomain", err)
+	}
+}
+
+// TestDomainTeardownThroughUnmap checks that tearing a domain region down
+// with Unmap clears both the TLB entries and the domain tags: after a
+// remap of the same range, the pages are shared (domain 0) again and
+// reachable from any domain — a stale tag would make the recycled slab
+// trap for its next owner.
+func TestDomainTeardownThroughUnmap(t *testing.T) {
+	s := NewSpace()
+	s.EnableDomains()
+	if err := s.Map(ArenaBase, 2*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TagDomain(ArenaBase, 2*PageSize, 7); err != nil {
+		t.Fatal(err)
+	}
+	s.SetDomain(7)
+	if err := s.Store(ArenaBase, 1, 8); err != nil { // warm the TLB
+		t.Fatal(err)
+	}
+	s.SetDomain(0)
+	if err := s.Unmap(ArenaBase, 2*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(ArenaBase, 8); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("post-teardown load err = %v, want ErrUnmapped", err)
+	}
+	if d := s.PageDomain(ArenaBase); d != 0 {
+		t.Fatalf("PageDomain after Unmap = %d, want 0", d)
+	}
+	if err := s.Map(ArenaBase, 2*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store(ArenaBase, 2, 8); err != nil {
+		t.Fatalf("recycled region store from shared domain: %v", err)
+	}
+}
+
+func TestTagDomainErrors(t *testing.T) {
+	s := NewSpace()
+	s.EnableDomains()
+	if err := s.TagDomain(ArenaBase, PageSize, 1); !errors.Is(err, ErrUnmapped) {
+		t.Errorf("tag of unmapped page: err = %v, want ErrUnmapped", err)
+	}
+	if err := s.TagDomain(ArenaBase, -1, 1); !errors.Is(err, ErrBadRange) {
+		t.Errorf("tag of negative range: err = %v, want ErrBadRange", err)
+	}
+}

@@ -73,6 +73,13 @@ type Space struct {
 	// peakPages tracks the high-water mark of mapped pages for RSS
 	// accounting (Fig. 9).
 	peakPages int
+
+	// Protection domains (see domain.go). domOn gates every check so a
+	// space that never calls EnableDomains pays one predictable branch
+	// per access and no map lookups.
+	domOn   bool
+	curDom  int32
+	pageDom map[int64]int32
 }
 
 // tlbSize must be a power of two.
@@ -138,6 +145,9 @@ func (s *Space) Unmap(addr, size int64) error {
 		if e.page != nil && e.idx == p {
 			*e = tlbEntry{}
 		}
+		if s.pageDom != nil {
+			delete(s.pageDom, p)
+		}
 	}
 	return nil
 }
@@ -176,6 +186,11 @@ func (s *Space) Load(addr int64, width int) (int64, error) {
 		if page == nil {
 			return 0, &AccessError{Addr: addr, Width: width}
 		}
+		if s.domOn {
+			if d, deny := s.domDeny(addr / PageSize); deny {
+				return 0, &DomainError{Addr: addr, Width: width, Dom: d, Cur: s.curDom}
+			}
+		}
 		switch width {
 		case 1:
 			return int64(page[off]), nil
@@ -194,6 +209,11 @@ func (s *Space) Load(addr int64, width int) (int64, error) {
 	case 1, 2, 4, 8:
 	default:
 		return 0, fmt.Errorf("%w: load width %d", ErrBadRange, width)
+	}
+	if s.domOn && addr >= 0 {
+		if err := s.domCheckRange(addr, width, false); err != nil {
+			return 0, err
+		}
 	}
 	if err := s.read(addr, buf[:width]); err != nil {
 		return 0, &AccessError{Addr: addr, Width: width}
@@ -214,6 +234,11 @@ func (s *Space) Store(addr int64, val int64, width int) error {
 		if page == nil {
 			return &AccessError{Addr: addr, Width: width, Write: true}
 		}
+		if s.domOn {
+			if d, deny := s.domDeny(addr / PageSize); deny {
+				return &DomainError{Addr: addr, Width: width, Write: true, Dom: d, Cur: s.curDom}
+			}
+		}
 		switch width {
 		case 1:
 			page[off] = byte(val)
@@ -228,6 +253,11 @@ func (s *Space) Store(addr int64, val int64, width int) error {
 	}
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], uint64(val))
+	if s.domOn && addr >= 0 {
+		if err := s.domCheckRange(addr, width, true); err != nil {
+			return err
+		}
+	}
 	if err := s.write(addr, buf[:width]); err != nil {
 		return &AccessError{Addr: addr, Width: width, Write: true}
 	}

@@ -50,6 +50,23 @@ const (
 	SpanReqLost  = "req-lost"
 )
 
+// Heap-domain span kinds (the rewind-and-discard checkpoint strategy).
+// domain-switch marks a request's protection domain becoming current
+// (its first arena allocation); domain-discard marks a crash rolling the
+// domain's arena back in O(1) (rollback discards only — request-end
+// retires are counters, not spans, so a discard never follows the same
+// transaction's commit); domain-violation marks a cross-domain access
+// trapping as a fail-stop crash cause (the containment guarantee: the
+// next span on that thread is the crash/shed/unrecovered it becomes).
+// latch-domains is the §IV-C policy latching a gate to the rewind
+// strategy.
+const (
+	SpanDomainSwitch    = "domain-switch"
+	SpanDomainDiscard   = "domain-discard"
+	SpanDomainViolation = "domain-violation"
+	SpanLatchDomains    = "latch-domains"
+)
+
 // SpanEvent is one structured transaction event, timestamped in cost-model
 // cycles. Field order is the JSONL column order; json.Marshal preserves
 // it, so encoded output is byte-deterministic.
@@ -63,7 +80,7 @@ type SpanEvent struct {
 	Kind    string `json:"kind"`
 	Site    int    `json:"site,omitempty"`
 	Call    string `json:"call,omitempty"`
-	Variant string `json:"variant,omitempty"` // "htm" or "stm"
+	Variant string `json:"variant,omitempty"` // "htm", "stm" or "domain"
 	Cause   string `json:"cause,omitempty"`   // abort cause
 	Detail  string `json:"detail,omitempty"`
 }
