@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench bench-smoke obsv-smoke chaos-smoke trace-smoke fleet-smoke openloop-smoke domains-smoke diff-smoke eval examples cover clean
+.PHONY: all build test vet bench bench-smoke obsv-smoke chaos-smoke trace-smoke fleet-smoke openloop-smoke domains-smoke diff-smoke replay-smoke eval examples cover clean
 
 all: build vet test
 
@@ -168,6 +168,37 @@ diff-smoke:
 		-concurrency 2 -parallel 4 > /tmp/fire-diff-bytecode.txt
 	cmp /tmp/fire-diff-tree.txt /tmp/fire-diff-bytecode.txt
 	@echo diff-smoke OK
+
+# Flight-recorder smoke: a chaos campaign with -record-out captures a
+# replay manifest for every incarnation that ended unrecovered or with
+# the breaker open; each one must then (a) re-execute to completion
+# with every span verified against the recorded hash chain and the
+# replayed stream byte-identical to the companion file, (b) halt at the
+# recorded faulting instruction under the default -stop-at-cycle -1,
+# and (c) survive a -reverse-step (re-execution to the boundary one
+# retired instruction earlier, cross-checked against the checkpoint
+# ring). Any divergence — one span, one digest — fails the build.
+replay-smoke:
+	$(GO) build -o /tmp/firebench-bin ./cmd/firebench
+	$(GO) build -o /tmp/firetrace-bin ./cmd/firetrace
+	rm -rf /tmp/fire-replay /tmp/fire-replay2
+	/tmp/firebench-bin -experiment chaos -requests 24 -faults 1 \
+		-concurrency 2 -seed 3 -parallel 4 \
+		-record-out /tmp/fire-replay -fingerprint > /dev/null
+	/tmp/firebench-bin -experiment chaos -requests 40 -faults 2 \
+		-concurrency 2 -parallel 4 \
+		-record-out /tmp/fire-replay2 -fingerprint > /dev/null
+	ls /tmp/fire-replay/*.json /tmp/fire-replay2/*.json > /dev/null
+	for m in /tmp/fire-replay/*.json /tmp/fire-replay2/*.json; do \
+		/tmp/firetrace-bin -manifest $$m > /dev/null || exit 1; \
+		/tmp/firetrace-bin -replay $$m -stop-at-cycle 0 \
+			-replay-spans $$m.replayed.jsonl > /dev/null || exit 1; \
+		cmp $$m.replayed.jsonl $${m%.json}.spans.jsonl || exit 1; \
+		/tmp/firetrace-bin -replay $$m > /dev/null || exit 1; \
+		/tmp/firetrace-bin -replay $$m -reverse-step -ckpt-every 1000 \
+			> /dev/null || exit 1; \
+	done
+	@echo replay-smoke OK
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -7,6 +7,7 @@
 //	firebench [-experiment <name>] [-list] [-backend tree|bytecode]
 //	          [-requests N] [-faults N] [-seed N] [-parallel N]
 //	          [-trace-out FILE] [-metrics-out FILE] [-profile FILE]
+//	          [-record-out DIR] [-fingerprint]
 //
 // -list prints the experiment names -experiment accepts (plus "all",
 // the default, which runs every table/figure experiment in order; the
@@ -36,6 +37,14 @@
 // goodput and p999 scaling curve; -trace-out exports the experiment-
 // global span log, which carries replica/incarnation stamps on every
 // replica-attributed event.
+//
+// -record-out arms the flight recorder for the chaos and openloop
+// experiments: every incarnation that ends unrecovered (or with the
+// crash-loop breaker open) is captured as a replay manifest plus a
+// companion span stream, replayable and reverse-steppable with
+// firetrace -replay. -fingerprint appends the campaign span stream's
+// hash-chain value to those experiments' output — one line that commits
+// to every byte of the -trace-out export.
 //
 // The openloop experiment (extra) calibrates the hardened web server's
 // recovery-inclusive service rate closed-loop, then offers fixed
@@ -71,10 +80,11 @@ type experiment struct {
 // obsvOut carries the export paths and experiment knobs from the flags
 // to the experiment closures.
 type obsvOut struct {
-	traceOut   string
-	metricsOut string
-	profileOut string
-	replicas   string // -replicas: fleet experiment sizes, comma-separated
+	traceOut    string
+	metricsOut  string
+	profileOut  string
+	replicas    string // -replicas: fleet experiment sizes, comma-separated
+	fingerprint bool   // -fingerprint: print the span-stream hash chain
 }
 
 // parseSizes parses the -replicas flag ("1,2,4,8") into replica counts.
@@ -207,7 +217,11 @@ func experiments(out *obsvOut) []experiment {
 					return "", err
 				}
 			}
-			return res.Render(), nil
+			text := res.Render()
+			if out.fingerprint {
+				text += fmt.Sprintf("span fingerprint: %016x\n", res.Fingerprint())
+			}
+			return text, nil
 		}},
 		{name: "fleet", desc: "fleet scaling: the chaos matrix behind the deterministic L4 balancer at 1/2/4/8 replicas (extra)", extra: true, run: func(r bench.Runner) (string, error) {
 			sizes, err := parseSizes(out.replicas)
@@ -278,7 +292,11 @@ func experiments(out *obsvOut) []experiment {
 					return "", err
 				}
 			}
-			return res.Render(), nil
+			text := res.Render()
+			if out.fingerprint {
+				text += fmt.Sprintf("span fingerprint: %016x\n", res.Fingerprint())
+			}
+			return text, nil
 		}},
 	}
 	for _, app := range apps.All() {
@@ -362,6 +380,8 @@ func run() int {
 	flag.StringVar(&out.metricsOut, "metrics-out", "", "write the metrics registry as JSONL to this file (observability experiments)")
 	flag.StringVar(&out.profileOut, "profile", "", "write the guest profile as JSONL to this file (observability experiments)")
 	flag.StringVar(&out.replicas, "replicas", "1,2,4,8", "replica counts for the fleet experiment, comma-separated")
+	flag.BoolVar(&out.fingerprint, "fingerprint", false, "print the span-stream hash-chain fingerprint (chaos, openloop)")
+	recordOut := flag.String("record-out", "", "write replay manifests for failing incarnations/rungs into this directory (chaos, openloop; see firetrace -replay)")
 	flag.Parse()
 
 	if *list {
@@ -378,6 +398,7 @@ func run() int {
 		FaultsPerServer: *faults,
 		Parallelism:     *parallel,
 		Backend:         *backend,
+		RecordDir:       *recordOut,
 	}
 
 	ran := false

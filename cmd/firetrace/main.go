@@ -10,6 +10,9 @@
 //
 //	firetrace [-breakdown] [-timeline N] [-strict]
 //	          [-chrome FILE] [-folded FILE] [-profile FILE] TRACE
+//	firetrace -manifest MANIFEST
+//	firetrace -replay MANIFEST [-stop-at-cycle N] [-reverse-step]
+//	          [-ckpt-every N] [-ckpt-ring N] [-replay-spans FILE]
 //
 // The summary always prints: span/request totals, terminal outcomes
 // (done-ok / done-bad / lost / unterminated), orphaned trace
@@ -29,6 +32,21 @@
 // instants. -folded converts a -profile JSONL export into single-frame
 // folded stacks ("name cycles", library models prefixed lib:) whose
 // counts sum to the machine's total cycles.
+//
+// -manifest pretty-prints a flight-recorder manifest (the firebench
+// -record-out output). -replay re-executes one: the recorded world is
+// rebuilt from the manifest and re-driven, verifying the live span
+// hash chain against the recording — the first divergent span is a
+// hard error naming both sides. By default the replay halts at the
+// recorded faulting instruction and dumps the guest state (registers,
+// backtrace, memory digest, open fds); -stop-at-cycle 0 verifies the
+// whole run instead, -stop-at-cycle N halts at cycle N. -reverse-step
+// additionally re-executes to the boundary one retired instruction
+// earlier (rr-style: deterministic re-execution from boot, with the
+// -ckpt-every periodic checkpoint ring cross-checked between the two
+// passes as determinism anchors). -replay-spans writes the replayed
+// span stream as JSONL, byte-identical to the recording's companion
+// file when verification passes.
 //
 // All output is byte-deterministic for a given input.
 package main
@@ -59,8 +77,22 @@ func run() int {
 		chrome    = flag.String("chrome", "", "write Chrome trace_event JSON to this file")
 		folded    = flag.String("folded", "", "write flamegraph folded stacks to this file (needs -profile)")
 		profile   = flag.String("profile", "", "guest profile JSONL (firebench -profile export) for -folded")
+
+		manifest    = flag.String("manifest", "", "pretty-print this flight-recorder manifest and exit")
+		replayF     = flag.String("replay", "", "re-execute this flight-recorder manifest, verifying the span chain")
+		stopAt      = flag.Int64("stop-at-cycle", -1, "replay halt point: -1 the recorded faulting instruction, 0 run to completion, N cycle N")
+		reverseStep = flag.Bool("reverse-step", false, "after stopping, re-execute to the boundary one instruction earlier")
+		ckptEvery   = flag.Int64("ckpt-every", 250_000, "checkpoint-ring capture period in cycles during replay (0 disables)")
+		ckptRing    = flag.Int("ckpt-ring", 64, "checkpoint-ring depth during replay")
+		replaySpans = flag.String("replay-spans", "", "write the replayed span stream as JSONL to this file")
 	)
 	flag.Parse()
+	if *manifest != "" {
+		return printManifest(*manifest)
+	}
+	if *replayF != "" {
+		return runReplay(*replayF, *stopAt, *reverseStep, *ckptEvery, *ckptRing, *replaySpans)
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "firetrace: exactly one trace file required")
 		return 2

@@ -48,6 +48,15 @@ type Runner struct {
 	// bit-identical in every observable (outcomes, cycles, stats,
 	// rendered tables); the diff-smoke harness enforces it.
 	Backend string
+
+	// RecordDir, when set, arms the flight recorder: supervised
+	// campaigns capture a replay manifest (plus companion span stream)
+	// for every incarnation that ends unrecovered or with the breaker
+	// open, and the open-loop sweep records every failing rung. Files
+	// land in this directory, named in reduction (job) order so the set
+	// is identical at any Parallelism. Empty (the default) records
+	// nothing and changes no output.
+	RecordDir string
 }
 
 func (r Runner) withDefaults() Runner {

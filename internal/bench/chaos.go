@@ -8,6 +8,7 @@ import (
 	"github.com/firestarter-go/firestarter/internal/apps"
 	"github.com/firestarter-go/firestarter/internal/faultinj"
 	"github.com/firestarter-go/firestarter/internal/obsv"
+	"github.com/firestarter-go/firestarter/internal/replay"
 	"github.com/firestarter-go/firestarter/internal/supervisor"
 )
 
@@ -124,8 +125,18 @@ func (r Runner) Chaos() (ChaosResult, error) {
 	// -causality) across campaigns.
 	rowIdx := map[string]int{}
 	var clock, traceBase int64
+	recIdx := 0
 	for i, j := range jobs {
 		lr := runs[i]
+		// Flight-recorder output rides the same job-order reduction, so
+		// the manifest numbering is identical at any Parallelism.
+		for _, rec := range lr.Recordings {
+			if _, err := rec.Write(r.RecordDir, fmt.Sprintf("chaos-%03d", recIdx)); err != nil {
+				return out, fmt.Errorf("chaos: recording %s/%s fault %d: %w",
+					j.app.Name, j.kind, j.fault.ID, err)
+			}
+			recIdx++
+		}
 		key := j.app.Name + "/" + j.kind.String()
 		idx, ok := rowIdx[key]
 		if !ok {
@@ -211,4 +222,12 @@ func (c ChaosResult) WriteTrace(w io.Writer) error {
 		log.Append(e)
 	}
 	return log.WriteJSONL(w)
+}
+
+// Fingerprint returns the hash-chain value of the campaign-global span
+// stream in its exported (densely re-sequenced) form — one number that
+// commits to every byte -trace-out would write. Identical for a fixed
+// seed at any Parallelism.
+func (c ChaosResult) Fingerprint() uint64 {
+	return obsv.Fingerprint(replay.NormalizeSpans(c.Spans))
 }

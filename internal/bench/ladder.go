@@ -6,6 +6,7 @@ import (
 	"github.com/firestarter-go/firestarter/internal/apps"
 	"github.com/firestarter-go/firestarter/internal/faultinj"
 	"github.com/firestarter-go/firestarter/internal/obsv"
+	"github.com/firestarter-go/firestarter/internal/replay"
 	"github.com/firestarter-go/firestarter/internal/supervisor"
 	"github.com/firestarter-go/firestarter/internal/workload"
 )
@@ -67,6 +68,12 @@ type ladderRun struct {
 	// plus the supervisor's; reconcile() checks it against the counters
 	// above.
 	Registry *obsv.Registry
+
+	// Recordings holds the flight-recorder captures (Runner.RecordDir
+	// set): one per incarnation that ended unrecovered, plus the final
+	// incarnation when the breaker opened. The campaign reducers write
+	// them out in job order.
+	Recordings []replay.Recording
 }
 
 // ladderRun drives r.Requests against app under supervision. Hardened
@@ -82,6 +89,15 @@ func (r Runner) ladderRun(app *apps.App, o bootOpts, sc supervisor.Config) (*lad
 	}
 	sup := supervisor.New(sc)
 	remaining := r.Requests
+
+	// Flight-recorder candidates: with RecordDir set, every incarnation
+	// is captured (spans in machine-local cycles, pre-rebase) and the
+	// failing ones are kept once the campaign's verdicts are known.
+	type incCand struct {
+		rec   replay.Recording
+		unrec bool
+	}
+	var recCands []incCand
 
 	err := sup.Supervise(func(inc int, seed int64) (supervisor.RunResult, error) {
 		if remaining <= 0 {
@@ -114,6 +130,7 @@ func (r Runner) ladderRun(app *apps.App, o bootOpts, sc supervisor.Config) (*lad
 			d.Sink = inst.rt
 			d.TraceBase = lr.Traces
 		}
+		reqBefore := remaining
 		res := d.Run(remaining)
 		lr.Completed += res.Completed
 		lr.Failed += res.BadResp
@@ -156,6 +173,26 @@ func (r Runner) ladderRun(app *apps.App, o bootOpts, sc supervisor.Config) (*lad
 			}
 			lr.Dropped += inst.rt.TraceDropped()
 			inst.rt.PublishMetrics(lr.Registry)
+			if r.RecordDir != "" {
+				recCands = append(recCands, incCand{
+					rec: replay.RecordIncarnation(replay.IncarnationRun{
+						App:         app.Name,
+						Backend:     r.Backend,
+						Core:        o.cfg,
+						Fault:       o.fault,
+						Incarnation: inc,
+						Seed:        seed,
+						Proto:       app.Protocol,
+						Requests:    reqBefore,
+						Concurrency: r.Concurrency,
+						TraceBase:   d.TraceBase,
+						FinalCycles: inst.m.Cycles,
+						FinalSteps:  inst.m.Steps,
+						Spans:       inst.rt.Spans(),
+					}),
+					unrec: st.Unrecovered > 0,
+				})
+			}
 		}
 		if res.ServerDied || res.Stalled {
 			rr.Died = res.ServerDied
@@ -185,6 +222,20 @@ func (r Runner) ladderRun(app *apps.App, o bootOpts, sc supervisor.Config) (*lad
 	}
 	sup.PublishMetrics(lr.Registry)
 	lr.Spans = mergeSpans(lr.Spans, sup.Spans())
+	// Keep the failing incarnations' recordings: every unrecovered one,
+	// plus the final incarnation when the crash-loop breaker gave up.
+	for i := range recCands {
+		c := &recCands[i]
+		switch {
+		case c.unrec:
+			c.rec.Manifest.Outcome = replay.OutcomeUnrecovered
+		case lr.Sup.BreakerOpen && i == len(recCands)-1:
+			c.rec.Manifest.Outcome = replay.OutcomeBreakerOpen
+		default:
+			continue
+		}
+		lr.Recordings = append(lr.Recordings, c.rec)
+	}
 	return lr, nil
 }
 

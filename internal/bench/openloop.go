@@ -11,6 +11,7 @@ import (
 	"github.com/firestarter-go/firestarter/internal/fleet"
 	"github.com/firestarter-go/firestarter/internal/htm"
 	"github.com/firestarter-go/firestarter/internal/obsv"
+	"github.com/firestarter-go/firestarter/internal/replay"
 	"github.com/firestarter-go/firestarter/internal/supervisor"
 	"github.com/firestarter-go/firestarter/internal/workload"
 )
@@ -231,8 +232,31 @@ func (r Runner) OpenLoop() (OpenLoopResult, error) {
 	}
 	appendSpans(cal.Spans, cal.Wall, cal.Res.Sent)
 
+	recIdx := 0
 	for i, j := range jobs {
 		fr, ores := runs[i], open[i]
+		// Record failing rungs (any unrecovered fault or opened breaker
+		// behind the fleet) for firetrace -replay, in job order.
+		if r.RecordDir != "" {
+			if outcome := replay.FailureOutcome(fr.Spans); outcome != "" {
+				fa := fault
+				rec := replay.RecordOpenLoop(replay.OpenLoopRun{
+					App:         app.Name,
+					Backend:     r.Backend,
+					Fault:       &fa,
+					Seed:        r.Seed + 1000*int64(i+2),
+					Proto:       app.Protocol,
+					Open:        jobs[i].cfg,
+					Outcome:     outcome,
+					FinalCycles: fr.Wall,
+					Spans:       fr.Spans,
+				})
+				if _, err := rec.Write(r.RecordDir, fmt.Sprintf("openloop-%03d", recIdx)); err != nil {
+					return out, fmt.Errorf("openloop %.2fx: recording: %w", j.mult, err)
+				}
+				recIdx++
+			}
+		}
 		row := OpenLoopRow{
 			Mult:       j.mult,
 			Rate:       j.cfg.RatePerMcycle,
@@ -298,4 +322,11 @@ func (o OpenLoopResult) WriteTrace(w io.Writer) error {
 		log.Append(e)
 	}
 	return log.WriteJSONL(w)
+}
+
+// Fingerprint returns the hash-chain value of the experiment-global
+// span stream in its exported (densely re-sequenced) form. Identical
+// for a fixed seed at any Parallelism.
+func (o OpenLoopResult) Fingerprint() uint64 {
+	return obsv.Fingerprint(replay.NormalizeSpans(o.Spans))
 }

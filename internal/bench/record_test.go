@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// readDir returns name -> contents for every file in dir.
+func readDir(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = data
+	}
+	return out
+}
+
+// The span fingerprint commits to every byte -trace-out would write, so
+// it must be identical serial vs parallel — and arming the flight
+// recorder must not perturb the campaign at all.
+func TestChaosFingerprintAndRecordingInvariance(t *testing.T) {
+	serial := Runner{Requests: 24, Concurrency: 2, Seed: 3, FaultsPerServer: 1}
+	parallel := serial
+	parallel.Parallelism = 4
+	parallel.RecordDir = t.TempDir()
+	serialDir := t.TempDir()
+	serialRec := serial
+	serialRec.RecordDir = serialDir
+
+	base, err := serial.Chaos()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recSerial, err := serialRec.Chaos()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recParallel, err := parallel.Chaos()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := recSerial.Fingerprint(), base.Fingerprint(); got != want {
+		t.Errorf("recording perturbed the span stream: fingerprint %016x, want %016x", got, want)
+	}
+	if got, want := recParallel.Fingerprint(), base.Fingerprint(); got != want {
+		t.Errorf("parallel fingerprint %016x, serial %016x", got, want)
+	}
+	if got, want := recParallel.Render(), base.Render(); got != want {
+		t.Errorf("parallel render differs from serial:\n%s\nvs\n%s", got, want)
+	}
+
+	a, b := readDir(t, serialDir), readDir(t, parallel.RecordDir)
+	if len(a) == 0 {
+		t.Fatal("no recordings written")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("serial wrote %d files, parallel %d", len(a), len(b))
+	}
+	for name, data := range a {
+		other, ok := b[name]
+		if !ok {
+			t.Errorf("parallel run missing %s", name)
+			continue
+		}
+		if string(data) != string(other) {
+			t.Errorf("%s differs between serial and parallel runs", name)
+		}
+	}
+}
+
+// Same invariant for the open-loop sweep's experiment-global stream.
+func TestOpenLoopFingerprintInvariance(t *testing.T) {
+	serial := Runner{Requests: 60, Seed: 1}
+	parallel := Runner{Requests: 60, Seed: 1, Parallelism: 4}
+	a, err := serial.OpenLoop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parallel.OpenLoop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("openloop fingerprint %016x serial, %016x parallel", a.Fingerprint(), b.Fingerprint())
+	}
+}

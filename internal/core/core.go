@@ -375,6 +375,14 @@ type Runtime struct {
 	// clean-vs-recovery latency split reads it back at request completion.
 	// Lazily allocated; nil until the first recovery event under tracing.
 	touched map[int64]bool
+
+	// Periodic checkpoint ring (see checkpoint.go). ckptEvery == 0 (the
+	// default) disables capture entirely.
+	ckptEvery int64
+	ckptNext  int64
+	ckptRing  []Checkpoint
+	ckptCap   int
+	ckptHead  int
 }
 
 var _ interp.Runtime = (*Runtime)(nil)
@@ -937,8 +945,16 @@ func (rt *Runtime) RegSave(m *interp.Machine) {
 }
 
 // Tick implements interp.Runtime: retire instructions against the HTM
-// interrupt model.
+// interrupt model. When the checkpoint ring is armed (replay only) the
+// cycle threshold is tested here, so captures land at instruction
+// boundaries regardless of transaction state.
 func (rt *Runtime) Tick(m *interp.Machine, n int64) error {
+	if rt.ckptEvery > 0 && m.Cycles >= rt.ckptNext {
+		rt.checkpoint(m)
+		for rt.ckptNext <= m.Cycles {
+			rt.ckptNext += rt.ckptEvery
+		}
+	}
 	if tx := rt.cur; tx != nil && tx.htmTx != nil {
 		return tx.htmTx.Tick(n)
 	}
@@ -948,8 +964,13 @@ func (rt *Runtime) Tick(m *interp.Machine, n int64) error {
 // TickLive implements interp.TickCoalescer: Tick only does work while a
 // hardware transaction is live, so the bytecode backend may skip the
 // per-instruction call (and the position bookkeeping feeding it) whenever
-// this reports false.
+// this reports false. An armed checkpoint ring needs every tick too
+// (replay forces the tree walker anyway; this keeps the contract honest
+// if checkpoints are ever combined with the bytecode backend).
 func (rt *Runtime) TickLive() bool {
+	if rt.ckptEvery > 0 {
+		return true
+	}
 	tx := rt.cur
 	return tx != nil && tx.htmTx != nil
 }
@@ -958,6 +979,9 @@ func (rt *Runtime) TickLive() bool {
 // is live, ticks strictly before the next modelled interrupt are pure
 // countdown decrements the backend may defer and deliver in one batch.
 func (rt *Runtime) TickBudget() int64 {
+	if rt.ckptEvery > 0 {
+		return 1
+	}
 	tx := rt.cur
 	if tx == nil || tx.htmTx == nil {
 		return math.MaxInt64

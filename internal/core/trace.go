@@ -122,6 +122,11 @@ func (rt *Runtime) Spans() []obsv.SpanEvent { return rt.spans.Events() }
 // buffer filled (crash storms past the configured TraceLimit).
 func (rt *Runtime) TraceDropped() int64 { return rt.spans.Dropped() }
 
+// SpanFingerprint returns the span log's incremental hash-chain value
+// (obsv.FingerprintSeed while empty) — the divergence detector of the
+// record/replay layer.
+func (rt *Runtime) SpanFingerprint() uint64 { return rt.spans.Fingerprint() }
+
 // WriteTrace writes the recorded spans as JSONL, one event per line.
 func (rt *Runtime) WriteTrace(w io.Writer) error { return rt.spans.WriteJSONL(w) }
 

@@ -23,6 +23,7 @@
 package faultinj
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -61,13 +62,35 @@ func (k Kind) String() string {
 	}
 }
 
-// Fault is one planted fault.
+// MarshalJSON encodes the kind by its stable String name, so recorded
+// fault plans (internal/replay manifests) survive enum reordering.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON decodes a kind from its String name.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for c := FailStop; c <= OffByOne; c++ {
+		if c.String() == s {
+			*k = c
+			return nil
+		}
+	}
+	return fmt.Errorf("faultinj: unknown fault kind %q", s)
+}
+
+// Fault is one planted fault. The json encoding (name-encoded Kind,
+// stable field names) is the wire format of recorded fault plans.
 type Fault struct {
-	ID    int
-	Kind  Kind
-	Func  string
-	Block int
-	Index int // instruction index within the block
+	ID    int    `json:"id"`
+	Kind  Kind   `json:"kind"`
+	Func  string `json:"func"`
+	Block int    `json:"block"`
+	Index int    `json:"index"` // instruction index within the block
 }
 
 // String identifies the fault in reports.

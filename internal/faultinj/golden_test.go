@@ -1,0 +1,109 @@
+package faultinj_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/firestarter-go/firestarter/internal/faultinj"
+)
+
+// TestPlanFaultsGolden pins the exact plan PlanFaults produces for a
+// fixed (prog, candidates, kind, max, seed) tuple. Recorded replay
+// manifests (internal/replay) reference planted faults by plan output;
+// if this test starts failing, a refactor changed the plan for a given
+// seed and every previously recorded manifest is silently invalidated —
+// treat that as a wire-format break, not a test to update casually.
+func TestPlanFaultsGolden(t *testing.T) {
+	prog := compileTarget(t)
+	cands := []faultinj.BlockRef{
+		{Func: "helper", Block: 0},
+		{Func: "helper", Block: 1},
+		{Func: "helper", Block: 2},
+		{Func: "helper", Block: 3},
+	}
+
+	golden := []struct {
+		kind faultinj.Kind
+		seed int64
+		want []faultinj.Fault
+	}{
+		{faultinj.FailStop, 7, []faultinj.Fault{
+			{1, faultinj.FailStop, "helper", 1, 1},
+			{2, faultinj.FailStop, "helper", 2, 0},
+			{3, faultinj.FailStop, "helper", 0, 3},
+		}},
+		{faultinj.CorruptConst, 7, []faultinj.Fault{
+			{1, faultinj.CorruptConst, "helper", 1, 0},
+			{2, faultinj.CorruptConst, "helper", 2, 0},
+			{3, faultinj.CorruptConst, "helper", 0, 0},
+		}},
+		{faultinj.WrongOperator, 7, []faultinj.Fault{
+			{1, faultinj.WrongOperator, "helper", 1, 1},
+			{2, faultinj.WrongOperator, "helper", 2, 1},
+			{3, faultinj.WrongOperator, "helper", 0, 1},
+		}},
+		{faultinj.FlipBranch, 7, []faultinj.Fault{
+			{1, faultinj.FlipBranch, "helper", 0, 5},
+		}},
+		{faultinj.FailStop, 99, []faultinj.Fault{
+			{1, faultinj.FailStop, "helper", 0, 2},
+			{2, faultinj.FailStop, "helper", 2, 0},
+			{3, faultinj.FailStop, "helper", 3, 0},
+		}},
+		{faultinj.CorruptConst, 99, []faultinj.Fault{
+			{1, faultinj.CorruptConst, "helper", 0, 0},
+			{2, faultinj.CorruptConst, "helper", 2, 0},
+			{3, faultinj.CorruptConst, "helper", 1, 0},
+		}},
+	}
+
+	for _, g := range golden {
+		got := faultinj.PlanFaults(prog, cands, g.kind, 3, g.seed)
+		if len(got) != len(g.want) {
+			t.Errorf("%v seed=%d: %d faults, want %d", g.kind, g.seed, len(got), len(g.want))
+			continue
+		}
+		for i := range got {
+			if got[i] != g.want[i] {
+				t.Errorf("%v seed=%d fault %d = %v, want %v",
+					g.kind, g.seed, i, got[i], g.want[i])
+			}
+		}
+	}
+}
+
+// TestFaultJSONRoundTrip locks the fault wire format: the Kind encodes
+// by name (stable across enum reordering) and decoding rebuilds the
+// identical Fault.
+func TestFaultJSONRoundTrip(t *testing.T) {
+	all := []faultinj.Kind{
+		faultinj.FailStop, faultinj.FlipBranch, faultinj.CorruptConst,
+		faultinj.WrongOperator, faultinj.OffByOne,
+	}
+	for _, k := range all {
+		f := faultinj.Fault{ID: 3, Kind: k, Func: "serve_request", Block: 4, Index: 7}
+		data, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back faultinj.Fault
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if back != f {
+			t.Errorf("round trip %v != %v", back, f)
+		}
+	}
+	// The encoded kind is the String name, not the enum ordinal.
+	data, _ := json.Marshal(faultinj.Fault{ID: 1, Kind: faultinj.FlipBranch})
+	want := `"kind":"flip-branch"`
+	if !strings.Contains(string(data), want) {
+		t.Errorf("encoding %s missing %s", data, want)
+	}
+	// Unknown names are a hard decode error, never a zero Kind.
+	var f faultinj.Fault
+	if err := json.Unmarshal([]byte(`{"id":1,"kind":"melt-cpu"}`), &f); err == nil {
+		t.Error("unknown kind decoded without error")
+	}
+}

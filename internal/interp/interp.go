@@ -166,6 +166,7 @@ const (
 	OutTrapped
 	OutBlocked
 	OutStepLimit
+	OutWatch
 )
 
 func (k OutcomeKind) String() string {
@@ -178,6 +179,8 @@ func (k OutcomeKind) String() string {
 		return "blocked"
 	case OutStepLimit:
 		return "step-limit"
+	case OutWatch:
+		return "watch"
 	default:
 		return fmt.Sprintf("outcome(%d)", int(k))
 	}
@@ -246,6 +249,16 @@ type Machine struct {
 	// Backend); it must preserve the tree-walker's observable behaviour
 	// bit for bit.
 	backend Backend
+
+	// Watchpoint state (record/replay forensics). While a watch is armed
+	// Run always takes the tree walker, which checks the condition at
+	// every instruction boundary; the first boundary at which
+	// Cycles >= watchCycles (or Steps >= watchSteps) disarms the watch,
+	// invokes watchFn (if any) with the machine frozen at exactly that
+	// boundary, and returns OutWatch. Zero means unarmed.
+	watchCycles int64
+	watchSteps  int64
+	watchFn     func(*Machine)
 }
 
 // maxRegPool bounds the number of register slices kept for reuse.
@@ -534,11 +547,40 @@ func (m *Machine) Restore(s *Snapshot) {
 // Run executes until exit, fatal trap, blocked I/O, or maxSteps
 // instructions (0 = no limit). Execution goes through the installed
 // backend (SetBackend); the default is the tree-walking interpreter.
+// While a watchpoint is armed execution always uses the tree walker:
+// backends are bit-identical by contract, so stopping on the reference
+// loop observes the same state at the same boundary.
 func (m *Machine) Run(maxSteps int64) Outcome {
-	if m.backend != nil {
+	if m.backend != nil && !m.WatchArmed() {
 		return m.backend.Run(m, maxSteps)
 	}
 	return m.runTree(maxSteps)
+}
+
+// WatchCycles arms a watchpoint that fires at the first instruction
+// boundary where Cycles >= c. fn (optional) runs with the machine frozen
+// at that boundary, before Run returns OutWatch. The watch persists
+// across Run calls until it fires or ClearWatch is called.
+func (m *Machine) WatchCycles(c int64, fn func(*Machine)) {
+	m.watchCycles, m.watchSteps, m.watchFn = c, 0, fn
+}
+
+// WatchSteps arms a watchpoint that fires at the first instruction
+// boundary where Steps >= s (i.e. after instruction s has retired).
+func (m *Machine) WatchSteps(s int64, fn func(*Machine)) {
+	m.watchCycles, m.watchSteps, m.watchFn = 0, s, fn
+}
+
+// WatchArmed reports whether a watchpoint is pending.
+func (m *Machine) WatchArmed() bool { return m.watchCycles > 0 || m.watchSteps > 0 }
+
+// ClearWatch disarms any pending watchpoint.
+func (m *Machine) ClearWatch() { m.watchCycles, m.watchSteps, m.watchFn = 0, 0, nil }
+
+// watchHit reports whether the armed watch condition holds now.
+func (m *Machine) watchHit() bool {
+	return (m.watchCycles > 0 && m.Cycles >= m.watchCycles) ||
+		(m.watchSteps > 0 && m.Steps >= m.watchSteps)
 }
 
 // runTree is the tree-walking interpreter loop — the reference semantics
@@ -557,6 +599,14 @@ func (m *Machine) runTree(maxSteps int64) Outcome {
 	for {
 		if m.exited {
 			return Outcome{Kind: OutExited, Code: m.exitCode}
+		}
+		if m.WatchArmed() && m.watchHit() {
+			fn := m.watchFn
+			m.ClearWatch()
+			if fn != nil {
+				fn(m)
+			}
+			return Outcome{Kind: OutWatch}
 		}
 		if limited {
 			if m.budget <= 0 {
@@ -600,6 +650,77 @@ func (m *Machine) runTree(maxSteps int64) Outcome {
 // trapHere builds a Trap at the current position.
 func (m *Machine) trapHere(code int64, addr int64) *Trap {
 	return &Trap{Code: code, Addr: addr, PC: m.pcString()}
+}
+
+// FrameInfo describes one live call-stack frame for forensics dumps.
+type FrameInfo struct {
+	Func  string  `json:"func"`
+	Block int     `json:"block"`
+	Index int     `json:"index"`
+	Regs  []int64 `json:"regs"`
+}
+
+// Frames returns the live call stack, outermost frame first, with
+// register contents copied out. Intended for state dumps (firetrace
+// -replay), not hot paths.
+func (m *Machine) Frames() []FrameInfo {
+	out := make([]FrameInfo, len(m.frames))
+	for i := range m.frames {
+		f := &m.frames[i]
+		out[i] = FrameInfo{
+			Func:  f.Fn.Name,
+			Block: f.Blk,
+			Index: f.Idx,
+			Regs:  append([]int64(nil), f.Regs...),
+		}
+	}
+	return out
+}
+
+// Backtrace renders the call stack innermost-first, one
+// "func.bBLOCK.INDEX" line per frame.
+func (m *Machine) Backtrace() []string {
+	out := make([]string, 0, len(m.frames))
+	for i := len(m.frames) - 1; i >= 0; i-- {
+		f := &m.frames[i]
+		out = append(out, fmt.Sprintf("%s.b%d.%d", f.Fn.Name, f.Blk, f.Idx))
+	}
+	return out
+}
+
+// Digest returns an FNV-1a hash over the snapshot: per frame the
+// function identity, position and register contents, plus the stack
+// pointer. Two machines in the same architectural state digest equal.
+func (s *Snapshot) Digest() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v int64) {
+		u := uint64(v)
+		for i := 0; i < 8; i++ {
+			h = (h ^ (u>>(8*i))&0xff) * prime
+		}
+	}
+	mixStr := func(str string) {
+		mix(int64(len(str)))
+		for i := 0; i < len(str); i++ {
+			h = (h ^ uint64(str[i])) * prime
+		}
+	}
+	mix(s.sp)
+	mix(int64(len(s.frames)))
+	for i := range s.frames {
+		f := &s.frames[i]
+		mixStr(f.Fn.Name)
+		mix(int64(f.Blk))
+		mix(int64(f.Idx))
+		mix(f.FP)
+		mix(int64(f.RetDst))
+		mix(int64(len(f.Regs)))
+		for _, r := range f.Regs {
+			mix(r)
+		}
+	}
+	return h
 }
 
 // step executes one instruction. On success the program counter has

@@ -354,6 +354,41 @@ func (o *OS) OpenFDs() int {
 	return n
 }
 
+// String names the descriptor kind for diagnostics.
+func (k FDKind) String() string {
+	switch k {
+	case FDFree:
+		return "free"
+	case FDFile:
+		return "file"
+	case FDListener:
+		return "listener"
+	case FDConn:
+		return "conn"
+	case FDEpoll:
+		return "epoll"
+	case FDEventFD:
+		return "eventfd"
+	case FDPipe:
+		return "pipe"
+	default:
+		return fmt.Sprintf("fdkind(%d)", int(k))
+	}
+}
+
+// OpenFDList renders the live descriptor table (excluding std streams) as
+// "fd=N kind" strings in fd order — the open-FD section of a replay
+// state dump.
+func (o *OS) OpenFDList() []string {
+	var out []string
+	for i := range o.fds {
+		if i >= 3 && o.fds[i].Kind != FDFree {
+			out = append(out, fmt.Sprintf("fd=%d %s", i, o.fds[i].Kind))
+		}
+	}
+	return out
+}
+
 // writeBytes pushes a byte slice into application memory through the
 // transaction-aware store, in 8-byte words where possible (modelling the
 // word-granular store instrumentation real compiler passes emit), with

@@ -1,0 +1,56 @@
+package mem
+
+import "testing"
+
+func TestDigestReflectsContentAndAddress(t *testing.T) {
+	var a, b Space
+	for _, s := range []*Space{&a, &b} {
+		if err := s.Map(GlobalBase, 2*PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatal("identical empty spaces digest differently")
+	}
+	if err := a.Store(GlobalBase+8, 42, 8); err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() == b.Digest() {
+		t.Fatal("content change did not move the digest")
+	}
+	if err := b.Store(GlobalBase+8, 42, 8); err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatal("converged spaces digest differently")
+	}
+	// Same bytes at a different address is a different image.
+	if err := b.Store(GlobalBase+8, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Store(GlobalBase+16, 42, 8); err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest() == b.Digest() {
+		t.Fatal("relocated content digests equal")
+	}
+}
+
+func TestDigestIsReadOnly(t *testing.T) {
+	var s Space
+	if err := s.Map(HeapBase, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Store(HeapBase, 7, 8); err != nil {
+		t.Fatal(err)
+	}
+	d1 := s.Digest()
+	d2 := s.Digest()
+	if d1 != d2 {
+		t.Fatal("repeated digest differs")
+	}
+	v, err := s.Load(HeapBase, 8)
+	if err != nil || v != 7 {
+		t.Fatalf("load after digest = %d, %v", v, err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // PageSize is the size of a simulated page in bytes.
@@ -175,6 +176,32 @@ func (s *Space) PeakPages() int { return s.peakPages }
 
 // RSS returns the current resident set size in bytes.
 func (s *Space) RSS() int64 { return int64(len(s.pages)) * PageSize }
+
+// Digest returns an FNV-1a hash over the mapped pages — indices in
+// sorted order, then contents — identifying the guest-visible memory
+// image. Domain tags and the translation cache are excluded: two spaces
+// holding the same bytes at the same addresses digest equal. Read-only;
+// used by the record/replay layer to compare checkpointed states.
+func (s *Space) Digest() uint64 {
+	idx := make([]int64, 0, len(s.pages))
+	for k := range s.pages {
+		idx = append(idx, k)
+	}
+	sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, k := range idx {
+		u := uint64(k)
+		for i := 0; i < 8; i++ {
+			h = (h ^ (u>>(8*i))&0xff) * prime
+		}
+		pg := s.pages[k]
+		for _, b := range pg {
+			h = (h ^ uint64(b)) * prime
+		}
+	}
+	return h
+}
 
 // Load reads width (1, 2, 4 or 8) bytes at addr, zero-extending to int64.
 func (s *Space) Load(addr int64, width int) (int64, error) {

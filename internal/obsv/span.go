@@ -98,6 +98,7 @@ type SpanLog struct {
 	events  []SpanEvent
 	dropped int64
 	seq     int64
+	fp      uint64 // incremental hash chain (see fingerprint.go)
 }
 
 // limit resolves the effective cap.
@@ -118,20 +119,31 @@ func (l *SpanLog) Append(e SpanEvent) bool {
 		l.dropped++
 		if l.dropped == 1 {
 			l.seq++
-			l.events = append(l.events, SpanEvent{
+			marker := SpanEvent{
 				Seq:    l.seq,
 				Cycles: e.Cycles,
 				Thread: e.Thread,
 				Kind:   SpanTruncated,
-			})
+			}
+			l.chain(marker)
+			l.events = append(l.events, marker)
 		}
 		l.stampMarker()
 		return false
 	}
 	l.seq++
 	e.Seq = l.seq
+	l.chain(e)
 	l.events = append(l.events, e)
 	return true
+}
+
+// chain folds a stored event into the incremental fingerprint.
+func (l *SpanLog) chain(e SpanEvent) {
+	if l.seq == 1 {
+		l.fp = FingerprintSeed
+	}
+	l.fp = ChainFingerprint(l.fp, e)
 }
 
 // Len returns the number of stored events (including a truncated marker).

@@ -36,55 +36,58 @@ const (
 
 // OpenConfig parameterizes an open-loop run. The zero value of every
 // field selects a sane default, so tests can set only what they probe.
+// The json tags make OpenConfig part of a recording's manifest
+// (internal/replay): a recorded open-loop run is re-drawn from these
+// parameters plus the driver seed.
 type OpenConfig struct {
-	Shape ArrivalShape // arrival process (default poisson)
+	Shape ArrivalShape `json:"shape"` // arrival process (default poisson)
 
 	// RatePerMcycle is the offered load: mean arrivals per million
 	// virtual cycles (default 50).
-	RatePerMcycle float64
+	RatePerMcycle float64 `json:"rate_per_mcycle"`
 
 	// Total is the number of arrivals to offer (default 1000). Every
 	// arrival reaches exactly one terminal: completed, bad response,
 	// shed, conn-closed, or a run-end cause.
-	Total int
+	Total int `json:"total"`
 
 	// Clients is the modeled client population (default 10000). Each
 	// arrival is assigned a client; a client's request stream depends
 	// only on (seed, client id), never on delivery timing.
-	Clients int
+	Clients int `json:"clients"`
 
 	// MaxConns bounds concurrently open connections — the population is
 	// huge, the socket budget is not (default 32). Arrivals for clients
 	// that cannot get a connection wait, and shed when Patience expires.
-	MaxConns int
+	MaxConns int `json:"max_conns"`
 
 	// PipelineDepth is the maximum number of requests in flight on one
 	// connection (default 1; >1 enables pipelining). Under tracing a
 	// follow-up request is delivered only after the previous one was
 	// started by the server (its trace promoted) and its bytes drained,
 	// because the connection carries a single pending-trace slot.
-	PipelineDepth int
+	PipelineDepth int `json:"pipeline_depth"`
 
 	// Patience is how many virtual cycles an undelivered arrival waits
 	// before the client gives up and it is shed (default 2M).
-	Patience int64
+	Patience int64 `json:"patience"`
 
 	// ChurnEvery forces connection churn: every Nth arrival closes its
 	// connection after its response (0 = close only when idle).
-	ChurnEvery int
+	ChurnEvery int `json:"churn_every,omitempty"`
 
 	// SlowEvery marks every Nth distinct client a slow reader that
 	// drains at most SlowBytes (default 3) per round instead of
 	// everything — the slow-loris shape (0 = no slow readers).
-	SlowEvery int
-	SlowBytes int
+	SlowEvery int `json:"slow_every,omitempty"`
+	SlowBytes int `json:"slow_bytes,omitempty"`
 
 	// FragmentEvery delivers every Nth arrival's request in FragSize
 	// (default 4) byte fragments across consecutive rounds instead of one
 	// write (0 = no fragmentation). Oversized requests exercise the same
 	// path: any request longer than FragSize is split when selected.
-	FragmentEvery int
-	FragSize      int
+	FragmentEvery int `json:"fragment_every,omitempty"`
+	FragSize      int `json:"frag_size,omitempty"`
 }
 
 func (cfg *OpenConfig) defaults() {

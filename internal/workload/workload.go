@@ -441,6 +441,11 @@ func (d *Driver) slice(res *Result) (ok, busy bool) {
 			res.ServerDied = true
 			res.TrapCode = out.Code
 			return false, false
+		case interp.OutWatch:
+			// A replay watchpoint froze the machine at its target
+			// boundary. Terminal for the run, but not a death: the server
+			// is intact, merely halted for inspection.
+			return false, false
 		case interp.OutExited:
 			return false, false
 		default:
